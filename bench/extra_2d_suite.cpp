@@ -1,0 +1,46 @@
+// Secondary suite: classic 1D/2D stencils under all five generators.
+//
+// Not a paper table -- the paper evaluates 3D kernels only -- but the
+// frameworks ARTEMIS is compared against (Overtile, Forma, PPCG) were
+// historically evaluated on exactly these patterns, and the paper claims
+// ARTEMIS "can accelerate both time-iterated 2D/3D stencils and complex
+// spatial stencils alike" (Section III-B). This harness checks the Fig. 5
+// ordering transfers to the lower-dimensional regime.
+
+#include <cstdio>
+
+#include "artemis/baselines/baselines.hpp"
+#include "artemis/common/str.hpp"
+#include "artemis/common/table.hpp"
+#include "artemis/stencils/extra_stencils.hpp"
+
+using namespace artemis;
+
+int main() {
+  const auto dev = gpumodel::p100();
+  const gpumodel::ModelParams params;
+
+  TablePrinter table({"Stencil", "dims", "PPCG", "global-stream", "global",
+                      "STENCILGEN", "ARTEMIS"});
+  int artemis_wins = 0;
+  int rows = 0;
+  for (const auto& spec : stencils::extra_stencils()) {
+    const auto prog = stencils::extra_stencil_program(spec.name);
+    const auto cmp =
+        baselines::compare_generators(spec.name, prog, dev, params);
+    std::vector<std::string> row = {spec.name, std::to_string(spec.dims)};
+    for (const auto& g : cmp.generators) {
+      row.push_back(g.result ? format_double(g.tflops(), 3)
+                             : std::string("n/a"));
+    }
+    table.add_row(row);
+    ++rows;
+    if (cmp.artemis_wins()) ++artemis_wins;
+  }
+
+  std::printf("Secondary 1D/2D suite (useful TFLOPS, modelled P100)\n\n%s\n",
+              table.to_string().c_str());
+  std::printf("ARTEMIS best or within 3%% on %d/%d stencils\n", artemis_wins,
+              rows);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Section VIII-E: domain-expert guided resource assignment.
+//
+// addsgd4 is generated twice: once with the expert `#assign` pinning the
+// six 1D coefficient arrays to global memory, and once with the naive
+// default that stages every array (including the 1D coefficients, in
+// tile-shaped buffers) in shared memory. The expert version frees shared
+// memory capacity, enabling larger blocks / higher occupancy
+// (paper: 1.05 TFLOPS with #assign vs 0.65 TFLOPS without).
+
+#include <cstdio>
+
+#include "artemis/common/str.hpp"
+#include "artemis/common/table.hpp"
+#include "artemis/driver/driver.hpp"
+#include "artemis/dsl/parser.hpp"
+#include "artemis/stencils/benchmarks.hpp"
+
+using namespace artemis;
+
+int main() {
+  const auto dev = gpumodel::p100();
+  const gpumodel::ModelParams params;
+
+  // The experiment isolates resource assignment: the shared-memory
+  // pipeline runs in both cases (no profiling-driven fallback to the
+  // global version), exactly like the paper's A/B comparison.
+  driver::Strategy s = driver::artemis_strategy();
+  s.profile_guided = false;
+
+  TablePrinter table({"version", "TFLOPS", "occupancy", "blocks/SM",
+                      "best config"});
+  double with_tf = 0, without_tf = 0;
+  for (const bool with_assign : {true, false}) {
+    const auto prog = dsl::parse(stencils::addsgd_dsl(0, 2, with_assign));
+    const auto r = driver::optimize_program(prog, dev, params, s);
+    const auto& k = r.kernels[0];
+    table.add_row({with_assign ? "with #assign (expert)" : "naive default",
+                   format_double(r.tflops, 4),
+                   format_double(k.eval.occupancy.fraction, 3),
+                   std::to_string(k.eval.occupancy.active_blocks_per_sm),
+                   k.config.to_string()});
+    (with_assign ? with_tf : without_tf) = r.tflops;
+  }
+
+  std::printf("Section VIII-E: user-guided resource assignment (addsgd4)\n\n%s\n",
+              table.to_string().c_str());
+  std::printf("speedup from expert #assign: %.2fx (paper: 1.05/0.65 = "
+              "1.62x)\n",
+              with_tf / without_tf);
+  return 0;
+}

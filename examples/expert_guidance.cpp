@@ -1,0 +1,74 @@
+// User-guided resource assignment and rationing (Section II-B).
+//
+// Two expert knobs the DSL exposes beyond Listing 1:
+//  - `#assign shmem(...)/gmem(...)` pins arrays to memory spaces; the code
+//    generator must obey (here: keeping SW4's six 1D damping coefficients
+//    out of shared memory).
+//  - `occupancy t` in the #pragma sets a target occupancy; the resource
+//    mapper demotes the least-accessed shared buffers until the target is
+//    achievable (resource rationing).
+
+#include <cstdio>
+
+#include "artemis/codegen/plan_builder.hpp"
+#include "artemis/driver/driver.hpp"
+#include "artemis/dsl/parser.hpp"
+#include "artemis/stencils/benchmarks.hpp"
+
+using namespace artemis;
+
+int main() {
+  const auto dev = gpumodel::p100();
+
+  // --- #assign: expert vs naive -------------------------------------------
+  driver::Strategy s = driver::artemis_strategy();
+  s.profile_guided = false;  // isolate the resource-assignment effect
+  std::printf("addsgd4, shared-memory pipeline:\n");
+  for (const bool with_assign : {false, true}) {
+    const auto prog = dsl::parse(stencils::addsgd_dsl(0, 2, with_assign));
+    const auto r = driver::optimize_program(prog, dev, {}, s);
+    std::printf("  %-22s %.3f TFLOPS   occupancy %.2f   %s\n",
+                with_assign ? "with expert #assign:" : "naive default:",
+                r.tflops, r.kernels[0].eval.occupancy.fraction,
+                r.kernels[0].config.to_string().c_str());
+  }
+
+  // --- occupancy rationing ---------------------------------------------------
+  // A two-input stencil where staging both arrays prevents the target
+  // occupancy; the mapper demotes the least-accessed buffer.
+  const char* src = R"(
+    parameter L=256, M=256, N=256;
+    iterator k, j, i;
+    double a[L,M,N], b[L,M,N], o[L,M,N];
+    copyin a, b;
+    stencil s (O, A, B) {
+      O[k][j][i] = A[k][j][i] + A[k][j][i+2] + A[k][j][i-2] + A[k][j+2][i]
+                 + A[k][j-2][i] + A[k+2][j][i] + A[k-2][j][i] + B[k][j][i];
+    }
+    s (o, a, b);
+    copyout o;
+  )";
+  const auto prog = dsl::parse(src);
+  std::printf("\noccupancy rationing (order-2 stencil, two staged "
+              "inputs, 16x8x4 block):\n");
+  for (const double target : {0.25, 0.5, 1.0}) {
+    codegen::KernelConfig cfg;
+    cfg.block = {16, 8, 4};
+    cfg.target_occupancy = target;
+    const auto plan =
+        codegen::build_plan_for_call(prog, prog.steps[0].call, cfg, dev);
+    const auto ev = gpumodel::evaluate(plan, dev);
+    std::printf("  target %.2f: shmem %5lld B/block  a->%s b->%s  achieved "
+                "occupancy %.2f\n",
+                target,
+                static_cast<long long>(plan.shmem_bytes_per_block),
+                ir::mem_space_name(plan.placement.at("a").space),
+                ir::mem_space_name(plan.placement.at("b").space),
+                ev.occupancy.fraction);
+  }
+  std::printf(
+      "\nAt tight targets the mapper demotes the least-accessed buffer (b,\n"
+      "one access) and keeps the seven-times-read a in shared memory --\n"
+      "Section II-B2's rationing rule.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// A 2D image-processing pipeline (the multi-statement stencil DAG use
+// case of the paper's introduction): blur-x -> blur-y -> sharpen, fused
+// into one kernel with overlapped tiling.
+//
+// Demonstrates: 2D programs (two iterators), DAG fusion with internal
+// arrays, recompute-halo geometry, and the exactness of the functional
+// executor against the reference interpreter.
+
+#include <cstdio>
+
+#include "artemis/codegen/cuda_emitter.hpp"
+#include "artemis/codegen/plan_builder.hpp"
+#include "artemis/dsl/parser.hpp"
+#include "artemis/gpumodel/perf_model.hpp"
+#include "artemis/sim/executor.hpp"
+#include "artemis/sim/reference.hpp"
+#include "artemis/transform/fusion.hpp"
+
+using namespace artemis;
+
+static const char* kPipeline = R"(
+parameter M=512, N=512;
+iterator j, i;
+double img[M,N], bx[M,N], by[M,N], out[M,N], w;
+copyin img, w;
+stencil blur_x (BX, IMG) {
+  BX[j][i] = 0.25*IMG[j][i-1] + 0.5*IMG[j][i] + 0.25*IMG[j][i+1];
+}
+stencil blur_y (BY, BX) {
+  BY[j][i] = 0.25*BX[j-1][i] + 0.5*BX[j][i] + 0.25*BX[j+1][i];
+}
+stencil sharpen (OUT, IMG, BY, w) {
+  OUT[j][i] = IMG[j][i] + w*(IMG[j][i] - BY[j][i]);
+}
+blur_x (bx, img);
+blur_y (by, bx);
+sharpen (out, img, by, w);
+copyout out;
+)";
+
+int main() {
+  const auto dev = gpumodel::p100();
+  const ir::Program prog = dsl::parse(kPipeline);
+
+  // Fuse the whole three-stage pipeline into one kernel.
+  const auto stages = transform::bind_all_calls(prog);
+  codegen::KernelConfig cfg;
+  cfg.block = {32, 8, 1};
+  const auto plan = codegen::build_plan(prog, stages, cfg, dev);
+
+  std::printf("fused pipeline: %s\n", plan.name.c_str());
+  std::printf("internal arrays (never touch DRAM):");
+  for (const auto& a : plan.internal_arrays) std::printf(" %s", a.c_str());
+  std::printf("\nrecompute expansion per stage (x,y):");
+  for (const auto& e : plan.stage_expand) {
+    std::printf("  (%d,%d)", e[0], e[1]);
+  }
+  std::printf("\nshared memory per block: %lld B\n",
+              static_cast<long long>(plan.shmem_bytes_per_block));
+
+  const auto ev = gpumodel::evaluate(plan, dev);
+  std::printf("modelled: %.3f ms, %.3f useful TFLOPS, OI_dram %.2f\n",
+              ev.time_s * 1e3, ev.tflops(), ev.counters.oi_dram());
+
+  // Compare against the unfused three-kernel schedule.
+  double unfused_time = 0;
+  for (const auto& step : prog.steps) {
+    const auto k = codegen::build_plan_for_call(prog, step.call, cfg, dev);
+    unfused_time += gpumodel::evaluate(k, dev).time_s;
+  }
+  std::printf("unfused 3-kernel schedule: %.3f ms -> fusion speedup "
+              "%.2fx\n",
+              unfused_time * 1e3, unfused_time / ev.time_s);
+
+  // Functional check on a small image.
+  {
+    const ir::Program small = dsl::parse(
+        std::string(kPipeline).replace(
+            std::string(kPipeline).find("M=512, N=512"), 12,
+            "M=48, N=64"));
+    sim::GridSet ref = sim::GridSet::from_program(small, 7);
+    sim::GridSet tiled = ref.clone();
+    sim::run_program_reference(small, ref);
+    const auto small_stages = transform::bind_all_calls(small);
+    codegen::KernelConfig scfg;
+    scfg.block = {8, 8, 1};
+    const auto splan = codegen::build_plan(small, small_stages, scfg, dev);
+    sim::execute_plan(splan, tiled);
+    std::printf("functional check (48x64 image): max |diff| = %g\n",
+                Grid3D::max_abs_diff(ref.grid("out"), tiled.grid("out")));
+  }
+  return 0;
+}

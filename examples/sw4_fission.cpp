@@ -1,0 +1,71 @@
+// Kernel fission for a register-bound SW4 kernel (Sections VI-B, VIII-D).
+//
+// rhs4sgcurv is a monolithic curvilinear elastic-wave kernel: ~1700 FLOPs
+// per point over 13 arrays. Even at the 255-register ceiling the compiler
+// must spill. ARTEMIS detects the pressure, writes fission candidates out
+// as DSL (like Fig. 3c), optimizes them, and adopts the fastest schedule.
+
+#include <cstdio>
+
+#include "artemis/common/str.hpp"
+#include "artemis/driver/driver.hpp"
+#include "artemis/gpumodel/registers.hpp"
+#include "artemis/stencils/benchmarks.hpp"
+
+using namespace artemis;
+
+int main() {
+  const auto dev = gpumodel::p100();
+  const auto prog = stencils::benchmark_program("rhs4sgcurv");
+
+  // Examine the monolithic kernel first.
+  {
+    codegen::KernelConfig cfg;
+    cfg.block = {16, 16, 1};
+    codegen::BuildOptions opts;
+    opts.use_shared_memory = false;
+    const auto plan = codegen::build_plan_for_call(prog, prog.steps[0].call,
+                                                   cfg, dev, opts);
+    const auto est = gpumodel::estimate_registers(plan);
+    std::printf("monolithic rhs4sgcurv:\n");
+    std::printf("  %lld FLOPs/point over %d arrays, %lld statements\n",
+                static_cast<long long>(plan.info.flops_per_point),
+                plan.info.num_io_arrays,
+                static_cast<long long>(plan.info.num_statements));
+    std::printf("  register estimate: %d/thread "
+                "(base %d + locals %d + operands %d + scheduling %d)\n",
+                est.total, est.base, est.locals, est.operands,
+                est.scheduling);
+    std::printf("  => spills %d registers even at maxrregcount=255\n\n",
+                est.spilled(255));
+  }
+
+  // Run the full pipeline: profiling flags the pressure, fission
+  // candidates are generated, evaluated, and the winner adopted.
+  const auto r = driver::optimize_program(prog, dev);
+
+  std::printf("ARTEMIS pipeline hints:\n");
+  for (const auto& h : r.hints) std::printf("  - %s\n", h.c_str());
+
+  std::printf("\nchosen schedule: %zu kernel(s), %.3f TFLOPS total\n",
+              r.kernels.size(), r.tflops);
+  for (const auto& k : r.kernels) {
+    std::printf("  %-16s %8.3f ms  %3d regs  %s\n", k.name.c_str(),
+                k.eval.time_s * 1e3,
+                std::min(k.eval.regs.total, k.config.max_registers),
+                k.config.to_string().c_str());
+  }
+
+  if (!r.candidate_dsl.empty()) {
+    std::printf("\nfirst generated fission candidate (DSL, Fig. 3c "
+                "analogue):\n");
+    // Print the stencil headers only; the full text is long.
+    for (const auto& line : split(r.candidate_dsl[0], '\n')) {
+      if (starts_with(trim(line), "stencil") ||
+          starts_with(trim(line), "rhs4sgcurv_")) {
+        std::printf("  %s\n", line.c_str());
+      }
+    }
+  }
+  return 0;
+}

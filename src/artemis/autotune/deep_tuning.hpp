@@ -1,0 +1,56 @@
+#pragma once
+
+#include "artemis/autotune/search.hpp"
+#include "artemis/transform/fusion.hpp"
+
+namespace artemis::autotune {
+
+/// One tuned time-tiled version (x x 1) of an iterative stencil.
+struct DeepTuneEntry {
+  int time_tile = 1;                 ///< x
+  TuneResult tuned;                  ///< tuned launch parameters
+  profile::ProfileReport report;     ///< profiling of the best version
+  double time_s = 0;                 ///< best modelled time per invocation
+  double tflops = 0;                 ///< useful TFLOPS of the version
+};
+
+/// Result of deep tuning (Section VI-A): versions (1x1) .. (kx1), tuned
+/// and profiled in order; exploration stops at the first version that is
+/// no longer bandwidth-bound at DRAM, texture or shared memory (fusing
+/// further cannot help) or that stops improving.
+struct DeepTuneResult {
+  std::vector<DeepTuneEntry> entries;
+  /// The time tile size after which fusion stops paying off (the "cusp"
+  /// circled in Fig. 4): index of the fastest per-step version.
+  int tipping_point = 1;
+};
+
+struct DeepTuneOptions {
+  int max_time_tile = 8;
+  TuneOptions tune;
+  /// Keep exploring one step past the profiler's stop signal to expose
+  /// the cusp in the deep-tuning plot.
+  bool explore_past_cusp = true;
+};
+
+/// Deep-tune an iterate block: for x = 1, 2, ... build the (x x 1) fused
+/// kernel via transform::time_tile_iterate, autotune it, profile the
+/// winner, and continue while the profiler still reports bandwidth
+/// boundedness at some memory level. Per-step time is time_s / x.
+DeepTuneResult deep_tune(const ir::Program& prog,
+                         const ir::Step& iterate_step,
+                         const gpumodel::DeviceSpec& dev,
+                         const gpumodel::ModelParams& params = {},
+                         const DeepTuneOptions& opts = {});
+
+/// Optimal fusion schedule for T time iterations given the deep-tuned
+/// versions: the dynamic program opt(T) = min_x f(x) + opt(T - x) over
+/// recorded per-invocation times f(x). Returns the tile sizes whose sum
+/// is T (e.g. {4,4,4,1} for T=13).
+std::vector<int> fusion_schedule(const DeepTuneResult& result, int T);
+
+/// Modelled execution time of a schedule (sum of f(x) over tiles).
+double schedule_time(const DeepTuneResult& result,
+                     const std::vector<int>& schedule);
+
+}  // namespace artemis::autotune

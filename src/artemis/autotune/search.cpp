@@ -1,0 +1,344 @@
+#include "artemis/autotune/search.hpp"
+
+#include <algorithm>
+
+#include "artemis/common/check.hpp"
+#include "artemis/common/rng.hpp"
+
+namespace artemis::autotune {
+
+namespace {
+
+using codegen::KernelConfig;
+using codegen::KernelPlan;
+using codegen::Perspective;
+using codegen::TilingScheme;
+
+/// Evaluate one configuration; returns nullopt for infeasible plans.
+std::optional<Candidate> try_config(const PlanFactory& factory,
+                                    const KernelConfig& cfg,
+                                    const gpumodel::DeviceSpec& dev,
+                                    const gpumodel::ModelParams& params) {
+  try {
+    const KernelPlan plan = factory(cfg);
+    gpumodel::KernelEval ev = gpumodel::evaluate(plan, dev, params);
+    if (!ev.valid) return std::nullopt;
+    Candidate c;
+    c.config = cfg;
+    c.time_s = ev.time_s;
+    c.eval = std::move(ev);
+    return c;
+  } catch (const PlanError&) {
+    return std::nullopt;
+  }
+}
+
+void insert_leaderboard(std::vector<Candidate>& board, Candidate c,
+                        int top_k) {
+  board.push_back(std::move(c));
+  std::sort(board.begin(), board.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.time_s < b.time_s;
+            });
+  if (board.size() > static_cast<std::size_t>(top_k)) {
+    board.resize(static_cast<std::size_t>(top_k));
+  }
+}
+
+/// Pick the smallest register budget at which the estimate does not
+/// spill; returns nullopt when even the largest budget spills (the caller
+/// may still evaluate at the top budget and pay the spill penalty).
+std::optional<int> spill_free_budget(const PlanFactory& factory,
+                                     KernelConfig cfg,
+                                     const TuneOptions& opts,
+                                     int* skipped) {
+  for (const int budget : opts.register_budgets) {
+    cfg.max_registers = budget;
+    try {
+      const KernelPlan plan = factory(cfg);
+      const auto est = gpumodel::estimate_registers(plan);
+      if (est.total <= budget) return budget;
+      ++*skipped;
+    } catch (const PlanError&) {
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<std::array<int, 3>> candidate_blocks(int dims, bool streaming,
+                                                 const TuneOptions& opts) {
+  std::vector<int> sizes;
+  for (int s = opts.min_block; s <= opts.max_block; s *= 2) sizes.push_back(s);
+
+  std::vector<std::array<int, 3>> out;
+  const int tiled_dims = streaming ? dims - 1 : dims;
+  for (const int bx : sizes) {
+    if (tiled_dims == 1) {
+      if (bx <= 1024) out.push_back({bx, 1, 1});
+      continue;
+    }
+    for (const int by : sizes) {
+      if (tiled_dims == 2) {
+        if (static_cast<std::int64_t>(bx) * by <= 1024) {
+          out.push_back({bx, by, 1});
+        }
+        continue;
+      }
+      for (const int bz : sizes) {
+        if (static_cast<std::int64_t>(bx) * by * bz <= 1024) {
+          out.push_back({bx, by, bz});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::array<int, 3>> candidate_unrolls(int dims,
+                                                  const TuneOptions& opts) {
+  const int cap = opts.disable_unroll
+                      ? 1
+                      : (opts.theoretically_bandwidth_bound
+                             ? opts.max_unroll_bandwidth
+                             : opts.max_unroll_compute);
+  std::vector<int> factors;
+  for (int f = 1; f <= cap; f *= 2) factors.push_back(f);
+
+  std::vector<std::array<int, 3>> out;
+  for (const int ux : factors) {
+    for (const int uy : dims >= 2 ? factors : std::vector<int>{1}) {
+      for (const int uz : dims >= 3 ? factors : std::vector<int>{1}) {
+        if (static_cast<std::int64_t>(ux) * uy * uz <= cap) {
+          out.push_back({ux, uy, uz});
+        }
+      }
+    }
+  }
+  // Section V: explore in monotonically increasing unroll volume, so the
+  // register budget can be escalated incrementally.
+  std::sort(out.begin(), out.end(),
+            [](const std::array<int, 3>& a, const std::array<int, 3>& b) {
+              return a[0] * a[1] * a[2] < b[0] * b[1] * b[2];
+            });
+  return out;
+}
+
+TuneResult hierarchical_tune(const PlanFactory& factory,
+                             const KernelConfig& seed,
+                             const gpumodel::DeviceSpec& dev,
+                             const gpumodel::ModelParams& params,
+                             const TuneOptions& opts) {
+  TuneResult result;
+  std::vector<Candidate> board;
+
+  // Infer dimensionality from the seed plan.
+  int dims = 3;
+  try {
+    dims = factory(seed).dims;
+  } catch (const PlanError&) {
+    // Keep the default; the sweep below will discover feasibility.
+  }
+
+  std::vector<TilingScheme> tilings = {seed.tiling};
+  if (opts.explore_tiling && dims >= 2) {
+    tilings = {TilingScheme::Spatial3D, TilingScheme::StreamSerial};
+  }
+
+  // ---- stage 1: tiling x block shape x unroll factors ----------------------
+  for (const TilingScheme tiling : tilings) {
+    const bool streaming = tiling != TilingScheme::Spatial3D;
+    for (const auto& block : candidate_blocks(dims, streaming, opts)) {
+      for (const auto& unroll : candidate_unrolls(dims, opts)) {
+        KernelConfig cfg = seed;
+        cfg.tiling = tiling;
+        if (streaming) cfg.stream_axis = dims - 1;
+        cfg.block = block;
+        cfg.unroll = unroll;
+        if (streaming) {
+          cfg.block[static_cast<std::size_t>(cfg.stream_axis)] = 1;
+        }
+        const auto budget =
+            spill_free_budget(factory, cfg, opts, &result.skipped_spilling);
+        cfg.max_registers = budget.value_or(opts.register_budgets.back());
+        ++result.evaluated_stage1;
+        auto cand = try_config(factory, cfg, dev, params);
+        if (!cand) {
+          ++result.infeasible;
+          continue;
+        }
+        insert_leaderboard(board, std::move(*cand), opts.top_k);
+      }
+    }
+  }
+
+  // ---- stage 2: low-impact toggles on the survivors ------------------------
+  const std::vector<Candidate> survivors = board;
+  for (const auto& s : survivors) {
+    const bool streaming = s.config.tiling != TilingScheme::Spatial3D;
+    std::vector<KernelConfig> variants;
+    if (opts.tune_prefetch && streaming) {
+      KernelConfig v = s.config;
+      v.prefetch = true;
+      variants.push_back(v);
+    }
+    if (opts.tune_concurrent_streaming && streaming && dims >= 2) {
+      for (const int chunk : {32, 64, 128}) {
+        KernelConfig v = s.config;
+        v.tiling = TilingScheme::StreamConcurrent;
+        v.stream_chunk = chunk;
+        variants.push_back(v);
+        if (opts.tune_prefetch) {
+          v.prefetch = true;
+          variants.push_back(v);
+        }
+      }
+    }
+    if (opts.tune_perspective) {
+      for (const Perspective p : {Perspective::Input, Perspective::Mixed}) {
+        KernelConfig v = s.config;
+        v.perspective = p;
+        variants.push_back(v);
+      }
+    }
+    for (const auto& v : variants) {
+      ++result.evaluated_stage2;
+      auto cand = try_config(factory, v, dev, params);
+      if (!cand) {
+        ++result.infeasible;
+        continue;
+      }
+      insert_leaderboard(board, std::move(*cand), opts.top_k);
+    }
+  }
+
+  if (board.empty()) {
+    throw PlanError("autotuner found no feasible configuration");
+  }
+  result.best = board.front();
+  result.leaderboard = std::move(board);
+  return result;
+}
+
+TuneResult exhaustive_tune(const PlanFactory& factory,
+                           const KernelConfig& seed,
+                           const gpumodel::DeviceSpec& dev,
+                           const gpumodel::ModelParams& params,
+                           const TuneOptions& opts) {
+  TuneResult result;
+  std::vector<Candidate> board;
+
+  int dims = 3;
+  try {
+    dims = factory(seed).dims;
+  } catch (const PlanError&) {
+  }
+
+  std::vector<TilingScheme> tilings = {seed.tiling};
+  if (opts.explore_tiling && dims >= 2) {
+    tilings = {TilingScheme::Spatial3D, TilingScheme::StreamSerial};
+  }
+
+  for (const TilingScheme tiling : tilings) {
+    const bool streaming = tiling != TilingScheme::Spatial3D;
+    for (const auto& block : candidate_blocks(dims, streaming, opts)) {
+      for (const auto& unroll : candidate_unrolls(dims, opts)) {
+        for (const int budget : opts.register_budgets) {
+          for (const bool prefetch :
+               streaming ? std::vector<bool>{false, true}
+                         : std::vector<bool>{false}) {
+            for (const Perspective p : {Perspective::Output,
+                                        Perspective::Input,
+                                        Perspective::Mixed}) {
+              KernelConfig cfg = seed;
+              cfg.tiling = tiling;
+              if (streaming) cfg.stream_axis = dims - 1;
+              cfg.block = block;
+              cfg.unroll = unroll;
+              cfg.max_registers = budget;
+              cfg.prefetch = prefetch;
+              cfg.perspective = p;
+              if (streaming) {
+                cfg.block[static_cast<std::size_t>(cfg.stream_axis)] = 1;
+              }
+              ++result.evaluated_stage1;
+              auto cand = try_config(factory, cfg, dev, params);
+              if (!cand) {
+                ++result.infeasible;
+                continue;
+              }
+              insert_leaderboard(board, std::move(*cand), opts.top_k);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  if (board.empty()) {
+    throw PlanError("exhaustive tuner found no feasible configuration");
+  }
+  result.best = board.front();
+  result.leaderboard = std::move(board);
+  return result;
+}
+
+TuneResult random_tune(const PlanFactory& factory,
+                       const KernelConfig& seed,
+                       const gpumodel::DeviceSpec& dev,
+                       const gpumodel::ModelParams& params,
+                       const TuneOptions& opts, int budget,
+                       std::uint64_t rng_seed) {
+  TuneResult result;
+  std::vector<Candidate> board;
+  Rng rng(rng_seed);
+
+  int dims = 3;
+  try {
+    dims = factory(seed).dims;
+  } catch (const PlanError&) {
+  }
+
+  auto pow2 = [&rng](int lo_exp, int hi_exp) {
+    return 1 << rng.uniform_int(lo_exp, hi_exp);
+  };
+
+  for (int i = 0; i < budget; ++i) {
+    KernelConfig cfg = seed;
+    const bool streaming = dims >= 2 && rng.coin();
+    cfg.tiling = streaming ? TilingScheme::StreamSerial
+                           : TilingScheme::Spatial3D;
+    cfg.stream_axis = dims - 1;
+    cfg.block = {pow2(2, 8), dims >= 2 ? pow2(2, 8) : 1,
+                 dims >= 3 && !streaming ? pow2(0, 5) : 1};
+    if (streaming) cfg.block[static_cast<std::size_t>(dims - 1)] = 1;
+    cfg.unroll = {pow2(0, 3), dims >= 2 ? pow2(0, 2) : 1,
+                  dims >= 3 ? pow2(0, 2) : 1};
+    cfg.max_registers = opts.register_budgets[static_cast<std::size_t>(
+        rng.uniform_int(0,
+                        static_cast<std::int64_t>(
+                            opts.register_budgets.size()) -
+                            1))];
+    cfg.prefetch = streaming && rng.coin();
+    cfg.perspective = static_cast<Perspective>(rng.uniform_int(0, 2));
+    cfg.unroll_strategy = rng.coin() ? codegen::UnrollStrategy::Blocked
+                                     : codegen::UnrollStrategy::Cyclic;
+    ++result.evaluated_stage1;
+    auto cand = try_config(factory, cfg, dev, params);
+    if (!cand) {
+      ++result.infeasible;
+      continue;
+    }
+    insert_leaderboard(board, std::move(*cand), opts.top_k);
+  }
+  if (board.empty()) {
+    throw PlanError("random tuner found no feasible configuration");
+  }
+  result.best = board.front();
+  result.leaderboard = std::move(board);
+  return result;
+}
+
+}  // namespace artemis::autotune

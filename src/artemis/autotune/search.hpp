@@ -1,0 +1,108 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "artemis/codegen/plan.hpp"
+#include "artemis/codegen/plan_builder.hpp"
+#include "artemis/gpumodel/perf_model.hpp"
+#include "artemis/profile/profiler.hpp"
+
+namespace artemis::autotune {
+
+/// Builds a plan for a candidate configuration. Implementations wrap
+/// codegen::build_plan with the appropriate stage list and BuildOptions;
+/// throwing PlanError marks the configuration infeasible.
+using PlanFactory =
+    std::function<codegen::KernelPlan(const codegen::KernelConfig&)>;
+
+/// Search-space pruning rules (Section V): powers of two, block dims in
+/// [4, 256], unroll bounded by 8 (bandwidth-bound) or 4 (compute-bound).
+struct TuneOptions {
+  int min_block = 4;
+  int max_block = 256;
+  int max_unroll_bandwidth = 8;
+  int max_unroll_compute = 4;
+  /// Candidates promoted from the high-impact stage to the refinement
+  /// stage of hierarchical tuning.
+  int top_k = 4;
+  /// Stage 1 explores both spatial tiling and serial streaming (the
+  /// paper's default: "serial streaming enabled by default if shared
+  /// memory is used"); disable to pin the seed's tiling scheme.
+  bool explore_tiling = true;
+  /// Stage-2 toggles.
+  bool tune_prefetch = true;
+  bool tune_perspective = true;
+  bool tune_concurrent_streaming = true;
+  /// Register budgets explored in escalation order.
+  std::vector<int> register_budgets = {32, 64, 128, 255};
+  /// Profiler-driven pruning: skip unrolling entirely (register-pressure
+  /// or compute-bound kernels, Section IV-A).
+  bool disable_unroll = false;
+  /// Theoretical machine-balance classification of the kernel, used to
+  /// bound unroll factors. True = bandwidth-bound.
+  bool theoretically_bandwidth_bound = true;
+};
+
+/// One evaluated configuration.
+struct Candidate {
+  codegen::KernelConfig config;
+  gpumodel::KernelEval eval;
+  double time_s = 0;
+};
+
+/// Outcome of a tuning run.
+struct TuneResult {
+  Candidate best;
+  std::vector<Candidate> leaderboard;  ///< best-first, top_k entries
+  int evaluated_stage1 = 0;            ///< configs tried in stage 1
+  int evaluated_stage2 = 0;            ///< configs tried in stage 2
+  int skipped_spilling = 0;            ///< pruned by register escalation
+  int infeasible = 0;                  ///< PlanError / invalid launches
+  int total_evaluated() const { return evaluated_stage1 + evaluated_stage2; }
+};
+
+/// Hierarchical autotuning (Section V). Stage 1 sweeps the high-impact
+/// knobs: thread-block shape and unroll factors (explored in increasing
+/// unroll volume with dynamic register-budget escalation so only
+/// spill-free configurations are evaluated), with serial streaming enabled
+/// by default when shared memory is used. Stage 2 takes the top_k
+/// candidates and toggles prefetching, concurrent streaming, and thread
+/// block load/compute adjustment on them.
+TuneResult hierarchical_tune(const PlanFactory& factory,
+                             const codegen::KernelConfig& seed,
+                             const gpumodel::DeviceSpec& dev,
+                             const gpumodel::ModelParams& params = {},
+                             const TuneOptions& opts = {});
+
+/// Exhaustive sweep over the full cross product (the OpenTuner stand-in
+/// used by the tuning-cost experiment). Returns the same result shape;
+/// evaluated counts show the cost difference.
+TuneResult exhaustive_tune(const PlanFactory& factory,
+                           const codegen::KernelConfig& seed,
+                           const gpumodel::DeviceSpec& dev,
+                           const gpumodel::ModelParams& params = {},
+                           const TuneOptions& opts = {});
+
+/// Random-sampling tuner: the generic-search (OpenTuner-style) stand-in
+/// that Section V compares against. Draws `budget` configurations
+/// uniformly from the unpruned space (any power-of-two shape, any unroll,
+/// any register budget / prefetch / perspective) and keeps the best.
+/// Deterministic for a given `rng_seed`.
+TuneResult random_tune(const PlanFactory& factory,
+                       const codegen::KernelConfig& seed,
+                       const gpumodel::DeviceSpec& dev,
+                       const gpumodel::ModelParams& params,
+                       const TuneOptions& opts, int budget,
+                       std::uint64_t rng_seed = 0x7777);
+
+/// Enumerate the pruned block shapes for a given dimensionality.
+std::vector<std::array<int, 3>> candidate_blocks(int dims, bool streaming,
+                                                 const TuneOptions& opts);
+
+/// Enumerate pruned unroll vectors in increasing unroll-volume order.
+std::vector<std::array<int, 3>> candidate_unrolls(int dims,
+                                                  const TuneOptions& opts);
+
+}  // namespace artemis::autotune

@@ -1,0 +1,165 @@
+#include "artemis/autotune/tuning_cache.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "artemis/common/check.hpp"
+#include "artemis/common/str.hpp"
+
+namespace artemis::autotune {
+
+namespace {
+
+using codegen::KernelConfig;
+using codegen::Perspective;
+using codegen::TilingScheme;
+using codegen::UnrollStrategy;
+
+const char* tiling_key(TilingScheme t) {
+  switch (t) {
+    case TilingScheme::Spatial3D: return "spatial";
+    case TilingScheme::StreamSerial: return "stream";
+    case TilingScheme::StreamConcurrent: return "stream-conc";
+  }
+  return "?";
+}
+
+TilingScheme parse_tiling(const std::string& s) {
+  if (s == "spatial") return TilingScheme::Spatial3D;
+  if (s == "stream") return TilingScheme::StreamSerial;
+  if (s == "stream-conc") return TilingScheme::StreamConcurrent;
+  throw Error(str_cat("bad tiling '", s, "'"));
+}
+
+}  // namespace
+
+std::string serialize_config(const KernelConfig& cfg) {
+  std::ostringstream os;
+  os << "block=" << cfg.block[0] << "," << cfg.block[1] << "," << cfg.block[2]
+     << " unroll=" << cfg.unroll[0] << "," << cfg.unroll[1] << ","
+     << cfg.unroll[2] << " tiling=" << tiling_key(cfg.tiling)
+     << " axis=" << cfg.stream_axis << " chunk=" << cfg.stream_chunk
+     << " persp=" << codegen::perspective_name(cfg.perspective)
+     << " dist=" << codegen::unroll_strategy_name(cfg.unroll_strategy)
+     << " prefetch=" << (cfg.prefetch ? 1 : 0)
+     << " retime=" << (cfg.retime ? 1 : 0) << " fold=" << (cfg.fold ? 1 : 0)
+     << " maxreg=" << cfg.max_registers << " timetile=" << cfg.time_tile;
+  if (cfg.target_occupancy) os << " occ=" << *cfg.target_occupancy;
+  return os.str();
+}
+
+KernelConfig parse_config(const std::string& line) {
+  KernelConfig cfg;
+  for (const auto& tokenized : split(line, ' ')) {
+    const std::string token = trim(tokenized);
+    if (token.empty()) continue;
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) throw Error("bad config token: " + token);
+    const std::string key = token.substr(0, eq);
+    const std::string val = token.substr(eq + 1);
+    auto parse_triple = [&](std::array<int, 3>& out) {
+      const auto parts = split(val, ',');
+      ARTEMIS_CHECK_MSG(parts.size() == 3, "bad triple '" << val << "'");
+      for (int d = 0; d < 3; ++d) {
+        out[static_cast<std::size_t>(d)] =
+            std::stoi(parts[static_cast<std::size_t>(d)]);
+      }
+    };
+    if (key == "block") {
+      parse_triple(cfg.block);
+    } else if (key == "unroll") {
+      parse_triple(cfg.unroll);
+    } else if (key == "tiling") {
+      cfg.tiling = parse_tiling(val);
+    } else if (key == "axis") {
+      cfg.stream_axis = std::stoi(val);
+    } else if (key == "chunk") {
+      cfg.stream_chunk = std::stoi(val);
+    } else if (key == "persp") {
+      cfg.perspective = val == "input"
+                            ? Perspective::Input
+                            : (val == "mixed" ? Perspective::Mixed
+                                              : Perspective::Output);
+    } else if (key == "dist") {
+      cfg.unroll_strategy =
+          val == "cyclic" ? UnrollStrategy::Cyclic : UnrollStrategy::Blocked;
+    } else if (key == "prefetch") {
+      cfg.prefetch = val == "1";
+    } else if (key == "retime") {
+      cfg.retime = val == "1";
+    } else if (key == "fold") {
+      cfg.fold = val == "1";
+    } else if (key == "maxreg") {
+      cfg.max_registers = std::stoi(val);
+    } else if (key == "timetile") {
+      cfg.time_tile = std::stoi(val);
+    } else if (key == "occ") {
+      cfg.target_occupancy = std::stod(val);
+    } else {
+      throw Error(str_cat("unknown config key '", key, "'"));
+    }
+  }
+  return cfg;
+}
+
+void TuningCache::put(const std::string& key, const CacheEntry& entry) {
+  ARTEMIS_CHECK_MSG(key.find('\t') == std::string::npos &&
+                        key.find('\n') == std::string::npos,
+                    "cache keys must not contain tabs or newlines");
+  entries_[key] = entry;
+}
+
+std::optional<CacheEntry> TuningCache::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool TuningCache::contains(const std::string& key) const {
+  return entries_.count(key) > 0;
+}
+
+std::string TuningCache::save_text() const {
+  std::ostringstream os;
+  os.precision(17);
+  for (const auto& [key, e] : entries_) {
+    os << key << '\t' << e.time_s << '\t' << e.tflops << '\t'
+       << serialize_config(e.config) << '\n';
+  }
+  return os.str();
+}
+
+void TuningCache::load_text(const std::string& text) {
+  for (const auto& line : split(text, '\n')) {
+    if (trim(line).empty()) continue;
+    const auto cols = split(line, '\t');
+    if (cols.size() != 4) continue;  // skip malformed rows
+    try {
+      CacheEntry e;
+      e.time_s = std::stod(cols[1]);
+      e.tflops = std::stod(cols[2]);
+      e.config = parse_config(cols[3]);
+      entries_[cols[0]] = e;
+    } catch (const std::exception&) {
+      // Forward compatibility: ignore rows we cannot parse.
+    }
+  }
+}
+
+bool TuningCache::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << save_text();
+  return static_cast<bool>(out);
+}
+
+bool TuningCache::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  load_text(buf.str());
+  return true;
+}
+
+}  // namespace artemis::autotune

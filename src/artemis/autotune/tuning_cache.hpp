@@ -1,0 +1,55 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "artemis/codegen/plan.hpp"
+
+namespace artemis::autotune {
+
+/// Serialize a kernel configuration to a single-line, human-readable
+/// key=value record, and parse it back. Round-trips exactly.
+std::string serialize_config(const codegen::KernelConfig& cfg);
+codegen::KernelConfig parse_config(const std::string& line);
+
+/// One cached tuning outcome.
+struct CacheEntry {
+  codegen::KernelConfig config;
+  double time_s = 0;
+  double tflops = 0;
+};
+
+/// A persistent store of tuning results, keyed by a caller-chosen string
+/// (e.g. "<benchmark>/<device>/<version>/x<tile>"). Section VI-A: "the
+/// deep tuning is done only once. For most applications, its cost will be
+/// amortized over the stencil invocations" — this is where the amortized
+/// results live between runs.
+///
+/// File format: one entry per line,
+///   <key> \t <time_s> \t <tflops> \t <serialized config>
+/// Unknown or malformed lines are skipped on load (forward compatibility).
+class TuningCache {
+ public:
+  TuningCache() = default;
+
+  void put(const std::string& key, const CacheEntry& entry);
+  std::optional<CacheEntry> get(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  std::size_t size() const { return entries_.size(); }
+
+  /// Serialize all entries / load entries from text. load() merges into
+  /// the current contents (later keys win).
+  std::string save_text() const;
+  void load_text(const std::string& text);
+
+  /// File convenience wrappers. save_file overwrites; load_file merges.
+  /// Returns false (without throwing) when the file cannot be opened.
+  bool save_file(const std::string& path) const;
+  bool load_file(const std::string& path);
+
+ private:
+  std::map<std::string, CacheEntry> entries_;
+};
+
+}  // namespace artemis::autotune

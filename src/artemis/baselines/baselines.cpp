@@ -1,0 +1,53 @@
+#include "artemis/baselines/baselines.hpp"
+
+#include <algorithm>
+
+#include "artemis/common/check.hpp"
+#include "artemis/common/str.hpp"
+
+namespace artemis::baselines {
+
+const GeneratorResult& ComparisonRow::by_name(const std::string& name) const {
+  for (const auto& g : generators) {
+    if (g.generator == name) return g;
+  }
+  throw Error(str_cat("no generator named '", name, "' in row"));
+}
+
+bool ComparisonRow::artemis_wins(double tolerance) const {
+  const double artemis = by_name("artemis").tflops();
+  double best_other = 0.0;
+  for (const auto& g : generators) {
+    if (g.generator != "artemis") {
+      best_other = std::max(best_other, g.tflops());
+    }
+  }
+  return artemis >= (1.0 - tolerance) * best_other;
+}
+
+std::vector<driver::Strategy> figure5_strategies() {
+  return {driver::ppcg_strategy(), driver::global_strategy(true),
+          driver::global_strategy(false), driver::stencilgen_strategy(),
+          driver::artemis_strategy()};
+}
+
+ComparisonRow compare_generators(const std::string& benchmark_name,
+                                 const ir::Program& prog,
+                                 const gpumodel::DeviceSpec& dev,
+                                 const gpumodel::ModelParams& params) {
+  ComparisonRow row;
+  row.benchmark = benchmark_name;
+  for (const auto& strat : figure5_strategies()) {
+    GeneratorResult g;
+    g.generator = strat.name;
+    try {
+      g.result = driver::optimize_program(prog, dev, params, strat);
+    } catch (const Error& e) {
+      g.failure = e.what();
+    }
+    row.generators.push_back(std::move(g));
+  }
+  return row;
+}
+
+}  // namespace artemis::baselines

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "artemis/driver/driver.hpp"
+
+namespace artemis::baselines {
+
+/// One generator's result on one program (a cell of Fig. 5).
+struct GeneratorResult {
+  std::string generator;
+  std::optional<driver::ProgramResult> result;  ///< nullopt = cannot generate
+  std::string failure;                          ///< reason when nullopt
+
+  double tflops() const { return result ? result->tflops : 0.0; }
+};
+
+/// Results of all five generators on one program, in Fig. 5 column order:
+/// PPCG, global-stream, global, STENCILGEN, ARTEMIS.
+struct ComparisonRow {
+  std::string benchmark;
+  std::vector<GeneratorResult> generators;
+
+  const GeneratorResult& by_name(const std::string& name) const;
+  /// True when ARTEMIS is best or within `tolerance` of the best.
+  bool artemis_wins(double tolerance = 0.03) const;
+};
+
+/// The five generator strategies in Fig. 5 column order.
+std::vector<driver::Strategy> figure5_strategies();
+
+/// Run every generator over a program. Generators that cannot handle the
+/// program (STENCILGEN on mixed-dimensionality domains) yield a failure
+/// entry instead of throwing.
+ComparisonRow compare_generators(
+    const std::string& benchmark_name, const ir::Program& prog,
+    const gpumodel::DeviceSpec& dev,
+    const gpumodel::ModelParams& params = {});
+
+}  // namespace artemis::baselines

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+
+#include "artemis/codegen/plan.hpp"
+#include "artemis/ir/program.hpp"
+
+namespace artemis::codegen {
+
+/// Generated CUDA translation unit.
+struct CudaSource {
+  std::string kernel;  ///< __global__ kernel definition(s)
+  std::string host;    ///< host-side launcher (allocs, copies, dim3 launch)
+
+  std::string full() const;
+};
+
+/// Emit CUDA C++ source realizing a kernel plan:
+///
+///  - spatial plans produce a 3D-tiled kernel, staging shared-memory
+///    arrays with cooperative halo loads and a __syncthreads barrier;
+///  - streaming plans produce the Listing-2 shape: one shared plane per
+///    streamed array, +/- register planes, the serial k sweep with the
+///    rotate-shift-load epilogue, and (optionally) prefetch registers that
+///    overlap the next plane's loads with computation (Listing 2 /
+///    Section III-A4);
+///  - unrolled plans wrap the body in per-axis output loops (blocked or
+///    cyclic lane mapping);
+///  - retimed plans emit per-plane accumulation statements instead of the
+///    gathered form.
+///
+/// The text is for inspection and golden-testing; execution and
+/// performance evaluation go through sim::execute_plan and
+/// gpumodel::evaluate, which consume the same plan.
+CudaSource emit_cuda(const ir::Program& prog, const KernelPlan& plan);
+
+}  // namespace artemis::codegen

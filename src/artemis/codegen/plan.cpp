@@ -1,0 +1,74 @@
+#include "artemis/codegen/plan.hpp"
+
+#include "artemis/common/str.hpp"
+
+namespace artemis::codegen {
+
+const char* tiling_name(TilingScheme t) {
+  switch (t) {
+    case TilingScheme::Spatial3D: return "spatial";
+    case TilingScheme::StreamSerial: return "stream-serial";
+    case TilingScheme::StreamConcurrent: return "stream-concurrent";
+  }
+  return "?";
+}
+
+const char* perspective_name(Perspective p) {
+  switch (p) {
+    case Perspective::Output: return "output";
+    case Perspective::Input: return "input";
+    case Perspective::Mixed: return "mixed";
+  }
+  return "?";
+}
+
+const char* unroll_strategy_name(UnrollStrategy u) {
+  switch (u) {
+    case UnrollStrategy::Cyclic: return "cyclic";
+    case UnrollStrategy::Blocked: return "blocked";
+  }
+  return "?";
+}
+
+std::string KernelConfig::to_string() const {
+  std::string s = str_cat("block=(", block[0], ",", block[1], ",", block[2],
+                          ") unroll=(", unroll[0], ",", unroll[1], ",",
+                          unroll[2], ") ", tiling_name(tiling));
+  if (tiling != TilingScheme::Spatial3D) {
+    s += str_cat(" axis=", stream_axis);
+  }
+  s += str_cat(" persp=", perspective_name(perspective));
+  if (unroll_product() > 1) {
+    s += str_cat(" dist=", unroll_strategy_name(unroll_strategy));
+  }
+  if (prefetch) s += " prefetch";
+  if (retime) s += " retime";
+  if (fold) s += " fold";
+  if (time_tile > 1) s += str_cat(" timetile=", time_tile);
+  s += str_cat(" maxreg=", max_registers);
+  if (target_occupancy) s += str_cat(" occ=", *target_occupancy);
+  return s;
+}
+
+std::int64_t KernelPlan::tile_extent(int axis) const {
+  return static_cast<std::int64_t>(config.block[static_cast<std::size_t>(
+             axis)]) *
+         config.unroll[static_cast<std::size_t>(axis)];
+}
+
+std::int64_t KernelPlan::num_blocks() const {
+  auto ceil_div = [](std::int64_t a, std::int64_t b) {
+    return (a + b - 1) / b;
+  };
+  std::int64_t blocks = 1;
+  for (int axis = 0; axis < dims; ++axis) {
+    if ((config.tiling == TilingScheme::StreamSerial) &&
+        axis == config.stream_axis) {
+      continue;  // the swept axis is not tiled across blocks
+    }
+    blocks *= ceil_div(domain_extent(axis), tile_extent(axis));
+  }
+  return blocks;
+}
+
+}  // namespace artemis::codegen

@@ -1,0 +1,455 @@
+#include "artemis/codegen/plan_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "artemis/common/str.hpp"
+#include "artemis/gpumodel/occupancy.hpp"
+#include "artemis/transform/fold.hpp"
+#include "artemis/transform/retime.hpp"
+
+namespace artemis::codegen {
+
+namespace {
+
+/// Count the syntactic accesses (reads + writes) to each array across all
+/// stages; the rationing loop demotes the least-accessed buffer first
+/// (Section II-B2: "choose a shared memory buffer with minimum number of
+/// accesses, and demote its storage to global memory").
+std::map<std::string, std::int64_t> count_accesses(
+    const std::vector<ir::BoundStencil>& stages) {
+  std::map<std::string, std::int64_t> counts;
+  for (const auto& stage : stages) {
+    for (const auto& st : stage.stmts) {
+      if (!st.declares_local) ++counts[st.lhs_name];
+      ir::visit(*st.rhs, [&](const ir::Expr& e) {
+        if (e.kind == ir::ExprKind::ArrayRef) ++counts[e.name];
+      });
+    }
+  }
+  return counts;
+}
+
+/// Per-block shared memory bytes for the current placement.
+std::int64_t compute_shmem_bytes(const KernelPlan& plan) {
+  const auto& cfg = plan.config;
+  const std::int64_t tx = plan.tile_extent(0);
+  const std::int64_t ty = plan.dims >= 2 ? plan.tile_extent(1) : 1;
+  const std::int64_t tz = plan.dims >= 3 ? plan.tile_extent(2) : 1;
+  const bool streaming = cfg.tiling != TilingScheme::Spatial3D;
+
+  std::set<int> counted_groups;
+  std::int64_t bytes = 0;
+  for (const auto& [name, pl] : plan.placement) {
+    if (pl.space != ir::MemSpace::Shared) continue;
+    if (pl.fold_group >= 0) {
+      if (counted_groups.count(pl.fold_group)) continue;
+      counted_groups.insert(pl.fold_group);
+    }
+    const auto it = plan.info.arrays.find(name);
+    ARTEMIS_CHECK(it != plan.info.arrays.end());
+    const auto& ai = it->second;
+    // Effective halo (array radius + fused recompute expansion), per axis.
+    std::array<std::int64_t, 3> r = {0, 0, 0};
+    if (const auto eh = plan.eff_halo.find(name); eh != plan.eff_halo.end()) {
+      for (std::size_t a = 0; a < 3; ++a) r[a] = eh->second[a];
+    }
+    const bool is_internal =
+        std::find(plan.internal_arrays.begin(), plan.internal_arrays.end(),
+                  name) != plan.internal_arrays.end();
+    std::int64_t buf;
+    if (ai.dims < plan.dims && pl.user_pinned) {
+      // An expert pinning a low-dimensional array to shared memory gets a
+      // precisely-sized line buffer.
+      buf = tx + 2 * r[0];
+    } else if (ai.dims < plan.dims) {
+      // Naive default (Section II-B1): the generator allocates a
+      // tile-shaped buffer per input array without specializing
+      // low-dimensional arrays, wasting capacity -- exactly the behavior
+      // user-guided resource assignment exists to override.
+      buf = (tx + 2 * r[0]) * (plan.dims >= 2 ? (ty + 2 * r[1]) : 1);
+      if (!streaming && plan.dims >= 3) buf *= tz + 2 * r[2];
+    } else if (streaming && plan.dims == 3 && cfg.stream_axis == 2) {
+      // One plane in shared memory; the +/- stream planes live in
+      // per-thread registers (Listing 2), unless the array is internal to
+      // a fused DAG, in which case all 2r+1 planes must be shared so that
+      // neighboring threads can read produced values. Streaming pipelines
+      // fused stages along the sweep (Fig. 1c), so the plane count uses
+      // the array's OWN sweep radius, not the accumulated halo.
+      const std::int64_t plane = (tx + 2 * r[0]) * (ty + 2 * r[1]);
+      const std::int64_t own_rz = ai.radius[0];  // iterator 0 = z
+      std::int64_t planes = 1;
+      if (is_internal) planes = 2 * own_rz + 1;
+      if (plan.retimed && !is_internal) planes = 1;
+      buf = plane * planes;
+    } else {
+      buf = (tx + 2 * r[0]) * (ty + 2 * r[1]) * (tz + 2 * r[2]);
+    }
+    bytes += buf * 8;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+KernelConfig config_from_pragma(const ir::Program& prog,
+                                const ir::PragmaInfo& pragma, int dims) {
+  KernelConfig cfg;
+  // Paper baseline defaults (Section VIII-G): (x=32,y=16) with streaming
+  // for 3D iterative stencils, (x=16,y=4,z=4) for non-streaming versions.
+  if (pragma.stream_iter) {
+    cfg.tiling = TilingScheme::StreamSerial;
+    const int iter_idx = prog.iterator_index(*pragma.stream_iter);
+    ARTEMIS_CHECK_MSG(iter_idx >= 0, "pragma streams unknown iterator");
+    cfg.stream_axis = dims - 1 - iter_idx;
+    cfg.block = {32, 16, 1};
+  } else if (dims == 3) {
+    cfg.tiling = TilingScheme::Spatial3D;
+    cfg.block = {16, 4, 4};
+  } else {
+    cfg.block = {32, dims >= 2 ? 8 : 1, 1};
+  }
+  if (!pragma.block.empty()) {
+    cfg.block = {1, 1, 1};
+    for (std::size_t i = 0; i < pragma.block.size() && i < 3; ++i) {
+      cfg.block[i] = static_cast<int>(pragma.block[i]);
+    }
+  }
+  for (const auto& [iter, factor] : pragma.unroll) {
+    const int iter_idx = prog.iterator_index(iter);
+    ARTEMIS_CHECK_MSG(iter_idx >= 0, "pragma unrolls unknown iterator");
+    cfg.unroll[static_cast<std::size_t>(dims - 1 - iter_idx)] =
+        static_cast<int>(factor);
+  }
+  cfg.target_occupancy = pragma.occupancy;
+  return cfg;
+}
+
+KernelPlan build_plan(const ir::Program& prog,
+                      std::vector<ir::BoundStencil> stages,
+                      const KernelConfig& config,
+                      const gpumodel::DeviceSpec& dev,
+                      const BuildOptions& opts) {
+  ARTEMIS_CHECK_MSG(!stages.empty(), "cannot plan an empty stage list");
+
+  KernelPlan plan;
+  plan.config = config;
+  plan.time_tile = config.time_tile;
+  plan.dims = static_cast<int>(prog.iterators.size());
+  plan.iterators = prog.iterators;
+
+  // Merge analysis over stages.
+  std::vector<std::string> names;
+  for (const auto& s : stages) names.push_back(s.name);
+  plan.name = join(names, "+");
+  std::vector<ir::StencilInfo> stage_infos;
+  stage_infos.reserve(stages.size());
+  {
+    // Analyze each stage and merge arrays / flops / radii.
+    for (const auto& stage : stages) {
+      stage_infos.push_back(ir::analyze(prog, stage));
+      const ir::StencilInfo& si = stage_infos.back();
+      plan.info.flops_per_point += si.flops_per_point;
+      plan.info.num_statements += si.num_statements;
+      for (const auto& [name, ai] : si.arrays) {
+        auto [it, inserted] = plan.info.arrays.try_emplace(name, ai);
+        if (!inserted) {
+          auto& dst = it->second;
+          dst.read |= ai.read;
+          dst.written |= ai.written;
+          for (const auto& off : ai.read_offsets) {
+            if (std::find(dst.read_offsets.begin(), dst.read_offsets.end(),
+                          off) == dst.read_offsets.end()) {
+              dst.read_offsets.push_back(off);
+            }
+          }
+          for (std::size_t d = 0; d < 3; ++d) {
+            dst.radius[d] = std::max(dst.radius[d], ai.radius[d]);
+          }
+        }
+      }
+      for (const auto& s : si.scalars_read) plan.info.scalars_read.insert(s);
+      for (std::size_t d = 0; d < 3; ++d) {
+        plan.info.radius[d] += si.radius[d];  // fused recompute halo grows
+      }
+    }
+    plan.info.order = *std::max_element(plan.info.radius.begin(),
+                                        plan.info.radius.end());
+    plan.info.num_io_arrays = static_cast<int>(plan.info.arrays.size());
+    for (const auto& [name, ai] : plan.info.arrays) {
+      if (ai.written) plan.info.outputs.push_back(name);
+      if (ai.read) plan.info.inputs.push_back(name);
+    }
+  }
+
+  // Convert cumulative radii (per iterator) to per-axis halo.
+  for (int d = 0; d < plan.dims; ++d) {
+    plan.radius[static_cast<std::size_t>(plan.dims - 1 - d)] =
+        plan.info.radius[static_cast<std::size_t>(d)];
+  }
+
+  // Per-stage radii/expansions and per-array effective halos (the
+  // overlapped-tiling recompute geometry of Sections III-A1 and VI-A).
+  {
+    const std::size_t n = stages.size();
+    plan.stage_flops.resize(n);
+    plan.stage_radius.assign(n, {0, 0, 0});
+    plan.stage_expand.assign(n, {0, 0, 0});
+    for (std::size_t s = 0; s < n; ++s) {
+      plan.stage_flops[s] = stage_infos[s].flops_per_point;
+      for (int d = 0; d < plan.dims; ++d) {
+        plan.stage_radius[s][static_cast<std::size_t>(plan.dims - 1 - d)] =
+            stage_infos[s].radius[static_cast<std::size_t>(d)];
+      }
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t s2 = s + 1; s2 < n; ++s2) {
+        for (std::size_t a = 0; a < 3; ++a) {
+          plan.stage_expand[s][a] += plan.stage_radius[s2][a];
+        }
+      }
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      for (const auto& [name, ai] : stage_infos[s].arrays) {
+        if (!ai.read) {
+          plan.eff_halo.try_emplace(name, std::array<int, 3>{0, 0, 0});
+          continue;
+        }
+        auto& eh = plan.eff_halo
+                       .try_emplace(name, std::array<int, 3>{0, 0, 0})
+                       .first->second;
+        for (int d = 0; d < plan.dims; ++d) {
+          const auto axis = static_cast<std::size_t>(plan.dims - 1 - d);
+          eh[axis] = std::max(
+              eh[axis], ai.radius[static_cast<std::size_t>(d)] +
+                            plan.stage_expand[s][axis]);
+        }
+      }
+    }
+  }
+
+  // Output domain: extents of the first written array of the last stage.
+  {
+    const std::string& out_name = [&]() -> const std::string& {
+      for (auto it = stages.rbegin(); it != stages.rend(); ++it) {
+        for (const auto& st : it->stmts) {
+          if (!st.declares_local) return st.lhs_name;
+        }
+      }
+      throw PlanError("plan has no output statement");
+    }();
+    const ir::ArrayDecl* decl = prog.find_array(out_name);
+    ARTEMIS_CHECK_MSG(decl != nullptr,
+                      "output array '" << out_name << "' not declared");
+    std::array<std::int64_t, 3> dims_zyx = {1, 1, 1};
+    const std::size_t nd = decl->dims.size();
+    for (std::size_t d = 0; d < nd; ++d) {
+      dims_zyx[3 - nd + d] = prog.param_value(decl->dims[d]);
+    }
+    plan.domain = {dims_zyx[0], dims_zyx[1], dims_zyx[2]};
+  }
+
+  // Launch validity.
+  if (config.threads_per_block() > dev.max_threads_per_block) {
+    throw PlanError(str_cat("block of ", config.threads_per_block(),
+                            " threads exceeds device limit ",
+                            dev.max_threads_per_block));
+  }
+  for (int a = 0; a < 3; ++a) {
+    if (config.block[static_cast<std::size_t>(a)] < 1 ||
+        config.unroll[static_cast<std::size_t>(a)] < 1) {
+      throw PlanError("block and unroll factors must be >= 1");
+    }
+  }
+  if (config.tiling != TilingScheme::Spatial3D &&
+      (config.stream_axis < 0 || config.stream_axis >= plan.dims)) {
+    throw PlanError("stream axis out of range");
+  }
+  if (config.tiling != TilingScheme::Spatial3D && plan.dims < 2) {
+    throw PlanError("streaming requires a 2D or 3D domain");
+  }
+
+  // Internal arrays: outputs of non-final stages consumed only inside the
+  // plan and not copied out.
+  if (opts.fuse_internal && stages.size() > 1) {
+    std::set<std::string> copyout(prog.copyout.begin(), prog.copyout.end());
+    for (std::size_t s = 0; s + 1 < stages.size(); ++s) {
+      for (const auto& st : stages[s].stmts) {
+        if (st.declares_local) continue;
+        const std::string& name = st.lhs_name;
+        // Written by a non-final stage; is it read by any later stage?
+        bool read_later = false;
+        for (std::size_t s2 = s + 1; s2 < stages.size() && !read_later;
+             ++s2) {
+          for (const auto& st2 : stages[s2].stmts) {
+            ir::visit(*st2.rhs, [&](const ir::Expr& e) {
+              if (e.kind == ir::ExprKind::ArrayRef && e.name == name) {
+                read_later = true;
+              }
+            });
+          }
+        }
+        if (read_later &&
+            std::find(plan.internal_arrays.begin(),
+                      plan.internal_arrays.end(),
+                      name) == plan.internal_arrays.end()) {
+          plan.internal_arrays.push_back(name);
+          if (copyout.count(name)) {
+            plan.materialized_internals.push_back(name);
+          }
+        }
+      }
+    }
+  }
+
+  // Retiming (Section III-B2): legal only when every decomposed
+  // sub-statement is homogenizable along the streaming iterator.
+  if (config.retime && config.tiling != TilingScheme::Spatial3D) {
+    const int stream_iter = plan.dims - 1 - config.stream_axis;
+    bool all = true;
+    for (const auto& stage : stages) {
+      const auto rt = transform::try_retime(stage.stmts, stream_iter);
+      all &= rt.applied;
+    }
+    plan.retimed = all;
+  }
+
+  // Folding (Section III-B4).
+  if (config.fold) {
+    std::vector<ir::Stmt> all_stmts;
+    for (const auto& stage : stages) {
+      all_stmts.insert(all_stmts.end(), stage.stmts.begin(),
+                       stage.stmts.end());
+    }
+    plan.fold_groups = transform::find_fold_groups(all_stmts);
+  }
+
+  // --- residency assignment --------------------------------------------
+  ir::ResourceAssignments pins;
+  for (const auto& stage : stages) {
+    for (const auto& [name, space] : stage.resources.spaces) {
+      pins.spaces[name] = space;  // later stages win on conflict
+    }
+  }
+
+  for (const auto& [name, ai] : plan.info.arrays) {
+    Placement pl;
+    const ir::MemSpace pinned = pins.lookup(name);
+    const bool internal =
+        std::find(plan.internal_arrays.begin(), plan.internal_arrays.end(),
+                  name) != plan.internal_arrays.end();
+    if (pinned != ir::MemSpace::Auto) {
+      pl.space = pinned;
+      pl.user_pinned = true;
+    } else if (internal) {
+      pl.space = opts.use_shared_memory ? ir::MemSpace::Shared
+                                        : ir::MemSpace::Global;
+    } else if (ai.written) {
+      pl.space = ir::MemSpace::Global;  // external outputs stream to DRAM
+    } else if (opts.use_shared_memory) {
+      // Deliberately naive default: every input is staged in shared
+      // memory, mirroring "most code generators will still use N shared
+      // memory buffers per input array" (Section II-B1). The rationing
+      // loop and user #assign pins refine this.
+      pl.space = ir::MemSpace::Shared;
+    } else {
+      pl.space = ir::MemSpace::Global;
+    }
+    plan.placement[name] = pl;
+  }
+
+  // Attach fold groups to placements (fold only shared buffers).
+  for (std::size_t g = 0; g < plan.fold_groups.size(); ++g) {
+    bool all_shared = true;
+    for (const auto& name : plan.fold_groups[g]) {
+      if (plan.placement.at(name).space != ir::MemSpace::Shared) {
+        all_shared = false;
+      }
+    }
+    if (all_shared) {
+      for (const auto& name : plan.fold_groups[g]) {
+        plan.placement.at(name).fold_group = static_cast<int>(g);
+      }
+    }
+  }
+
+  // --- resource rationing -------------------------------------------------
+  plan.shmem_bytes_per_block = compute_shmem_bytes(plan);
+  const auto accesses = count_accesses(stages);
+
+  // Without an occupancy target there is no rationing: like the naive
+  // generators of Section II-B1, an over-capacity mapping simply forces a
+  // smaller block (this configuration is infeasible). Demotion is the
+  // user-guided resource-rationing extension of Section II-B2.
+  if (!config.target_occupancy &&
+      plan.shmem_bytes_per_block > dev.shmem_per_block) {
+    throw PlanError(str_cat("shared memory demand ",
+                            plan.shmem_bytes_per_block,
+                            " B exceeds the device's ", dev.shmem_per_block,
+                            " B per block; use a smaller block, pin arrays "
+                            "to gmem with #assign, or set an occupancy "
+                            "target to enable rationing"));
+  }
+
+  auto shmem_limit = [&]() -> std::int64_t {
+    std::int64_t limit = dev.shmem_per_block;
+    if (config.target_occupancy) {
+      const double target = *config.target_occupancy;
+      ARTEMIS_CHECK_MSG(target > 0.0 && target <= 1.0,
+                        "occupancy target must be in (0,1]");
+      const auto blocks_needed = static_cast<std::int64_t>(
+          std::max(1.0, std::ceil(target * dev.max_threads_per_sm /
+                                  static_cast<double>(
+                                      config.threads_per_block()))));
+      limit = std::min(limit, dev.shmem_per_sm / blocks_needed);
+    }
+    return limit;
+  }();
+
+  while (plan.shmem_bytes_per_block > shmem_limit) {
+    // Demote the shared, non-pinned, non-internal array with the fewest
+    // accesses. Internal arrays must stay shared (they carry fused data
+    // between stages); if only internals remain over budget, fail.
+    std::string victim;
+    std::int64_t victim_accesses = 0;
+    for (const auto& [name, pl] : plan.placement) {
+      if (pl.space != ir::MemSpace::Shared || pl.user_pinned) continue;
+      if (std::find(plan.internal_arrays.begin(), plan.internal_arrays.end(),
+                    name) != plan.internal_arrays.end()) {
+        continue;
+      }
+      const auto it = accesses.find(name);
+      const std::int64_t n = it == accesses.end() ? 0 : it->second;
+      if (victim.empty() || n < victim_accesses) {
+        victim = name;
+        victim_accesses = n;
+      }
+    }
+    if (victim.empty()) {
+      throw PlanError(str_cat(
+          "shared memory demand ", plan.shmem_bytes_per_block,
+          " B exceeds limit ", shmem_limit,
+          " B and no demotable buffer remains (block too large?)"));
+    }
+    auto& pl = plan.placement.at(victim);
+    pl.space = ir::MemSpace::Global;
+    pl.fold_group = -1;
+    plan.shmem_bytes_per_block = compute_shmem_bytes(plan);
+  }
+
+  plan.stages = std::move(stages);
+  return plan;
+}
+
+KernelPlan build_plan_for_call(const ir::Program& prog,
+                               const ir::StencilCall& call,
+                               const KernelConfig& config,
+                               const gpumodel::DeviceSpec& dev,
+                               const BuildOptions& opts) {
+  std::vector<ir::BoundStencil> stages;
+  stages.push_back(ir::bind_call(prog, call));
+  return build_plan(prog, std::move(stages), config, dev, opts);
+}
+
+}  // namespace artemis::codegen

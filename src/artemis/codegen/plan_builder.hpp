@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "artemis/codegen/plan.hpp"
+#include "artemis/gpumodel/device.hpp"
+#include "artemis/ir/analysis.hpp"
+
+namespace artemis::codegen {
+
+/// Knobs that select a code *version* rather than tuned parameters; the
+/// paper's "global" / "global-stream" / "sh+reg" variants differ here.
+struct BuildOptions {
+  bool use_shared_memory = true;  ///< stage reusable arrays in shmem
+  /// Treat stage outputs consumed by later stages as kernel-internal
+  /// buffers (fused execution). Always true for multi-stage plans.
+  bool fuse_internal = true;
+};
+
+/// Construct a fully-resolved KernelPlan for a (possibly fused) sequence
+/// of bound stencils.
+///
+/// Responsibilities (Sections II-B, III, VI):
+///  - merge per-stage analysis into combined info, halo radii, domain;
+///  - resolve array residency: user `#assign` pins are honored verbatim,
+///    remaining arrays follow the default heuristic (everything reusable
+///    into shared memory when enabled — deliberately naive, the profiler
+///    and the expert override refine it);
+///  - apply storage folding and retiming when requested and legal;
+///  - compute shared memory per block and run the resource-rationing loop:
+///    while the target occupancy (or device capacity) is not achievable,
+///    demote the shared array with the fewest accesses to global memory.
+///
+/// Throws PlanError for launches the device can never run (block too big,
+/// zero-sized tiles).
+KernelPlan build_plan(const ir::Program& prog,
+                      std::vector<ir::BoundStencil> stages,
+                      const KernelConfig& config,
+                      const gpumodel::DeviceSpec& dev,
+                      const BuildOptions& opts = {});
+
+/// Convenience: plan a single call step of `prog` (no fusion).
+KernelPlan build_plan_for_call(const ir::Program& prog,
+                               const ir::StencilCall& call,
+                               const KernelConfig& config,
+                               const gpumodel::DeviceSpec& dev,
+                               const BuildOptions& opts = {});
+
+/// Derive an initial KernelConfig from the stencil's `#pragma` guidance
+/// (stream dimension, block size, unroll factors, occupancy target),
+/// falling back to the paper's baseline defaults.
+KernelConfig config_from_pragma(const ir::Program& prog,
+                                const ir::PragmaInfo& pragma, int dims);
+
+}  // namespace artemis::codegen

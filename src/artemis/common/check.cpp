@@ -1,0 +1,13 @@
+#include "artemis/common/check.hpp"
+
+namespace artemis::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "ARTEMIS_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " (" << msg << ")";
+  throw Error(os.str());
+}
+
+}  // namespace artemis::detail

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace artemis {
+
+/// Base class for all errors raised by the ARTEMIS library. Carries a
+/// human-readable message; subsystems derive from it so callers can
+/// discriminate (ParseError, SemanticError, PlanError, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised by the DSL frontend on malformed input.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line, int col)
+      : Error(format(what, line, col)), line_(line), col_(col) {}
+
+  int line() const { return line_; }
+  int col() const { return col_; }
+
+ private:
+  static std::string format(const std::string& what, int line, int col) {
+    std::ostringstream os;
+    os << "parse error at " << line << ":" << col << ": " << what;
+    return os.str();
+  }
+
+  int line_;
+  int col_;
+};
+
+/// Raised when a syntactically valid program violates semantic rules
+/// (undeclared arrays, non-affine indices, dimensionality mismatches, ...).
+class SemanticError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised when a kernel plan cannot be realized on the target device
+/// (shared memory over capacity, illegal block shape, ...).
+class PlanError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace artemis
+
+/// Internal invariant check: active in all build types, throws artemis::Error.
+#define ARTEMIS_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::artemis::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define ARTEMIS_CHECK_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream os_;                                            \
+      os_ << msg;                                                        \
+      ::artemis::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                      os_.str());                        \
+    }                                                                    \
+  } while (0)

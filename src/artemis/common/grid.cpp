@@ -1,0 +1,20 @@
+#include "artemis/common/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace artemis {
+
+double Grid3D::max_abs_diff(const Grid3D& a, const Grid3D& b) {
+  ARTEMIS_CHECK_MSG(a.extents() == b.extents(),
+                    "max_abs_diff over incongruent grids");
+  double worst = 0.0;
+  const auto& av = a.raw();
+  const auto& bv = b.raw();
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    worst = std::max(worst, std::abs(av[i] - bv[i]));
+  }
+  return worst;
+}
+
+}  // namespace artemis

@@ -1,0 +1,43 @@
+#include "artemis/common/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace artemis {
+
+void parallel_for(std::int64_t n,
+                  const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) return;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const auto workers = static_cast<std::int64_t>(hw);
+  if (n < 4 || workers < 2) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::int64_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (std::int64_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&]() {
+      try {
+        for (;;) {
+          const std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          fn(i);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace artemis

@@ -1,0 +1,14 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace artemis {
+
+/// Run fn(i) for i in [0, n) across a small thread pool. Used by the
+/// functional executor to process independent thread blocks concurrently
+/// (blocks write disjoint output tiles, so no synchronization is needed
+/// beyond the join). Falls back to serial execution for small n.
+void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn);
+
+}  // namespace artemis

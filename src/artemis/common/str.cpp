@@ -1,0 +1,67 @@
+#include "artemis/common/str.hpp"
+
+#include <cctype>
+#include <iomanip>
+
+namespace artemis {
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string indent(const std::string& block, int n) {
+  const std::string pad(static_cast<std::size_t>(n), ' ');
+  std::string out;
+  bool at_line_start = true;
+  for (char c : block) {
+    if (at_line_start && c != '\n') {
+      out += pad;
+      at_line_start = false;
+    }
+    out.push_back(c);
+    if (c == '\n') at_line_start = true;
+  }
+  return out;
+}
+
+std::string format_double(double v, int prec) {
+  std::ostringstream os;
+  os << std::setprecision(prec) << v;
+  return os.str();
+}
+
+}  // namespace artemis

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace artemis {
+
+/// printf-free string building: str_cat(1, " + ", x) etc.
+template <typename... Args>
+std::string str_cat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// Join a range of strings with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Split on a single-character separator; does not collapse empties.
+std::vector<std::string> split(const std::string& s, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Indent every line of a (possibly multi-line) block by `n` spaces.
+std::string indent(const std::string& block, int n);
+
+/// Format a double with `prec` significant digits, trimming trailing zeros
+/// (used by table printers and the CUDA emitter).
+std::string format_double(double v, int prec = 6);
+
+}  // namespace artemis

@@ -1,0 +1,187 @@
+#include "artemis/dsl/lexer.hpp"
+
+#include <cctype>
+
+#include "artemis/common/check.hpp"
+
+namespace artemis::dsl {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+const char* tok_kind_name(TokKind k) {
+  switch (k) {
+    case TokKind::Ident: return "identifier";
+    case TokKind::Integer: return "integer";
+    case TokKind::Float: return "float";
+    case TokKind::LParen: return "'('";
+    case TokKind::RParen: return "')'";
+    case TokKind::LBracket: return "'['";
+    case TokKind::RBracket: return "']'";
+    case TokKind::LBrace: return "'{'";
+    case TokKind::RBrace: return "'}'";
+    case TokKind::Comma: return "','";
+    case TokKind::Semicolon: return "';'";
+    case TokKind::Assign: return "'='";
+    case TokKind::PlusAssign: return "'+='";
+    case TokKind::Plus: return "'+'";
+    case TokKind::Minus: return "'-'";
+    case TokKind::Star: return "'*'";
+    case TokKind::Slash: return "'/'";
+    case TokKind::Hash: return "'#'";
+    case TokKind::End: return "end of input";
+  }
+  return "?";
+}
+
+std::vector<Token> lex(const std::string& source) {
+  std::vector<Token> out;
+  int line = 1;
+  int col = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto advance = [&](std::size_t count = 1) {
+    for (std::size_t k = 0; k < count && i < n; ++k) {
+      if (source[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+
+  auto push = [&](TokKind kind, std::string text, int tline, int tcol) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = tline;
+    t.col = tcol;
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') advance();
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const int sl = line, sc = col;
+      advance(2);
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        advance();
+      }
+      if (i + 1 >= n) throw ParseError("unterminated block comment", sl, sc);
+      advance(2);
+      continue;
+    }
+    const int tl = line, tc = col;
+    if (is_ident_start(c)) {
+      std::string text;
+      while (i < n && is_ident_char(source[i])) {
+        text.push_back(source[i]);
+        advance();
+      }
+      push(TokKind::Ident, std::move(text), tl, tc);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      std::string text;
+      bool is_float = false;
+      while (i < n) {
+        const char d = source[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          text.push_back(d);
+          advance();
+        } else if (d == '.') {
+          is_float = true;
+          text.push_back(d);
+          advance();
+        } else if (d == 'e' || d == 'E') {
+          is_float = true;
+          text.push_back(d);
+          advance();
+          if (i < n && (source[i] == '+' || source[i] == '-')) {
+            text.push_back(source[i]);
+            advance();
+          }
+        } else {
+          break;
+        }
+      }
+      Token t;
+      t.text = text;
+      t.line = tl;
+      t.col = tc;
+      try {
+        if (is_float) {
+          t.kind = TokKind::Float;
+          t.float_value = std::stod(text);
+        } else {
+          t.kind = TokKind::Integer;
+          t.int_value = std::stoll(text);
+          t.float_value = static_cast<double>(t.int_value);
+        }
+      } catch (const std::exception&) {
+        throw ParseError("malformed numeric literal '" + text + "'", tl, tc);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokKind::LParen, "(", tl, tc); advance(); break;
+      case ')': push(TokKind::RParen, ")", tl, tc); advance(); break;
+      case '[': push(TokKind::LBracket, "[", tl, tc); advance(); break;
+      case ']': push(TokKind::RBracket, "]", tl, tc); advance(); break;
+      case '{': push(TokKind::LBrace, "{", tl, tc); advance(); break;
+      case '}': push(TokKind::RBrace, "}", tl, tc); advance(); break;
+      case ',': push(TokKind::Comma, ",", tl, tc); advance(); break;
+      case ';': push(TokKind::Semicolon, ";", tl, tc); advance(); break;
+      case '*': push(TokKind::Star, "*", tl, tc); advance(); break;
+      case '/': push(TokKind::Slash, "/", tl, tc); advance(); break;
+      case '#': push(TokKind::Hash, "#", tl, tc); advance(); break;
+      case '=': push(TokKind::Assign, "=", tl, tc); advance(); break;
+      case '+':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokKind::PlusAssign, "+=", tl, tc);
+          advance(2);
+        } else {
+          push(TokKind::Plus, "+", tl, tc);
+          advance();
+        }
+        break;
+      case '-':
+        push(TokKind::Minus, "-", tl, tc);
+        advance();
+        break;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'", tl,
+                         tc);
+    }
+  }
+  Token end;
+  end.kind = TokKind::End;
+  end.line = line;
+  end.col = col;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace artemis::dsl

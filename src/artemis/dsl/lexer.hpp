@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace artemis::dsl {
+
+enum class TokKind {
+  Ident,
+  Integer,
+  Float,
+  // punctuation
+  LParen, RParen, LBracket, RBracket, LBrace, RBrace,
+  Comma, Semicolon, Assign, PlusAssign,
+  Plus, Minus, Star, Slash,
+  Hash,  ///< introduces #pragma / #assign
+  End,
+};
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;        ///< identifier spelling / literal spelling
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 0;
+  int col = 0;
+};
+
+/// Tokenize a DSL source string. Supports `//` line comments and
+/// `/* */` block comments. Throws ParseError on unknown characters.
+std::vector<Token> lex(const std::string& source);
+
+const char* tok_kind_name(TokKind k);
+
+}  // namespace artemis::dsl

@@ -1,0 +1,426 @@
+#include "artemis/dsl/parser.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "artemis/common/check.hpp"
+#include "artemis/common/str.hpp"
+#include "artemis/dsl/lexer.hpp"
+
+namespace artemis::dsl {
+
+namespace {
+
+using ir::Expr;
+using ir::ExprPtr;
+using ir::IndexExpr;
+
+const std::set<std::string> kIntrinsics = {"sqrt", "fabs", "exp", "log",
+                                           "min",  "max",  "pow"};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source) : toks_(lex(source)) {}
+
+  ir::Program run() {
+    while (!at(TokKind::End)) {
+      parse_top_decl();
+    }
+    if (pending_pragma_) {
+      throw SemanticError("#pragma not followed by a stencil definition");
+    }
+    ir::validate(prog_);
+    return std::move(prog_);
+  }
+
+ private:
+  // --- token plumbing -------------------------------------------------------
+
+  const Token& peek(int ahead = 0) const {
+    const std::size_t idx =
+        std::min(pos_ + static_cast<std::size_t>(ahead), toks_.size() - 1);
+    return toks_[idx];
+  }
+
+  bool at(TokKind k) const { return peek().kind == k; }
+
+  bool at_ident(const std::string& word) const {
+    return at(TokKind::Ident) && peek().text == word;
+  }
+
+  Token eat() { return toks_[std::min(pos_++, toks_.size() - 1)]; }
+
+  Token expect(TokKind k) {
+    if (!at(k)) {
+      throw ParseError(
+          str_cat("expected ", tok_kind_name(k), ", found ",
+                  tok_kind_name(peek().kind),
+                  peek().text.empty() ? "" : str_cat(" '", peek().text, "'")),
+          peek().line, peek().col);
+    }
+    return eat();
+  }
+
+  std::string expect_ident() { return expect(TokKind::Ident).text; }
+
+  std::string expect_keyword(const std::string& word) {
+    const Token t = expect(TokKind::Ident);
+    if (t.text != word) {
+      throw ParseError(str_cat("expected '", word, "', found '", t.text, "'"),
+                       t.line, t.col);
+    }
+    return t.text;
+  }
+
+  std::int64_t expect_int() { return expect(TokKind::Integer).int_value; }
+
+  bool accept(TokKind k) {
+    if (at(k)) {
+      eat();
+      return true;
+    }
+    return false;
+  }
+
+  // --- top-level ------------------------------------------------------------
+
+  void parse_top_decl() {
+    if (at(TokKind::Hash)) {
+      parse_hash_directive();
+      return;
+    }
+    const Token& t = peek();
+    if (t.kind != TokKind::Ident) {
+      throw ParseError(str_cat("expected declaration, found ",
+                               tok_kind_name(t.kind)),
+                       t.line, t.col);
+    }
+    if (t.text == "parameter") {
+      parse_parameters();
+    } else if (t.text == "iterator") {
+      parse_iterators();
+    } else if (t.text == "double") {
+      parse_var_decls();
+    } else if (t.text == "copyin" || t.text == "copyout") {
+      parse_copy_list();
+    } else if (t.text == "stencil") {
+      parse_stencil_def();
+    } else if (t.text == "iterate") {
+      prog_.steps.push_back(parse_iterate());
+    } else {
+      prog_.steps.push_back(parse_call_step());
+    }
+  }
+
+  void parse_parameters() {
+    expect_keyword("parameter");
+    do {
+      ir::ParamDecl p;
+      p.name = expect_ident();
+      expect(TokKind::Assign);
+      p.value = expect_int();
+      prog_.params.push_back(std::move(p));
+    } while (accept(TokKind::Comma));
+    expect(TokKind::Semicolon);
+  }
+
+  void parse_iterators() {
+    expect_keyword("iterator");
+    do {
+      prog_.iterators.push_back(expect_ident());
+    } while (accept(TokKind::Comma));
+    expect(TokKind::Semicolon);
+  }
+
+  void parse_var_decls() {
+    expect_keyword("double");
+    do {
+      const std::string name = expect_ident();
+      if (accept(TokKind::LBracket)) {
+        ir::ArrayDecl a;
+        a.name = name;
+        do {
+          a.dims.push_back(expect_ident());
+        } while (accept(TokKind::Comma));
+        expect(TokKind::RBracket);
+        prog_.arrays.push_back(std::move(a));
+      } else {
+        prog_.scalars.push_back({name});
+      }
+    } while (accept(TokKind::Comma));
+    expect(TokKind::Semicolon);
+  }
+
+  void parse_copy_list() {
+    const std::string kw = expect_ident();  // copyin / copyout
+    auto& dst = (kw == "copyin") ? prog_.copyin : prog_.copyout;
+    do {
+      dst.push_back(expect_ident());
+    } while (accept(TokKind::Comma));
+    expect(TokKind::Semicolon);
+  }
+
+  // --- #pragma / #assign ----------------------------------------------------
+
+  void parse_hash_directive() {
+    const Token hash = expect(TokKind::Hash);
+    const std::string kind = expect_ident();
+    if (kind == "pragma") {
+      pending_pragma_ = parse_pragma_clauses();
+    } else {
+      throw ParseError(str_cat("unknown directive '#", kind, "'"), hash.line,
+                       hash.col);
+    }
+  }
+
+  ir::PragmaInfo parse_pragma_clauses() {
+    ir::PragmaInfo info;
+    while (at(TokKind::Ident)) {
+      const std::string clause = peek().text;
+      if (clause == "stream") {
+        eat();
+        info.stream_iter = expect_ident();
+      } else if (clause == "block") {
+        eat();
+        expect(TokKind::LParen);
+        do {
+          info.block.push_back(expect_int());
+        } while (accept(TokKind::Comma));
+        expect(TokKind::RParen);
+      } else if (clause == "unroll") {
+        eat();
+        do {
+          const std::string iter = expect_ident();
+          expect(TokKind::Assign);
+          info.unroll[iter] = expect_int();
+        } while (at(TokKind::Comma) && peek(1).kind == TokKind::Ident &&
+                 peek(2).kind == TokKind::Assign && accept(TokKind::Comma));
+      } else if (clause == "occupancy") {
+        eat();
+        const Token t = eat();
+        if (t.kind != TokKind::Float && t.kind != TokKind::Integer) {
+          throw ParseError("occupancy expects a numeric value", t.line, t.col);
+        }
+        info.occupancy = t.float_value;
+      } else {
+        break;  // next token starts the stencil definition or another decl
+      }
+    }
+    return info;
+  }
+
+  void parse_assign_directive(ir::StencilDef& def) {
+    expect(TokKind::Hash);
+    expect_keyword("assign");
+    do {
+      const Token t = expect(TokKind::Ident);
+      ir::MemSpace space;
+      if (t.text == "shmem") {
+        space = ir::MemSpace::Shared;
+      } else if (t.text == "gmem") {
+        space = ir::MemSpace::Global;
+      } else if (t.text == "reg") {
+        space = ir::MemSpace::Reg;
+      } else {
+        throw ParseError(str_cat("unknown #assign space '", t.text, "'"),
+                         t.line, t.col);
+      }
+      expect(TokKind::LParen);
+      do {
+        def.resources.spaces[expect_ident()] = space;
+      } while (accept(TokKind::Comma));
+      expect(TokKind::RParen);
+    } while (accept(TokKind::Comma));
+    accept(TokKind::Semicolon);  // optional terminator
+  }
+
+  // --- stencil definitions ---------------------------------------------------
+
+  void parse_stencil_def() {
+    expect_keyword("stencil");
+    ir::StencilDef def;
+    def.name = expect_ident();
+    if (pending_pragma_) {
+      def.pragma = *pending_pragma_;
+      pending_pragma_.reset();
+    }
+    expect(TokKind::LParen);
+    do {
+      def.params.push_back(expect_ident());
+    } while (accept(TokKind::Comma));
+    expect(TokKind::RParen);
+    expect(TokKind::LBrace);
+    while (!at(TokKind::RBrace)) {
+      if (at(TokKind::Hash)) {
+        parse_assign_directive(def);
+      } else {
+        def.stmts.push_back(parse_stmt());
+      }
+    }
+    expect(TokKind::RBrace);
+    prog_.stencils.push_back(std::move(def));
+  }
+
+  ir::Stmt parse_stmt() {
+    ir::Stmt st;
+    if (at_ident("double")) {
+      eat();
+      st.declares_local = true;
+      st.lhs_name = expect_ident();
+      expect(TokKind::Assign);
+    } else {
+      st.lhs_name = expect_ident();
+      while (at(TokKind::LBracket)) {
+        eat();
+        st.lhs_indices.push_back(parse_index());
+        expect(TokKind::RBracket);
+      }
+      if (accept(TokKind::PlusAssign)) {
+        st.accumulate = true;
+      } else {
+        expect(TokKind::Assign);
+      }
+    }
+    st.rhs = parse_expr();
+    expect(TokKind::Semicolon);
+    return st;
+  }
+
+  // --- expressions -----------------------------------------------------------
+
+  ExprPtr parse_expr() {
+    ExprPtr lhs = parse_term();
+    while (at(TokKind::Plus) || at(TokKind::Minus)) {
+      const bool is_add = eat().kind == TokKind::Plus;
+      ExprPtr rhs = parse_term();
+      lhs = ir::binary(is_add ? ir::BinOp::Add : ir::BinOp::Sub,
+                       std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_term() {
+    ExprPtr lhs = parse_factor();
+    while (at(TokKind::Star) || at(TokKind::Slash)) {
+      const bool is_mul = eat().kind == TokKind::Star;
+      ExprPtr rhs = parse_factor();
+      lhs = ir::binary(is_mul ? ir::BinOp::Mul : ir::BinOp::Div,
+                       std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_factor() {
+    if (accept(TokKind::Minus)) return ir::unary_neg(parse_factor());
+    if (accept(TokKind::Plus)) return parse_factor();
+    if (at(TokKind::Integer) || at(TokKind::Float)) {
+      return ir::number(eat().float_value);
+    }
+    if (accept(TokKind::LParen)) {
+      ExprPtr e = parse_expr();
+      expect(TokKind::RParen);
+      return e;
+    }
+    const Token name = expect(TokKind::Ident);
+    if (at(TokKind::LParen)) {
+      if (!kIntrinsics.count(name.text)) {
+        throw ParseError(str_cat("unknown function '", name.text, "'"),
+                         name.line, name.col);
+      }
+      eat();
+      std::vector<ExprPtr> args;
+      if (!at(TokKind::RParen)) {
+        do {
+          args.push_back(parse_expr());
+        } while (accept(TokKind::Comma));
+      }
+      expect(TokKind::RParen);
+      return ir::call(name.text, std::move(args));
+    }
+    if (at(TokKind::LBracket)) {
+      std::vector<IndexExpr> indices;
+      while (accept(TokKind::LBracket)) {
+        indices.push_back(parse_index());
+        expect(TokKind::RBracket);
+      }
+      return ir::array_ref(name.text, std::move(indices));
+    }
+    return ir::scalar_ref(name.text);
+  }
+
+  IndexExpr parse_index() {
+    IndexExpr ix;
+    if (at(TokKind::Ident)) {
+      const Token it = eat();
+      ix.iter = prog_.iterator_index(it.text);
+      if (ix.iter < 0) {
+        throw ParseError(str_cat("index uses undeclared iterator '", it.text,
+                                 "'"),
+                         it.line, it.col);
+      }
+      if (accept(TokKind::Plus)) {
+        ix.offset = expect_int();
+      } else if (accept(TokKind::Minus)) {
+        ix.offset = -expect_int();
+      }
+      return ix;
+    }
+    // Constant index, possibly negative.
+    bool neg = false;
+    while (accept(TokKind::Minus)) neg = !neg;
+    ix.offset = expect_int();
+    if (neg) ix.offset = -ix.offset;
+    return ix;
+  }
+
+  // --- steps ------------------------------------------------------------------
+
+  ir::Step parse_iterate() {
+    expect_keyword("iterate");
+    ir::Step step;
+    step.kind = ir::Step::Kind::Iterate;
+    step.iterations = expect_int();
+    expect(TokKind::LBrace);
+    while (!at(TokKind::RBrace)) {
+      step.body.push_back(parse_call_step());
+    }
+    expect(TokKind::RBrace);
+    return step;
+  }
+
+  ir::Step parse_call_step() {
+    ir::Step step;
+    const Token name = expect(TokKind::Ident);
+    if (name.text == "swap") {
+      step.kind = ir::Step::Kind::Swap;
+      expect(TokKind::LParen);
+      step.swap.a = expect_ident();
+      expect(TokKind::Comma);
+      step.swap.b = expect_ident();
+      expect(TokKind::RParen);
+      expect(TokKind::Semicolon);
+      return step;
+    }
+    step.kind = ir::Step::Kind::Call;
+    step.call.callee = name.text;
+    expect(TokKind::LParen);
+    do {
+      step.call.args.push_back(expect_ident());
+    } while (accept(TokKind::Comma));
+    expect(TokKind::RParen);
+    expect(TokKind::Semicolon);
+    return step;
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  ir::Program prog_;
+  std::optional<ir::PragmaInfo> pending_pragma_;
+};
+
+}  // namespace
+
+ir::Program parse(const std::string& source) { return Parser(source).run(); }
+
+}  // namespace artemis::dsl

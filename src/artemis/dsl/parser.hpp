@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "artemis/ir/program.hpp"
+
+namespace artemis::dsl {
+
+/// Parse a DSL source string (Listing 1 syntax plus the ARTEMIS extensions:
+/// `#pragma stream/block/unroll/occupancy`, `#assign shmem/gmem/reg (...)`,
+/// `iterate N { ... }` blocks with `swap(a,b);`) into an ir::Program.
+///
+/// The returned program has passed ir::validate. Throws ParseError on
+/// syntax errors and SemanticError on semantic violations.
+ir::Program parse(const std::string& source);
+
+}  // namespace artemis::dsl

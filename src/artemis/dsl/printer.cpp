@@ -1,0 +1,144 @@
+#include "artemis/dsl/printer.hpp"
+
+#include <map>
+
+#include "artemis/common/str.hpp"
+
+namespace artemis::dsl {
+
+namespace {
+
+std::string print_index(const ir::IndexExpr& ix,
+                        const std::vector<std::string>& iters) {
+  if (ix.is_const()) return std::to_string(ix.offset);
+  std::string s = iters[static_cast<std::size_t>(ix.iter)];
+  if (ix.offset > 0) s += "+" + std::to_string(ix.offset);
+  if (ix.offset < 0) s += std::to_string(ix.offset);
+  return s;
+}
+
+std::string print_pragma(const ir::PragmaInfo& p) {
+  std::string out = "#pragma";
+  bool any = false;
+  if (p.stream_iter) {
+    out += " stream " + *p.stream_iter;
+    any = true;
+  }
+  if (!p.block.empty()) {
+    std::vector<std::string> dims;
+    for (auto b : p.block) dims.push_back(std::to_string(b));
+    out += " block (" + join(dims, ",") + ")";
+    any = true;
+  }
+  if (!p.unroll.empty()) {
+    out += " unroll ";
+    std::vector<std::string> items;
+    for (const auto& [iter, f] : p.unroll) {
+      items.push_back(iter + "=" + std::to_string(f));
+    }
+    out += join(items, ", ");
+    any = true;
+  }
+  if (p.occupancy) {
+    out += " occupancy " + format_double(*p.occupancy, 4);
+    any = true;
+  }
+  return any ? out : std::string();
+}
+
+std::string print_resources(const ir::ResourceAssignments& r) {
+  if (r.empty()) return {};
+  std::map<ir::MemSpace, std::vector<std::string>> by_space;
+  for (const auto& [name, space] : r.spaces) by_space[space].push_back(name);
+  std::vector<std::string> clauses;
+  for (const auto& [space, names] : by_space) {
+    clauses.push_back(str_cat(ir::mem_space_name(space), " (",
+                              join(names, ","), ")"));
+  }
+  return "  #assign " + join(clauses, ", ") + "\n";
+}
+
+void print_steps(const ir::Program& prog, const std::vector<ir::Step>& steps,
+                 int depth, std::string& out) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  for (const auto& step : steps) {
+    switch (step.kind) {
+      case ir::Step::Kind::Call:
+        out += pad + step.call.callee + " (" + join(step.call.args, ", ") +
+               ");\n";
+        break;
+      case ir::Step::Kind::Swap:
+        out += pad + "swap (" + step.swap.a + ", " + step.swap.b + ");\n";
+        break;
+      case ir::Step::Kind::Iterate:
+        out += pad + "iterate " + std::to_string(step.iterations) + " {\n";
+        print_steps(prog, step.body, depth + 1, out);
+        out += pad + "}\n";
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string print_stmt(const ir::Stmt& stmt,
+                       const std::vector<std::string>& iterators) {
+  std::string out;
+  if (stmt.declares_local) {
+    out = "double " + stmt.lhs_name + " = ";
+  } else {
+    out = stmt.lhs_name;
+    for (const auto& ix : stmt.lhs_indices) {
+      out += "[" + print_index(ix, iterators) + "]";
+    }
+    out += stmt.accumulate ? " += " : " = ";
+  }
+  out += ir::to_string(*stmt.rhs, iterators) + ";";
+  return out;
+}
+
+std::string print_program(const ir::Program& prog) {
+  std::string out;
+
+  if (!prog.params.empty()) {
+    std::vector<std::string> parts;
+    for (const auto& p : prog.params) {
+      parts.push_back(p.name + "=" + std::to_string(p.value));
+    }
+    out += "parameter " + join(parts, ", ") + ";\n";
+  }
+  if (!prog.iterators.empty()) {
+    out += "iterator " + join(prog.iterators, ", ") + ";\n";
+  }
+  {
+    std::vector<std::string> parts;
+    for (const auto& a : prog.arrays) {
+      parts.push_back(a.name + "[" + join(a.dims, ",") + "]");
+    }
+    for (const auto& s : prog.scalars) parts.push_back(s.name);
+    if (!parts.empty()) out += "double " + join(parts, ", ") + ";\n";
+  }
+  if (!prog.copyin.empty()) {
+    out += "copyin " + join(prog.copyin, ", ") + ";\n";
+  }
+
+  for (const auto& def : prog.stencils) {
+    const std::string pragma = print_pragma(def.pragma);
+    if (!pragma.empty()) out += pragma + "\n";
+    out += "stencil " + def.name + " (" + join(def.params, ", ") + ") {\n";
+    out += print_resources(def.resources);
+    for (const auto& st : def.stmts) {
+      out += "  " + print_stmt(st, prog.iterators) + "\n";
+    }
+    out += "}\n";
+  }
+
+  print_steps(prog, prog.steps, 0, out);
+
+  if (!prog.copyout.empty()) {
+    out += "copyout " + join(prog.copyout, ", ") + ";\n";
+  }
+  return out;
+}
+
+}  // namespace artemis::dsl

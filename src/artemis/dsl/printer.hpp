@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "artemis/ir/program.hpp"
+
+namespace artemis::dsl {
+
+/// Re-emit an ir::Program as DSL source text. Used to materialize the
+/// fission candidates that ARTEMIS "writes out as DSL specification files"
+/// (Section VI-B) and for round-trip testing. The output re-parses to an
+/// equivalent program.
+std::string print_program(const ir::Program& prog);
+
+/// Render a single statement as DSL text (no trailing newline).
+std::string print_stmt(const ir::Stmt& stmt,
+                       const std::vector<std::string>& iterators);
+
+}  // namespace artemis::dsl

@@ -1,0 +1,52 @@
+#include "artemis/gpumodel/cache_sim.hpp"
+
+#include "artemis/common/check.hpp"
+
+namespace artemis::gpumodel {
+
+CacheSim::CacheSim(std::int64_t capacity_bytes, int line_bytes, int ways)
+    : line_bytes_(line_bytes), ways_(ways) {
+  ARTEMIS_CHECK(capacity_bytes > 0 && line_bytes > 0 && ways > 0);
+  ARTEMIS_CHECK_MSG((line_bytes & (line_bytes - 1)) == 0,
+                    "line size must be a power of two");
+  const std::int64_t lines = capacity_bytes / line_bytes;
+  num_sets_ = static_cast<std::size_t>(lines / ways);
+  if (num_sets_ == 0) num_sets_ = 1;
+  ways_storage_.assign(num_sets_ * static_cast<std::size_t>(ways_), Way{});
+}
+
+bool CacheSim::access(std::uint64_t addr) {
+  ++clock_;
+  const std::uint64_t line = addr / static_cast<std::uint64_t>(line_bytes_);
+  const std::size_t set = static_cast<std::size_t>(line) % num_sets_;
+  Way* base = &ways_storage_[set * static_cast<std::size_t>(ways_)];
+
+  Way* victim = base;
+  for (int w = 0; w < ways_; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == line) {
+      way.last_use = clock_;
+      ++hits_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;
+    } else if (victim->valid && way.last_use < victim->last_use) {
+      victim = &way;
+    }
+  }
+  victim->valid = true;
+  victim->tag = line;
+  victim->last_use = clock_;
+  ++misses_;
+  return false;
+}
+
+void CacheSim::reset() {
+  for (auto& w : ways_storage_) w = Way{};
+  clock_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace artemis::gpumodel

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace artemis::gpumodel {
+
+/// A set-associative LRU cache simulator, used to *validate* the analytic
+/// model's L2 constants rather than to drive tuning (Section IV dismisses
+/// cycle-accurate simulation as too slow for bottleneck analysis; this is
+/// the cheap trace-level middle ground, replayed only on small domains by
+/// the validation harness).
+class CacheSim {
+ public:
+  /// `capacity_bytes` rounded to sets x ways x line_bytes.
+  CacheSim(std::int64_t capacity_bytes, int line_bytes = 32, int ways = 16);
+
+  /// Access one byte address; returns true on hit. Misses fill the line
+  /// (write-allocate; writes and reads are treated alike, matching a
+  /// sectored write-back L2).
+  bool access(std::uint64_t addr);
+
+  void reset();
+
+  std::int64_t hits() const { return hits_; }
+  std::int64_t misses() const { return misses_; }
+  std::int64_t accesses() const { return hits_ + misses_; }
+  double hit_rate() const {
+    return accesses() > 0 ? static_cast<double>(hits_) / accesses() : 0.0;
+  }
+  /// Bytes fetched from the next level (misses x line).
+  std::int64_t miss_bytes() const {
+    return misses_ * static_cast<std::int64_t>(line_bytes_);
+  }
+
+  int line_bytes() const { return line_bytes_; }
+  std::int64_t capacity_bytes() const {
+    return static_cast<std::int64_t>(num_sets_) * ways_ * line_bytes_;
+  }
+
+ private:
+  struct Way {
+    std::uint64_t tag = ~0ull;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+
+  int line_bytes_;
+  int ways_;
+  std::size_t num_sets_;
+  std::vector<Way> ways_storage_;  ///< num_sets x ways
+  std::uint64_t clock_ = 0;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace artemis::gpumodel

@@ -1,0 +1,36 @@
+#include "artemis/gpumodel/device.hpp"
+
+namespace artemis::gpumodel {
+
+DeviceSpec p100() { return DeviceSpec{}; }
+
+DeviceSpec v100() {
+  DeviceSpec d;
+  d.name = "V100";
+  d.num_sms = 80;
+  d.shmem_per_sm = 96 * 1024;
+  d.shmem_per_block = 96 * 1024;
+  d.l2_bytes = 6 * 1024 * 1024;
+  d.peak_dp_flops = 7.8e12;
+  d.dram_bytes_per_s = 900e9;
+  d.tex_bytes_per_s = 2.7e12;
+  d.shm_bytes_per_s = 13.8e12;
+  return d;
+}
+
+DeviceSpec k40() {
+  DeviceSpec d;
+  d.name = "K40";
+  d.num_sms = 15;
+  d.max_blocks_per_sm = 16;
+  d.shmem_per_sm = 48 * 1024;
+  d.shmem_per_block = 48 * 1024;
+  d.l2_bytes = 1536 * 1024;
+  d.peak_dp_flops = 1.43e12;
+  d.dram_bytes_per_s = 288e9;
+  d.tex_bytes_per_s = 0.75e12;
+  d.shm_bytes_per_s = 2.8e12;
+  return d;
+}
+
+}  // namespace artemis::gpumodel

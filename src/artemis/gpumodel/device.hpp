@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace artemis::gpumodel {
+
+/// Static description of a GPU device. Defaults model the NVIDIA Pascal
+/// P100 used in the paper's evaluation (Section VIII-A). The per-level
+/// bandwidths are derived from the paper's published machine-balance
+/// ratios: alpha = 4.7 DP TFLOPS, alpha/beta_dram = 6.42,
+/// alpha/beta_tex = 2.35, alpha/beta_shm = 0.49.
+struct DeviceSpec {
+  std::string name = "P100";
+
+  // Execution resources.
+  int num_sms = 56;
+  int warp_size = 32;
+  int max_threads_per_sm = 2048;
+  int max_threads_per_block = 1024;
+  int max_blocks_per_sm = 32;
+  int regs_per_sm = 65536;
+  int max_regs_per_thread = 255;    ///< hard nvcc limit (maxrregcount < 256)
+  int reg_alloc_granularity = 2;    ///< registers rounded up to multiples
+
+  // Memory resources.
+  std::int64_t shmem_per_sm = 64 * 1024;
+  std::int64_t shmem_per_block = 48 * 1024;
+  std::int64_t l2_bytes = 4 * 1024 * 1024;
+  int sector_bytes = 32;            ///< DRAM/L2 transaction granularity
+
+  // Peak rates.
+  double peak_dp_flops = 4.7e12;    ///< alpha
+  double dram_bytes_per_s = 732e9;  ///< beta_dram = alpha / 6.42
+  double tex_bytes_per_s = 2.0e12;  ///< beta_tex  = alpha / 2.35
+  double shm_bytes_per_s = 9.6e12;  ///< beta_shm  = alpha / 0.49
+
+  /// Machine balance alpha/beta for a level, in FLOP per byte.
+  double balance_dram() const { return peak_dp_flops / dram_bytes_per_s; }
+  double balance_tex() const { return peak_dp_flops / tex_bytes_per_s; }
+  double balance_shm() const { return peak_dp_flops / shm_bytes_per_s; }
+};
+
+/// The paper's evaluation device.
+DeviceSpec p100();
+
+/// A Volta-class device (for portability experiments): more SMs, larger
+/// shared memory per SM, higher bandwidth.
+DeviceSpec v100();
+
+/// A Kepler-class device (K40): fewer SMs, lower bandwidth, smaller L2,
+/// and a much lower DP peak -- the balance point the older frameworks
+/// (Overtile, early PPCG) were tuned for.
+DeviceSpec k40();
+
+}  // namespace artemis::gpumodel

@@ -1,0 +1,72 @@
+#include "artemis/gpumodel/occupancy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "artemis/common/check.hpp"
+
+namespace artemis::gpumodel {
+
+const char* limiter_name(Occupancy::Limiter l) {
+  switch (l) {
+    case Occupancy::Limiter::Threads: return "threads";
+    case Occupancy::Limiter::Blocks: return "block-slots";
+    case Occupancy::Limiter::Registers: return "registers";
+    case Occupancy::Limiter::SharedMemory: return "shared-memory";
+    case Occupancy::Limiter::Invalid: return "invalid-launch";
+  }
+  return "?";
+}
+
+Occupancy compute_occupancy(const DeviceSpec& dev, const KernelResources& r) {
+  Occupancy occ;
+  if (r.threads_per_block < 1 ||
+      r.threads_per_block > dev.max_threads_per_block ||
+      r.regs_per_thread > dev.max_regs_per_thread ||
+      r.shmem_per_block > dev.shmem_per_block) {
+    return occ;  // zero occupancy, Limiter::Invalid
+  }
+
+  const int regs = std::max(
+      dev.reg_alloc_granularity,
+      (r.regs_per_thread + dev.reg_alloc_granularity - 1) /
+          dev.reg_alloc_granularity * dev.reg_alloc_granularity);
+
+  const int by_threads = dev.max_threads_per_sm / r.threads_per_block;
+  const int by_slots = dev.max_blocks_per_sm;
+  const int by_regs = static_cast<int>(
+      dev.regs_per_sm / (static_cast<std::int64_t>(regs) *
+                         r.threads_per_block));
+  const int by_shmem =
+      r.shmem_per_block > 0
+          ? static_cast<int>(dev.shmem_per_sm / r.shmem_per_block)
+          : std::numeric_limits<int>::max();
+
+  const int blocks = std::min({by_threads, by_slots, by_regs, by_shmem});
+  if (blocks < 1) {
+    // Not even one block fits on an SM (e.g. 255 regs x 1024 threads
+    // exceeds the register file): the launch is rejected, like nvcc would.
+    occ.limiter = (by_regs < 1) ? Occupancy::Limiter::Registers
+                                : Occupancy::Limiter::SharedMemory;
+    return occ;
+  }
+
+  occ.active_blocks_per_sm = blocks;
+  occ.active_warps_per_sm =
+      blocks * ((r.threads_per_block + dev.warp_size - 1) / dev.warp_size);
+  occ.fraction = static_cast<double>(blocks) * r.threads_per_block /
+                 dev.max_threads_per_sm;
+
+  if (blocks == by_threads) {
+    occ.limiter = Occupancy::Limiter::Threads;
+  } else if (blocks == by_regs) {
+    occ.limiter = Occupancy::Limiter::Registers;
+  } else if (blocks == by_shmem) {
+    occ.limiter = Occupancy::Limiter::SharedMemory;
+  } else {
+    occ.limiter = Occupancy::Limiter::Blocks;
+  }
+  return occ;
+}
+
+}  // namespace artemis::gpumodel

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+#include "artemis/gpumodel/device.hpp"
+
+namespace artemis::gpumodel {
+
+/// Inputs to the occupancy computation for one kernel launch.
+struct KernelResources {
+  int threads_per_block = 0;
+  int regs_per_thread = 0;
+  std::int64_t shmem_per_block = 0;
+};
+
+/// Result of the CUDA-style occupancy calculation.
+struct Occupancy {
+  int active_blocks_per_sm = 0;
+  int active_warps_per_sm = 0;
+  double fraction = 0.0;  ///< active threads / max threads per SM
+
+  /// Which resource capped the block count (for hints/diagnostics).
+  enum class Limiter { Threads, Blocks, Registers, SharedMemory, Invalid };
+  Limiter limiter = Limiter::Invalid;
+};
+
+const char* limiter_name(Occupancy::Limiter l);
+
+/// Compute achievable occupancy for a launch on a device, mirroring the
+/// CUDA occupancy calculator: the minimum over the thread, block-slot,
+/// register-file, and shared-memory constraints. A launch that cannot run
+/// at all (block too large, registers over the per-thread cap, shared
+/// memory over the per-block cap) yields zero occupancy with
+/// Limiter::Invalid.
+Occupancy compute_occupancy(const DeviceSpec& dev, const KernelResources& r);
+
+}  // namespace artemis::gpumodel

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+
+#include "artemis/codegen/plan.hpp"
+#include "artemis/gpumodel/device.hpp"
+#include "artemis/gpumodel/occupancy.hpp"
+#include "artemis/gpumodel/registers.hpp"
+
+namespace artemis::gpumodel {
+
+/// Calibration constants of the analytic model. Each constant models one
+/// physical mechanism; defaults were calibrated so the paper's qualitative
+/// results reproduce (see DESIGN.md section 5 and EXPERIMENTS.md).
+struct ModelParams {
+  /// Fraction of inter-block halo re-reads served by L2 under spatial
+  /// tiling (neighboring blocks are co-scheduled, so their overlapping
+  /// halos hit the cache).
+  double spatial_halo_l2_hit = 0.8;
+  /// Under streaming, neighboring blocks advance along the swept axis out
+  /// of phase, so halo re-reads almost never coincide in L2.
+  double stream_halo_l2_hit = 0.05;
+  /// Occupancy needed to saturate DRAM / tex / shm bandwidth and compute
+  /// issue (memory-level parallelism ramps).
+  double dram_sat_occ = 0.25;
+  double tex_sat_occ = 0.25;
+  double shm_sat_occ = 0.40;
+  double compute_sat_conc = 0.55;
+  /// ILP contributed per extra unrolled output (blocked / cyclic).
+  double ilp_per_unroll_blocked = 0.35;
+  double ilp_per_unroll_cyclic = 0.15;
+  /// Compute/memory overlap: spatial kernels overlap almost fully; a
+  /// streaming loop without prefetch serializes load and compute phases at
+  /// each __syncthreads (Section III-A4); prefetching restores overlap.
+  double overlap_spatial = 0.95;
+  double overlap_stream_nopf = 0.55;
+  double overlap_stream_pf = 0.92;
+  /// Extra tex sectors fetched for unaligned halo rows under the Output
+  /// perspective (non-coalesced boundary loads, Section III-B3).
+  double output_persp_halo_waste = 1.6;
+  double mixed_persp_halo_waste = 1.05;
+  /// Fraction of spill traffic that misses L2 and reaches DRAM.
+  double spill_dram_fraction = 0.5;
+  /// Local-memory spill slots are per-thread strided, so each spill
+  /// transaction drags whole sectors: multiplier on spill traffic.
+  double spill_sector_waste = 3.0;
+  /// Issue-slot drag per spilled register (dependent ld/st chains).
+  double spill_compute_drag = 1.0 / 96.0;
+  /// Kernel launch overhead (seconds); matters for fission/fusion counts.
+  double launch_overhead_s = 4e-6;
+};
+
+/// nvprof-style counters for one kernel execution over the full domain.
+struct Counters {
+  std::int64_t flops = 0;
+  std::int64_t dram_read_bytes = 0;
+  std::int64_t dram_write_bytes = 0;
+  std::int64_t tex_bytes = 0;  ///< all global-space load traffic (hits+misses)
+  std::int64_t shm_bytes = 0;  ///< shared load + store traffic
+  std::int64_t spill_bytes = 0;
+  std::int64_t num_blocks = 0;
+
+  std::int64_t dram_bytes() const { return dram_read_bytes + dram_write_bytes; }
+  double oi_dram() const {
+    return dram_bytes() > 0 ? static_cast<double>(flops) / dram_bytes() : 0.0;
+  }
+  double oi_tex() const {
+    return tex_bytes > 0 ? static_cast<double>(flops) / tex_bytes : 0.0;
+  }
+  double oi_shm() const {
+    return shm_bytes > 0 ? static_cast<double>(flops) / shm_bytes : 0.0;
+  }
+};
+
+/// Which resource bounds the kernel (roofline verdict).
+enum class Bound { Dram, Tex, Shm, Compute, Latency };
+const char* bound_name(Bound b);
+
+/// Complete evaluation of one kernel plan on a device.
+struct KernelEval {
+  Counters counters;
+  RegisterEstimate regs;
+  Occupancy occupancy;
+
+  double t_dram = 0, t_tex = 0, t_shm = 0, t_compute = 0;
+  double time_s = 0;     ///< modelled execution time (excl. launch)
+  Bound bound = Bound::Latency;
+  bool valid = true;     ///< false when the launch cannot run at all
+  std::string invalid_reason;
+
+  /// Useful FLOPs (excluding fused recomputation) per second; what the
+  /// paper's TFLOPS plots report.
+  std::int64_t useful_flops = 0;
+  double tflops() const {
+    return time_s > 0 ? static_cast<double>(useful_flops) / time_s / 1e12
+                      : 0.0;
+  }
+};
+
+/// Evaluate a kernel plan analytically: derive transaction counts from the
+/// plan's tiling geometry and residency map, occupancy from its resource
+/// footprint, and execution time from a roofline over DRAM / texture /
+/// shared-memory bandwidth and compute with occupancy-dependent
+/// efficiency ramps. Deterministic: a pure function of (plan, device,
+/// params).
+KernelEval evaluate(const codegen::KernelPlan& plan, const DeviceSpec& dev,
+                    const ModelParams& params = {});
+
+}  // namespace artemis::gpumodel

@@ -1,0 +1,260 @@
+#include "artemis/ir/program.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "artemis/common/check.hpp"
+#include "artemis/common/str.hpp"
+
+namespace artemis::ir {
+
+const char* mem_space_name(MemSpace m) {
+  switch (m) {
+    case MemSpace::Auto: return "auto";
+    case MemSpace::Global: return "gmem";
+    case MemSpace::Shared: return "shmem";
+    case MemSpace::Reg: return "reg";
+  }
+  return "?";
+}
+
+std::int64_t Program::param_value(const std::string& name) const {
+  for (const auto& p : params) {
+    if (p.name == name) return p.value;
+  }
+  throw SemanticError(str_cat("unknown parameter '", name, "'"));
+}
+
+const ArrayDecl* Program::find_array(const std::string& name) const {
+  for (const auto& a : arrays) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+const ScalarDecl* Program::find_scalar(const std::string& name) const {
+  for (const auto& s : scalars) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const StencilDef* Program::find_stencil(const std::string& name) const {
+  for (const auto& s : stencils) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+int Program::iterator_index(const std::string& name) const {
+  for (std::size_t i = 0; i < iterators.size(); ++i) {
+    if (iterators[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+void validate_expr(const Program& prog, const StencilDef& def,
+                   const std::set<std::string>& locals, const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::Number:
+      break;
+    case ExprKind::ScalarRef: {
+      const bool is_formal =
+          std::find(def.params.begin(), def.params.end(), e.name) !=
+          def.params.end();
+      if (!is_formal && !locals.count(e.name) && !prog.find_scalar(e.name)) {
+        throw SemanticError(str_cat("stencil '", def.name,
+                                    "': undeclared scalar '", e.name, "'"));
+      }
+      break;
+    }
+    case ExprKind::ArrayRef: {
+      const bool is_formal =
+          std::find(def.params.begin(), def.params.end(), e.name) !=
+          def.params.end();
+      if (!is_formal && !prog.find_array(e.name)) {
+        throw SemanticError(str_cat("stencil '", def.name,
+                                    "': undeclared array '", e.name, "'"));
+      }
+      for (const auto& ix : e.indices) {
+        if (!ix.is_const() &&
+            ix.iter >= static_cast<int>(prog.iterators.size())) {
+          throw SemanticError(str_cat("stencil '", def.name,
+                                      "': index uses unknown iterator"));
+        }
+      }
+      break;
+    }
+    case ExprKind::Unary:
+    case ExprKind::Binary:
+    case ExprKind::Call:
+      for (const auto& a : e.args) validate_expr(prog, def, locals, *a);
+      break;
+  }
+}
+
+void validate_def(const Program& prog, const StencilDef& def) {
+  std::set<std::string> formals(def.params.begin(), def.params.end());
+  if (formals.size() != def.params.size()) {
+    throw SemanticError(
+        str_cat("stencil '", def.name, "': duplicate formal parameter"));
+  }
+  std::set<std::string> locals;
+  bool wrote_array = false;
+  for (const auto& st : def.stmts) {
+    ARTEMIS_CHECK(st.rhs != nullptr);
+    validate_expr(prog, def, locals, *st.rhs);
+    if (st.declares_local) {
+      if (!st.lhs_indices.empty()) {
+        throw SemanticError(str_cat("stencil '", def.name,
+                                    "': local temp with array indices"));
+      }
+      if (!locals.insert(st.lhs_name).second) {
+        throw SemanticError(str_cat("stencil '", def.name,
+                                    "': duplicate local temp '", st.lhs_name,
+                                    "'"));
+      }
+    } else {
+      if (st.lhs_indices.empty()) {
+        throw SemanticError(str_cat("stencil '", def.name,
+                                    "': assignment to scalar '", st.lhs_name,
+                                    "' (use a local declaration)"));
+      }
+      if (!formals.count(st.lhs_name) && !prog.find_array(st.lhs_name)) {
+        throw SemanticError(str_cat("stencil '", def.name,
+                                    "': writes undeclared array '",
+                                    st.lhs_name, "'"));
+      }
+      for (const auto& ix : st.lhs_indices) {
+        if (ix.is_const() || ix.offset != 0) {
+          throw SemanticError(
+              str_cat("stencil '", def.name,
+                      "': output must be written at the center point"));
+        }
+      }
+      wrote_array = true;
+    }
+  }
+  if (!wrote_array) {
+    throw SemanticError(
+        str_cat("stencil '", def.name, "': writes no output array"));
+  }
+  for (const auto& [name, space] : def.resources.spaces) {
+    (void)space;
+    if (!formals.count(name)) {
+      throw SemanticError(str_cat("stencil '", def.name, "': #assign names '",
+                                  name, "' which is not a formal parameter"));
+    }
+  }
+}
+
+void validate_steps(const Program& prog, const std::vector<Step>& steps,
+                    bool inside_iterate) {
+  for (const auto& step : steps) {
+    switch (step.kind) {
+      case Step::Kind::Call: {
+        const StencilDef* def = prog.find_stencil(step.call.callee);
+        if (!def) {
+          throw SemanticError(
+              str_cat("call to undefined stencil '", step.call.callee, "'"));
+        }
+        if (def->params.size() != step.call.args.size()) {
+          throw SemanticError(str_cat(
+              "call to '", step.call.callee, "' passes ",
+              step.call.args.size(), " arguments, expected ",
+              def->params.size()));
+        }
+        for (const auto& arg : step.call.args) {
+          if (!prog.find_array(arg) && !prog.find_scalar(arg)) {
+            throw SemanticError(str_cat("call to '", step.call.callee,
+                                        "': undeclared argument '", arg, "'"));
+          }
+        }
+        break;
+      }
+      case Step::Kind::Swap: {
+        if (!inside_iterate) {
+          throw SemanticError("swap(...) only allowed inside iterate blocks");
+        }
+        const ArrayDecl* a = prog.find_array(step.swap.a);
+        const ArrayDecl* b = prog.find_array(step.swap.b);
+        if (!a || !b) throw SemanticError("swap of undeclared array");
+        if (a->dims != b->dims) {
+          throw SemanticError(
+              str_cat("swap(", step.swap.a, ", ", step.swap.b,
+                      "): arrays have different shapes"));
+        }
+        break;
+      }
+      case Step::Kind::Iterate: {
+        if (step.iterations < 1) {
+          throw SemanticError("iterate count must be >= 1");
+        }
+        if (inside_iterate) {
+          throw SemanticError("nested iterate blocks are not supported");
+        }
+        validate_steps(prog, step.body, /*inside_iterate=*/true);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void validate(const Program& prog) {
+  std::set<std::string> names;
+  for (const auto& p : prog.params) {
+    if (p.value < 1) {
+      throw SemanticError(str_cat("parameter '", p.name, "' must be >= 1"));
+    }
+    if (!names.insert(p.name).second) {
+      throw SemanticError(str_cat("duplicate declaration '", p.name, "'"));
+    }
+  }
+  for (const auto& it : prog.iterators) {
+    if (!names.insert(it).second) {
+      throw SemanticError(str_cat("duplicate declaration '", it, "'"));
+    }
+  }
+  if (prog.iterators.empty() || prog.iterators.size() > 3) {
+    throw SemanticError("programs must declare 1 to 3 iterators");
+  }
+  for (const auto& a : prog.arrays) {
+    if (!names.insert(a.name).second) {
+      throw SemanticError(str_cat("duplicate declaration '", a.name, "'"));
+    }
+    if (a.dims.empty() || a.dims.size() > prog.iterators.size()) {
+      throw SemanticError(
+          str_cat("array '", a.name, "' has unsupported dimensionality"));
+    }
+    for (const auto& d : a.dims) prog.param_value(d);  // throws if unknown
+  }
+  for (const auto& s : prog.scalars) {
+    if (!names.insert(s.name).second) {
+      throw SemanticError(str_cat("duplicate declaration '", s.name, "'"));
+    }
+  }
+  for (const auto& io : prog.copyin) {
+    if (!prog.find_array(io) && !prog.find_scalar(io)) {
+      throw SemanticError(str_cat("copyin of undeclared '", io, "'"));
+    }
+  }
+  for (const auto& io : prog.copyout) {
+    if (!prog.find_array(io)) {
+      throw SemanticError(str_cat("copyout of undeclared array '", io, "'"));
+    }
+  }
+  std::set<std::string> stencil_names;
+  for (const auto& def : prog.stencils) {
+    if (!stencil_names.insert(def.name).second) {
+      throw SemanticError(str_cat("duplicate stencil '", def.name, "'"));
+    }
+    validate_def(prog, def);
+  }
+  validate_steps(prog, prog.steps, /*inside_iterate=*/false);
+}
+
+}  // namespace artemis::ir

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "artemis/ir/expr.hpp"
+
+namespace artemis::ir {
+
+/// GPU memory space an array can be assigned to by the resource mapper or
+/// by the user through `#assign` (Section II-B1 of the paper).
+enum class MemSpace {
+  Auto,    ///< let the code generator decide
+  Global,  ///< read straight from global memory (cached in L2/tex)
+  Shared,  ///< staged in a shared-memory tile
+  Reg,     ///< held in per-thread register planes (streaming only)
+};
+
+const char* mem_space_name(MemSpace m);
+
+/// A single stencil statement. Either a local scalar temporary definition
+/// (`double c = b * h2inv;`) or an array assignment
+/// (`B[k][j][i] = ...;` / `B[k][j][i] += ...;`).
+struct Stmt {
+  bool declares_local = false;        ///< `double <lhs_name> = rhs;`
+  bool accumulate = false;            ///< `lhs += rhs` (from decomposition)
+  std::string lhs_name;               ///< array name or local temp name
+  std::vector<IndexExpr> lhs_indices; ///< empty for scalar temps
+  ExprPtr rhs;
+};
+
+/// User resource directives attached to a stencil definition via
+/// `#assign shmem (a,b), gmem (c)`.
+struct ResourceAssignments {
+  std::map<std::string, MemSpace> spaces;  ///< by formal parameter name
+
+  MemSpace lookup(const std::string& name) const {
+    auto it = spaces.find(name);
+    return it == spaces.end() ? MemSpace::Auto : it->second;
+  }
+  bool empty() const { return spaces.empty(); }
+};
+
+/// Auxiliary code-generation guidance from `#pragma` (Section II-A and
+/// the occupancy extension of Section II-B2).
+struct PragmaInfo {
+  std::optional<std::string> stream_iter;  ///< streaming dimension name
+  std::vector<std::int64_t> block;         ///< block size, outermost first
+  std::map<std::string, std::int64_t> unroll;  ///< per-iterator unroll factor
+  std::optional<double> occupancy;         ///< target occupancy in (0, 1]
+};
+
+/// A named stencil function: formal parameters plus a statement list.
+struct StencilDef {
+  std::string name;
+  std::vector<std::string> params;  ///< formal names, bound at call sites
+  std::vector<Stmt> stmts;
+  ResourceAssignments resources;
+  PragmaInfo pragma;  ///< pragma immediately preceding the definition
+};
+
+/// One invocation of a stencil function with actual array/scalar arguments.
+struct StencilCall {
+  std::string callee;
+  std::vector<std::string> args;
+};
+
+/// `swap(a, b);` inside an iterate block: exchanges the storage bound to
+/// two array names between time iterations (ping-pong buffering).
+struct SwapStmt {
+  std::string a;
+  std::string b;
+};
+
+/// Top-level program step: either a call, a swap, or an iterate block.
+struct Step {
+  enum class Kind { Call, Swap, Iterate } kind = Kind::Call;
+  StencilCall call;                 ///< Kind::Call
+  SwapStmt swap;                    ///< Kind::Swap
+  std::int64_t iterations = 0;      ///< Kind::Iterate
+  std::vector<Step> body;           ///< Kind::Iterate
+};
+
+struct ParamDecl {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+struct ArrayDecl {
+  std::string name;
+  std::vector<std::string> dims;  ///< parameter names, outermost first
+};
+
+struct ScalarDecl {
+  std::string name;
+};
+
+/// A whole DSL program (Listing 1 plus ARTEMIS extensions).
+struct Program {
+  std::vector<ParamDecl> params;
+  std::vector<std::string> iterators;  ///< outermost to innermost
+  std::vector<ArrayDecl> arrays;
+  std::vector<ScalarDecl> scalars;
+  std::vector<std::string> copyin;
+  std::vector<std::string> copyout;
+  std::vector<StencilDef> stencils;
+  std::vector<Step> steps;
+
+  std::int64_t param_value(const std::string& name) const;
+  const ArrayDecl* find_array(const std::string& name) const;
+  const ScalarDecl* find_scalar(const std::string& name) const;
+  const StencilDef* find_stencil(const std::string& name) const;
+  int iterator_index(const std::string& name) const;  ///< -1 if absent
+};
+
+/// Semantic validation: declarations resolve, call arities match, indices
+/// use declared iterators, array dimensionalities agree with declarations.
+/// Throws SemanticError on violation.
+void validate(const Program& prog);
+
+}  // namespace artemis::ir

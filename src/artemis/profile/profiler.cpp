@@ -1,0 +1,178 @@
+#include "artemis/profile/profiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "artemis/common/str.hpp"
+
+namespace artemis::profile {
+
+namespace {
+
+/// Modelled execution time with one memory level's traffic "confined to a
+/// single thread block" (Listing 3): the level's time component collapses
+/// and the roofline is re-taken. This is the profiler's code-differencing
+/// variant V' — if V' is much faster, V was bandwidth-bound at that level.
+double time_without_level(const gpumodel::KernelEval& ev, Level level) {
+  double t_dram = ev.t_dram, t_tex = ev.t_tex, t_shm = ev.t_shm;
+  switch (level) {
+    case Level::Dram: t_dram = 0; break;
+    case Level::Tex: t_tex = 0; break;
+    case Level::Shm: t_shm = 0; break;
+  }
+  const double t_mem = std::max({t_dram, t_tex, t_shm});
+  // The overlap residual is already small; use full overlap for V'.
+  return std::max(t_mem, ev.t_compute);
+}
+
+LevelVerdict classify(double oi, double balance, double margin_lo,
+                      double margin_hi, bool has_traffic) {
+  if (!has_traffic) return LevelVerdict::NoTraffic;
+  if (oi < margin_lo * balance) return LevelVerdict::BandwidthBound;
+  if (oi >= margin_hi * balance) return LevelVerdict::ComputeBound;
+  return LevelVerdict::Inconclusive;
+}
+
+}  // namespace
+
+const char* level_name(Level l) {
+  switch (l) {
+    case Level::Dram: return "dram";
+    case Level::Tex: return "tex";
+    case Level::Shm: return "shm";
+  }
+  return "?";
+}
+
+const char* level_verdict_name(LevelVerdict v) {
+  switch (v) {
+    case LevelVerdict::BandwidthBound: return "bandwidth-bound";
+    case LevelVerdict::ComputeBound: return "compute-bound";
+    case LevelVerdict::Inconclusive: return "inconclusive";
+    case LevelVerdict::NoTraffic: return "no-traffic";
+  }
+  return "?";
+}
+
+ProfileReport profile_plan(const codegen::KernelPlan& plan,
+                           const gpumodel::DeviceSpec& dev,
+                           const gpumodel::ModelParams& params,
+                           const ProfileOptions& opts) {
+  ProfileReport rep;
+  rep.eval = gpumodel::evaluate(plan, dev, params);
+  const auto& c = rep.eval.counters;
+
+  rep.oi_dram = c.oi_dram();
+  rep.oi_tex = c.oi_tex();
+  rep.oi_shm = c.oi_shm();
+  rep.balance_dram = dev.balance_dram();
+  rep.balance_tex = dev.balance_tex();
+  rep.balance_shm = dev.balance_shm();
+
+  if (!rep.eval.valid) {
+    rep.latency_bound = false;
+    rep.register_pressure = true;
+    return rep;
+  }
+
+  rep.dram = classify(rep.oi_dram, rep.balance_dram, opts.bandwidth_margin,
+                      opts.compute_margin, c.dram_bytes() > 0);
+  rep.tex = classify(rep.oi_tex, rep.balance_tex, opts.bandwidth_margin,
+                     opts.compute_margin, c.tex_bytes > 0);
+  rep.shm = classify(rep.oi_shm, rep.balance_shm, opts.bandwidth_margin,
+                     opts.compute_margin, c.shm_bytes > 0);
+
+  // Code differencing for near-ridge levels.
+  auto difference = [&](Level level, LevelVerdict& verdict) {
+    if (verdict != LevelVerdict::Inconclusive) return;
+    const double t0 = rep.eval.time_s;
+    const double t1 = time_without_level(rep.eval, level);
+    verdict = (t0 - t1) / t0 > opts.differencing_threshold
+                  ? LevelVerdict::BandwidthBound
+                  : LevelVerdict::ComputeBound;
+    rep.differenced.push_back(level);
+  };
+  difference(Level::Dram, rep.dram);
+  difference(Level::Tex, rep.tex);
+  difference(Level::Shm, rep.shm);
+
+  rep.latency_bound = rep.eval.bound == gpumodel::Bound::Latency;
+  rep.compute_bound =
+      !rep.latency_bound &&
+      rep.dram != LevelVerdict::BandwidthBound &&
+      rep.tex != LevelVerdict::BandwidthBound &&
+      rep.shm != LevelVerdict::BandwidthBound;
+
+  const int spilled =
+      rep.eval.regs.spilled(plan.config.max_registers);
+  rep.register_pressure =
+      spilled > 0 ||
+      (rep.eval.occupancy.limiter ==
+           gpumodel::Occupancy::Limiter::Registers &&
+       rep.eval.occupancy.fraction <= 0.25);
+  return rep;
+}
+
+std::string ProfileReport::summary() const {
+  std::string s = str_cat(
+      "OI(dram)=", format_double(oi_dram, 3), "/", format_double(balance_dram, 3),
+      " [", level_verdict_name(dram), "]  OI(tex)=", format_double(oi_tex, 3),
+      "/", format_double(balance_tex, 3), " [", level_verdict_name(tex),
+      "]  OI(shm)=", format_double(oi_shm, 3), "/",
+      format_double(balance_shm, 3), " [", level_verdict_name(shm), "]");
+  if (latency_bound) s += "  latency-bound";
+  if (compute_bound) s += "  compute-bound";
+  if (register_pressure) s += "  register-pressure";
+  return s;
+}
+
+OptimizationHints derive_hints(const ProfileReport& report, bool iterative,
+                               bool uses_shmem) {
+  OptimizationHints h;
+  if (report.compute_bound) {
+    // Shared-memory staging and ILP tricks cannot help a compute-bound
+    // kernel; reduce FLOPs instead (folding, CSE).
+    h.disable_shmem_opts = true;
+    h.disable_unroll = true;
+    h.apply_flop_reduction = true;
+    h.text.push_back(
+        "kernel is compute-bound: disabling shared-memory and unrolling "
+        "optimizations; applying FLOP-reducing rewrites (folding)");
+  }
+  if (report.register_pressure) {
+    h.disable_unroll = true;
+    h.generate_fission_candidates = true;
+    h.text.push_back(
+        "high register pressure / spills detected: unrolling disabled, "
+        "generating kernel fission candidates (trivial, recompute)");
+  }
+  if (iterative && (report.bandwidth_bound_at(Level::Tex) ||
+                    report.bandwidth_bound_at(Level::Dram))) {
+    h.try_higher_fusion = true;
+    h.text.push_back(
+        "iterative stencil is bandwidth-bound at texture/DRAM: exploring a "
+        "higher fusion degree (time tiling)");
+  }
+  if (!iterative && report.bandwidth_bound_at(Level::Tex) && !uses_shmem) {
+    h.enable_shmem = true;
+    h.text.push_back(
+        "spatial stencil is texture-cache bandwidth-bound: enabling "
+        "shared-memory staging");
+  }
+  if (!iterative && uses_shmem && report.bandwidth_bound_at(Level::Dram)) {
+    h.prefer_global_version = true;
+    h.text.push_back(
+        "spatial stencil remains DRAM bandwidth-bound despite shared "
+        "memory: tuning the global-memory version; consider algorithmic "
+        "reduction of DRAM traffic or stencil order");
+  }
+  if (report.bandwidth_bound_at(Level::Shm)) {
+    h.enable_register_opts = true;
+    h.text.push_back(
+        "kernel is shared-memory bandwidth-bound: enabling register-level "
+        "optimizations (retiming, register planes, blocked unrolling)");
+  }
+  return h;
+}
+
+}  // namespace artemis::profile

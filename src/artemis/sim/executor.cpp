@@ -1,0 +1,276 @@
+#include "artemis/sim/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+
+#include "artemis/common/check.hpp"
+#include "artemis/common/parallel.hpp"
+#include "artemis/ir/analysis.hpp"
+#include "artemis/sim/interp.hpp"
+
+namespace artemis::sim {
+
+namespace {
+
+using codegen::KernelPlan;
+using codegen::TilingScheme;
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// A block-local scratch buffer standing in for the shared-memory (or
+/// register-plane) storage of a fused internal array. Covers the block's
+/// tile expanded by the plan's total halo; zero-initialized, like the
+/// intermediate global arrays of the unfused reference schedule.
+struct Scratch {
+  std::array<std::int64_t, 3> lo = {0, 0, 0};  ///< global coords (z,y,x)
+  Extents ext;
+  std::vector<double> data;
+  std::vector<std::uint8_t> written;  ///< guard-passed points only
+
+  bool contains(std::int64_t z, std::int64_t y, std::int64_t x) const {
+    return z >= lo[0] && z < lo[0] + ext.z && y >= lo[1] &&
+           y < lo[1] + ext.y && x >= lo[2] && x < lo[2] + ext.x;
+  }
+  std::size_t index(std::int64_t z, std::int64_t y, std::int64_t x) const {
+    return static_cast<std::size_t>(
+        ((z - lo[0]) * ext.y + (y - lo[1])) * ext.x + (x - lo[2]));
+  }
+  double& at(std::int64_t z, std::int64_t y, std::int64_t x) {
+    return data[index(z, y, x)];
+  }
+};
+
+}  // namespace
+
+ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
+                          const ExecOptions& opts) {
+  const bool serial = opts.serial || static_cast<bool>(opts.global_hook);
+  ExecCounters totals;
+  const int dims = plan.dims;
+
+  // --- geometry: block grid over tiled axes --------------------------------
+  std::array<std::int64_t, 3> tile = {1, 1, 1};   // x, y, z
+  std::array<std::int64_t, 3> domain = {plan.domain.x, plan.domain.y,
+                                        plan.domain.z};
+  for (int a = 0; a < dims; ++a) {
+    tile[static_cast<std::size_t>(a)] =
+        std::min(plan.tile_extent(a), domain[static_cast<std::size_t>(a)]);
+  }
+  const int sweep_axis = dims - 1;
+  if (plan.config.tiling == TilingScheme::StreamSerial) {
+    tile[static_cast<std::size_t>(sweep_axis)] =
+        domain[static_cast<std::size_t>(sweep_axis)];
+  } else if (plan.config.tiling == TilingScheme::StreamConcurrent) {
+    tile[static_cast<std::size_t>(sweep_axis)] =
+        std::min<std::int64_t>(plan.config.stream_chunk,
+                               domain[static_cast<std::size_t>(sweep_axis)]);
+  }
+  std::array<std::int64_t, 3> nblocks = {1, 1, 1};
+  for (int a = 0; a < dims; ++a) {
+    nblocks[static_cast<std::size_t>(a)] =
+        ceil_div(domain[static_cast<std::size_t>(a)],
+                 tile[static_cast<std::size_t>(a)]);
+  }
+  const std::int64_t total_blocks = nblocks[0] * nblocks[1] * nblocks[2];
+  totals.blocks = total_blocks;
+
+  // --- arrays read-and-written with neighbor offsets: snapshot -------------
+  const std::set<std::string> internals(plan.internal_arrays.begin(),
+                                        plan.internal_arrays.end());
+  std::map<std::string, Grid3D> snapshots;
+  for (const auto& [name, ai] : plan.info.arrays) {
+    if (!ai.read || !ai.written || internals.count(name)) continue;
+    bool non_center = false;
+    for (const auto& off : ai.read_offsets) {
+      for (const auto& ix : off) {
+        if (ix.is_const() || ix.offset != 0) non_center = true;
+      }
+    }
+    if (non_center) snapshots.emplace(name, gs.grid(name));
+  }
+
+  // Scalar environment shared by all stages.
+  std::map<std::string, double> env;
+  for (const auto& name : plan.info.scalars_read) {
+    env[name] = gs.scalar(name);
+  }
+
+  // The streamed axis of serial streaming carries no recompute expansion
+  // (Fig. 1c); spatial tiling expands every axis.
+  auto expansion = [&](std::size_t stage, int axis) -> std::int64_t {
+    if (plan.config.tiling == TilingScheme::StreamSerial &&
+        axis == sweep_axis) {
+      return 0;
+    }
+    return plan.stage_expand[stage][static_cast<std::size_t>(axis)];
+  };
+
+  std::atomic<std::int64_t> computed{0}, skipped{0}, greads{0}, gwrites{0},
+      sreads{0}, swrites{0};
+
+  const auto run_block = [&](std::int64_t block_id) {
+    // Decode block coordinates (x fastest).
+    std::array<std::int64_t, 3> bc;
+    bc[0] = block_id % nblocks[0];
+    bc[1] = (block_id / nblocks[0]) % nblocks[1];
+    bc[2] = block_id / (nblocks[0] * nblocks[1]);
+
+    std::array<std::int64_t, 3> own_lo = {0, 0, 0};
+    std::array<std::int64_t, 3> own_hi = {1, 1, 1};  // exclusive
+    for (int a = 0; a < dims; ++a) {
+      const auto idx = static_cast<std::size_t>(a);
+      own_lo[idx] = bc[idx] * tile[idx];
+      own_hi[idx] = std::min(own_lo[idx] + tile[idx], domain[idx]);
+    }
+
+    // Scratch for internal arrays: tile expanded by the total plan halo
+    // (a superset of any stage's requirement).
+    std::map<std::string, Scratch> scratch;
+    for (const auto& name : plan.internal_arrays) {
+      Scratch s;
+      std::array<std::int64_t, 3> ext = {1, 1, 1};
+      for (int a = 0; a < dims; ++a) {
+        const auto idx = static_cast<std::size_t>(a);
+        const std::int64_t h =
+            (plan.config.tiling == TilingScheme::StreamSerial &&
+             a == sweep_axis)
+                ? 0
+                : plan.radius[idx];
+        s.lo[2 - a] = own_lo[idx] - h;  // Scratch::lo is (z,y,x)
+        ext[idx] = (own_hi[idx] - own_lo[idx]) + 2 * h;
+      }
+      s.ext = {ext[2], ext[1], ext[0]};
+      s.data.assign(static_cast<std::size_t>(s.ext.volume()), 0.0);
+      s.written.assign(static_cast<std::size_t>(s.ext.volume()), 0);
+      scratch.emplace(name, std::move(s));
+    }
+
+    const ArrayReader reader = [&](const std::string& name, std::int64_t z,
+                                   std::int64_t y,
+                                   std::int64_t x) -> std::optional<double> {
+      if (const auto it = scratch.find(name); it != scratch.end()) {
+        // Reads outside the domain veto the point, mirroring the unfused
+        // schedule where the intermediate array has no such element.
+        const Grid3D& shape = gs.grid(name);
+        if (!shape.in_bounds(z, y, x)) return std::nullopt;
+        ARTEMIS_CHECK_MSG(it->second.contains(z, y, x),
+                          "internal read of '"
+                              << name << "' at (" << z << "," << y << "," << x
+                              << ") escapes its scratch region: plan halo "
+                                 "geometry is wrong");
+        sreads.fetch_add(1, std::memory_order_relaxed);
+        return it->second.at(z, y, x);
+      }
+      const auto snap = snapshots.find(name);
+      const Grid3D& g =
+          snap != snapshots.end() ? snap->second : gs.grid(name);
+      if (!g.in_bounds(z, y, x)) return std::nullopt;
+      greads.fetch_add(1, std::memory_order_relaxed);
+      if (opts.global_hook) opts.global_hook(name, z, y, x, false);
+      return g.at(z, y, x);
+    };
+
+    for (std::size_t s = 0; s < plan.stages.size(); ++s) {
+      const bool final_stage = (s + 1 == plan.stages.size());
+      // Region this stage computes: owned tile expanded by stage_expand.
+      std::array<std::int64_t, 3> lo = own_lo, hi = own_hi;
+      for (int a = 0; a < dims; ++a) {
+        const auto idx = static_cast<std::size_t>(a);
+        const std::int64_t e = expansion(s, a);
+        lo[idx] = std::max<std::int64_t>(lo[idx] - e, 0);
+        hi[idx] = std::min(hi[idx] + e, domain[idx]);
+      }
+
+      const ArrayWriter writer = [&](const std::string& name, std::int64_t z,
+                                     std::int64_t y, std::int64_t x,
+                                     double v) {
+        if (const auto it = scratch.find(name); it != scratch.end()) {
+          ARTEMIS_CHECK_MSG(it->second.contains(z, y, x),
+                            "internal write of '" << name
+                                                  << "' escapes scratch");
+          it->second.at(z, y, x) = v;
+          it->second.written[it->second.index(z, y, x)] = 1;
+          swrites.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        // External arrays commit only inside the owned tile to avoid
+        // double-writes from overlapping expanded regions.
+        const bool owned = z >= (dims >= 3 ? own_lo[2] : 0) &&
+                           z < (dims >= 3 ? own_hi[2] : 1) &&
+                           y >= (dims >= 2 ? own_lo[1] : 0) &&
+                           y < (dims >= 2 ? own_hi[1] : 1) &&
+                           x >= own_lo[0] && x < own_hi[0];
+        if (!owned) return;
+        gs.grid(name).at(z, y, x) = v;
+        gwrites.fetch_add(1, std::memory_order_relaxed);
+        if (opts.global_hook) opts.global_hook(name, z, y, x, true);
+      };
+
+      (void)final_stage;
+      std::vector<std::int64_t> itv(static_cast<std::size_t>(dims), 0);
+      const std::int64_t z_lo = dims >= 3 ? lo[2] : 0;
+      const std::int64_t z_hi = dims >= 3 ? hi[2] : 1;
+      const std::int64_t y_lo = dims >= 2 ? lo[1] : 0;
+      const std::int64_t y_hi = dims >= 2 ? hi[1] : 1;
+      for (std::int64_t z = z_lo; z < z_hi; ++z) {
+        for (std::int64_t y = y_lo; y < y_hi; ++y) {
+          for (std::int64_t x = lo[0]; x < hi[0]; ++x) {
+            if (dims == 3) {
+              itv = {z, y, x};
+            } else if (dims == 2) {
+              itv = {y, x};
+            } else {
+              itv = {x};
+            }
+            if (apply_stmts_at_point(plan.stages[s].stmts, env, itv, reader,
+                                     writer)) {
+              computed.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              skipped.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      }
+    }
+
+    // Materialize internal arrays that are also program outputs: commit
+    // the owned-tile region of their scratch to global memory.
+    for (const auto& name : plan.materialized_internals) {
+      auto& s = scratch.at(name);
+      Grid3D& g = gs.grid(name);
+      const std::int64_t z_lo = dims >= 3 ? own_lo[2] : 0;
+      const std::int64_t z_hi = dims >= 3 ? own_hi[2] : 1;
+      const std::int64_t y_lo = dims >= 2 ? own_lo[1] : 0;
+      const std::int64_t y_hi = dims >= 2 ? own_hi[1] : 1;
+      for (std::int64_t z = z_lo; z < z_hi; ++z) {
+        for (std::int64_t y = y_lo; y < y_hi; ++y) {
+          for (std::int64_t x = own_lo[0]; x < own_hi[0]; ++x) {
+            if (!g.in_bounds(z, y, x)) continue;
+            if (!s.written[s.index(z, y, x)]) continue;
+            g.at(z, y, x) = s.at(z, y, x);
+            gwrites.fetch_add(1, std::memory_order_relaxed);
+            if (opts.global_hook) opts.global_hook(name, z, y, x, true);
+          }
+        }
+      }
+    }
+  };
+  if (serial) {
+    for (std::int64_t b = 0; b < total_blocks; ++b) run_block(b);
+  } else {
+    parallel_for(total_blocks, run_block);
+  }
+
+  totals.computed_points = computed.load();
+  totals.skipped_points = skipped.load();
+  totals.global_read_elems = greads.load();
+  totals.global_write_elems = gwrites.load();
+  totals.scratch_read_elems = sreads.load();
+  totals.scratch_write_elems = swrites.load();
+  return totals;
+}
+
+}  // namespace artemis::sim

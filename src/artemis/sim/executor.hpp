@@ -1,0 +1,55 @@
+#pragma once
+
+#include <functional>
+
+#include "artemis/codegen/plan.hpp"
+#include "artemis/sim/gridset.hpp"
+
+namespace artemis::sim {
+
+/// Element-level counts gathered while executing a plan; used by tests to
+/// cross-check the analytic performance model's traffic formulas.
+struct ExecCounters {
+  std::int64_t computed_points = 0;   ///< stencil applications incl. recompute
+  std::int64_t skipped_points = 0;    ///< vetoed by the boundary guard
+  std::int64_t global_read_elems = 0; ///< element reads from global arrays
+  std::int64_t global_write_elems = 0;
+  std::int64_t scratch_read_elems = 0;  ///< reads from fused internal buffers
+  std::int64_t scratch_write_elems = 0;
+  std::int64_t blocks = 0;
+};
+
+/// Execution options. The global-access hook exists for trace-driven
+/// cache validation (bench/cache_validation): it receives every
+/// global-space element access (reads and committed writes) in a
+/// deterministic single-threaded block order.
+struct ExecOptions {
+  /// Force single-threaded, block-id-ordered execution (implied by hook).
+  bool serial = false;
+  /// (array, z, y, x, is_write) for each global access.
+  std::function<void(const std::string&, std::int64_t, std::int64_t,
+                     std::int64_t, bool)>
+      global_hook;
+};
+
+/// Execute a kernel plan over real grids, faithfully reproducing the
+/// generated code's block decomposition:
+///
+///  - the output domain is tiled exactly as the plan tiles it (spatial
+///    tiles, serial streaming columns, or concurrent streaming chunks);
+///  - fused stages compute over tiles expanded by their overlapped-tiling
+///    expansion (plan.stage_expand), with internal arrays living in
+///    zero-initialized block-local scratch (the shared-memory stand-in);
+///  - external outputs commit only within the block's owned tile;
+///  - a point is skipped when any read falls outside the domain (the CUDA
+///    boundary guard), and arrays read-and-written with neighbor offsets
+///    are snapshotted so all blocks observe pre-kernel values.
+///
+/// Numerical results therefore match run_stencil_reference exactly for
+/// identical statement lists; geometry bugs (wrong halo, missing
+/// expansion) surface as mismatches. Throws if an internal-array read
+/// escapes its scratch region (a planner bug by construction).
+ExecCounters execute_plan(const codegen::KernelPlan& plan, GridSet& gs,
+                          const ExecOptions& opts = {});
+
+}  // namespace artemis::sim

@@ -1,0 +1,98 @@
+#include "artemis/sim/gridset.hpp"
+
+#include <algorithm>
+
+#include "artemis/common/check.hpp"
+#include "artemis/common/str.hpp"
+
+namespace artemis::sim {
+
+Extents extents_of(const ir::Program& prog, const ir::ArrayDecl& decl) {
+  std::array<std::int64_t, 3> zyx = {1, 1, 1};
+  const std::size_t nd = decl.dims.size();
+  ARTEMIS_CHECK(nd >= 1 && nd <= 3);
+  for (std::size_t d = 0; d < nd; ++d) {
+    zyx[3 - nd + d] = prog.param_value(decl.dims[d]);
+  }
+  return {zyx[0], zyx[1], zyx[2]};
+}
+
+GridSet GridSet::from_program(const ir::Program& prog, std::uint64_t seed) {
+  GridSet gs;
+  Rng rng(seed);
+  const auto is_copyin = [&prog](const std::string& name) {
+    return std::find(prog.copyin.begin(), prog.copyin.end(), name) !=
+           prog.copyin.end();
+  };
+  for (const auto& decl : prog.arrays) {
+    auto grid = std::make_shared<Grid3D>(extents_of(prog, decl), 0.0);
+    if (is_copyin(decl.name)) {
+      for (auto& v : grid->raw()) v = rng.uniform(-1.0, 1.0);
+    }
+    gs.grids_[decl.name] = std::move(grid);
+  }
+  for (const auto& s : prog.scalars) {
+    gs.scalars_[s.name] = is_copyin(s.name) ? rng.uniform(0.5, 1.5) : 0.0;
+  }
+  return gs;
+}
+
+Grid3D& GridSet::grid(const std::string& name) {
+  const auto it = grids_.find(name);
+  ARTEMIS_CHECK_MSG(it != grids_.end(), "no grid named '" << name << "'");
+  return *it->second;
+}
+
+const Grid3D& GridSet::grid(const std::string& name) const {
+  const auto it = grids_.find(name);
+  ARTEMIS_CHECK_MSG(it != grids_.end(), "no grid named '" << name << "'");
+  return *it->second;
+}
+
+double GridSet::scalar(const std::string& name) const {
+  const auto it = scalars_.find(name);
+  ARTEMIS_CHECK_MSG(it != scalars_.end(), "no scalar named '" << name << "'");
+  return it->second;
+}
+
+void GridSet::add_grid(const std::string& name, Extents extents,
+                       double fill) {
+  ARTEMIS_CHECK_MSG(!grids_.count(name),
+                    "grid '" << name << "' already exists");
+  grids_[name] = std::make_shared<Grid3D>(extents, fill);
+}
+
+void GridSet::swap(const std::string& a, const std::string& b) {
+  const auto ia = grids_.find(a);
+  const auto ib = grids_.find(b);
+  ARTEMIS_CHECK_MSG(ia != grids_.end() && ib != grids_.end(),
+                    "swap of unknown grids " << a << ", " << b);
+  std::swap(ia->second, ib->second);
+}
+
+void zero_boundary(Grid3D& g, std::int64_t margin) {
+  const auto& e = g.extents();
+  const std::int64_t mz = e.z > 2 * margin ? margin : 0;
+  const std::int64_t my = e.y > 2 * margin ? margin : 0;
+  const std::int64_t mx = e.x > 2 * margin ? margin : 0;
+  for (std::int64_t z = 0; z < e.z; ++z) {
+    for (std::int64_t y = 0; y < e.y; ++y) {
+      for (std::int64_t x = 0; x < e.x; ++x) {
+        const bool interior = z >= mz && z < e.z - mz && y >= my &&
+                              y < e.y - my && x >= mx && x < e.x - mx;
+        if (!interior) g.at(z, y, x) = 0.0;
+      }
+    }
+  }
+}
+
+GridSet GridSet::clone() const {
+  GridSet out;
+  for (const auto& [name, grid] : grids_) {
+    out.grids_[name] = std::make_shared<Grid3D>(*grid);
+  }
+  out.scalars_ = scalars_;
+  return out;
+}
+
+}  // namespace artemis::sim

@@ -1,0 +1,141 @@
+#include "artemis/sim/interp.hpp"
+
+#include <cmath>
+
+#include "artemis/common/check.hpp"
+#include "artemis/common/str.hpp"
+
+namespace artemis::sim {
+
+std::array<std::int64_t, 3> access_coords(
+    const std::vector<ir::IndexExpr>& indices,
+    const std::vector<std::int64_t>& itv) {
+  std::array<std::int64_t, 3> zyx = {0, 0, 0};
+  const std::size_t nd = indices.size();
+  ARTEMIS_CHECK(nd >= 1 && nd <= 3);
+  for (std::size_t d = 0; d < nd; ++d) {
+    const auto& ix = indices[d];
+    std::int64_t v = ix.offset;
+    if (!ix.is_const()) {
+      ARTEMIS_CHECK(static_cast<std::size_t>(ix.iter) < itv.size());
+      v += itv[static_cast<std::size_t>(ix.iter)];
+    }
+    zyx[3 - nd + d] = v;
+  }
+  return zyx;
+}
+
+std::optional<double> eval_expr(const ir::Expr& e,
+                                const std::map<std::string, double>& scalars,
+                                const std::map<std::string, double>& locals,
+                                const std::vector<std::int64_t>& itv,
+                                const ArrayReader& reader) {
+  using ir::ExprKind;
+  switch (e.kind) {
+    case ExprKind::Number:
+      return e.number;
+    case ExprKind::ScalarRef: {
+      if (const auto it = locals.find(e.name); it != locals.end()) {
+        return it->second;
+      }
+      const auto it = scalars.find(e.name);
+      ARTEMIS_CHECK_MSG(it != scalars.end(),
+                        "unbound scalar '" << e.name << "'");
+      return it->second;
+    }
+    case ExprKind::ArrayRef: {
+      const auto c = access_coords(e.indices, itv);
+      return reader(e.name, c[0], c[1], c[2]);
+    }
+    case ExprKind::Unary: {
+      const auto v = eval_expr(*e.args[0], scalars, locals, itv, reader);
+      if (!v) return std::nullopt;
+      return -*v;
+    }
+    case ExprKind::Binary: {
+      const auto a = eval_expr(*e.args[0], scalars, locals, itv, reader);
+      if (!a) return std::nullopt;
+      const auto b = eval_expr(*e.args[1], scalars, locals, itv, reader);
+      if (!b) return std::nullopt;
+      switch (e.bop) {
+        case ir::BinOp::Add: return *a + *b;
+        case ir::BinOp::Sub: return *a - *b;
+        case ir::BinOp::Mul: return *a * *b;
+        case ir::BinOp::Div: return *a / *b;
+      }
+      return std::nullopt;
+    }
+    case ExprKind::Call: {
+      std::vector<double> args;
+      args.reserve(e.args.size());
+      for (const auto& a : e.args) {
+        const auto v = eval_expr(*a, scalars, locals, itv, reader);
+        if (!v) return std::nullopt;
+        args.push_back(*v);
+      }
+      if (e.name == "sqrt") return std::sqrt(args.at(0));
+      if (e.name == "fabs") return std::fabs(args.at(0));
+      if (e.name == "exp") return std::exp(args.at(0));
+      if (e.name == "log") return std::log(args.at(0));
+      if (e.name == "min") return std::min(args.at(0), args.at(1));
+      if (e.name == "max") return std::max(args.at(0), args.at(1));
+      if (e.name == "pow") return std::pow(args.at(0), args.at(1));
+      throw Error(str_cat("unknown intrinsic '", e.name, "'"));
+    }
+  }
+  return std::nullopt;
+}
+
+bool apply_stmts_at_point(const std::vector<ir::Stmt>& stmts,
+                          const std::map<std::string, double>& scalars,
+                          const std::vector<std::int64_t>& itv,
+                          const ArrayReader& reader,
+                          const ArrayWriter& writer) {
+  std::map<std::string, double> locals;
+  struct PendingWrite {
+    std::string array;
+    std::array<std::int64_t, 3> coords;
+    double value;
+  };
+  std::vector<PendingWrite> writes;
+
+  // Reads of arrays written earlier in this statement list at this point
+  // must observe the pending (not yet committed) values.
+  auto read_with_pending =
+      [&](const std::string& name, std::int64_t z, std::int64_t y,
+          std::int64_t x) -> std::optional<double> {
+    for (auto it = writes.rbegin(); it != writes.rend(); ++it) {
+      if (it->array == name && it->coords[0] == z && it->coords[1] == y &&
+          it->coords[2] == x) {
+        return it->value;
+      }
+    }
+    return reader(name, z, y, x);
+  };
+
+  for (const auto& st : stmts) {
+    const auto v =
+        eval_expr(*st.rhs, scalars, locals, itv, read_with_pending);
+    if (!v) return false;
+    if (st.declares_local) {
+      locals[st.lhs_name] = *v;
+      continue;
+    }
+    const auto coords = access_coords(st.lhs_indices, itv);
+    double value = *v;
+    if (st.accumulate) {
+      const auto cur =
+          read_with_pending(st.lhs_name, coords[0], coords[1], coords[2]);
+      if (!cur) return false;
+      value += *cur;
+    }
+    writes.push_back({st.lhs_name, coords, value});
+  }
+
+  for (const auto& w : writes) {
+    writer(w.array, w.coords[0], w.coords[1], w.coords[2], w.value);
+  }
+  return true;
+}
+
+}  // namespace artemis::sim

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "artemis/ir/program.hpp"
+
+namespace artemis::sim {
+
+/// Read one array element at global coordinates (z, y, x); nullopt means
+/// the access is out of bounds, which vetoes the whole point (the CUDA
+/// guard `if (j >= j0+1 && ...)` semantics).
+using ArrayReader = std::function<std::optional<double>(
+    const std::string&, std::int64_t, std::int64_t, std::int64_t)>;
+
+/// Commit one array write at global coordinates.
+using ArrayWriter = std::function<void(const std::string&, std::int64_t,
+                                       std::int64_t, std::int64_t, double)>;
+
+/// Apply a stencil statement list at one grid point.
+///
+/// `itv` holds the iterator values, outermost first (so for a 3D program
+/// itv = {z, y, x}). Scalars resolve from `scalars`; local temporaries are
+/// evaluated in statement order. All writes are buffered and committed
+/// atomically only if every read was in bounds; returns false (and writes
+/// nothing) when the point must be skipped.
+///
+/// Accumulation statements (`+=`) read the current value through `reader`.
+bool apply_stmts_at_point(const std::vector<ir::Stmt>& stmts,
+                          const std::map<std::string, double>& scalars,
+                          const std::vector<std::int64_t>& itv,
+                          const ArrayReader& reader,
+                          const ArrayWriter& writer);
+
+/// Evaluate a single expression at a point; nullopt on out-of-bounds reads.
+std::optional<double> eval_expr(
+    const ir::Expr& e, const std::map<std::string, double>& scalars,
+    const std::map<std::string, double>& locals,
+    const std::vector<std::int64_t>& itv, const ArrayReader& reader);
+
+/// Map an access's index vector (length = array dimensionality) to global
+/// (z, y, x) coordinates given iterator values.
+std::array<std::int64_t, 3> access_coords(
+    const std::vector<ir::IndexExpr>& indices,
+    const std::vector<std::int64_t>& itv);
+
+}  // namespace artemis::sim

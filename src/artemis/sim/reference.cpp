@@ -1,0 +1,105 @@
+#include "artemis/sim/reference.hpp"
+
+#include <set>
+
+#include "artemis/common/check.hpp"
+#include "artemis/common/parallel.hpp"
+#include "artemis/sim/interp.hpp"
+
+namespace artemis::sim {
+
+namespace {
+
+/// Scalar environment for a bound stencil: program scalars by name.
+std::map<std::string, double> scalar_env(const ir::Program& prog,
+                                         const ir::BoundStencil& bound,
+                                         const GridSet& gs) {
+  std::map<std::string, double> env;
+  const ir::StencilInfo info = ir::analyze(prog, bound);
+  for (const auto& name : info.scalars_read) {
+    env[name] = gs.scalar(name);
+  }
+  return env;
+}
+
+}  // namespace
+
+void run_stencil_reference(const ir::Program& prog,
+                           const ir::BoundStencil& bound, GridSet& gs) {
+  const ir::StencilInfo info = ir::analyze(prog, bound);
+  const auto env = scalar_env(prog, bound, gs);
+
+  // Snapshot arrays that are read at non-center offsets and also written.
+  std::map<std::string, Grid3D> snapshots;
+  for (const auto& [name, ai] : info.arrays) {
+    if (!ai.read || !ai.written) continue;
+    bool non_center = false;
+    for (const auto& off : ai.read_offsets) {
+      for (const auto& ix : off) {
+        if (ix.is_const() || ix.offset != 0) non_center = true;
+      }
+    }
+    if (non_center) snapshots.emplace(name, gs.grid(name));
+  }
+
+  ARTEMIS_CHECK_MSG(!info.outputs.empty(),
+                    "stencil '" << bound.name << "' writes nothing");
+  const Extents dom = gs.grid(info.outputs.front()).extents();
+  for (const auto& out : info.outputs) {
+    ARTEMIS_CHECK_MSG(gs.grid(out).extents() == dom,
+                      "outputs of '" << bound.name
+                                     << "' have mismatched extents");
+  }
+
+  const ArrayReader reader = [&](const std::string& name, std::int64_t z,
+                                 std::int64_t y,
+                                 std::int64_t x) -> std::optional<double> {
+    const auto snap = snapshots.find(name);
+    const Grid3D& g = snap != snapshots.end() ? snap->second : gs.grid(name);
+    if (!g.in_bounds(z, y, x)) return std::nullopt;
+    return g.at(z, y, x);
+  };
+  const ArrayWriter writer = [&](const std::string& name, std::int64_t z,
+                                 std::int64_t y, std::int64_t x, double v) {
+    gs.grid(name).at(z, y, x) = v;
+  };
+
+  const int dims = static_cast<int>(prog.iterators.size());
+  std::vector<std::int64_t> itv(static_cast<std::size_t>(dims), 0);
+  // Parallelize over the outermost axis: points are independent
+  // (snapshotted reads), and each z owns disjoint writes... except that
+  // all writes target the same arrays, at distinct coordinates, which is
+  // safe.
+  parallel_for(dom.z, [&](std::int64_t z) {
+    std::vector<std::int64_t> it_local(static_cast<std::size_t>(dims), 0);
+    for (std::int64_t y = 0; y < dom.y; ++y) {
+      for (std::int64_t x = 0; x < dom.x; ++x) {
+        // itv is ordered outermost-first; trailing axes map to x.
+        if (dims == 3) {
+          it_local = {z, y, x};
+        } else if (dims == 2) {
+          it_local = {y, x};
+        } else {
+          it_local = {x};
+        }
+        apply_stmts_at_point(bound.stmts, env, it_local, reader, writer);
+      }
+    }
+  });
+  (void)itv;
+}
+
+void run_program_reference(const ir::Program& prog, GridSet& gs) {
+  for (const auto& step : ir::flatten_steps(prog)) {
+    switch (step.kind) {
+      case ir::ExecStep::Kind::Stencil:
+        run_stencil_reference(prog, step.stencil, gs);
+        break;
+      case ir::ExecStep::Kind::Swap:
+        gs.swap(step.swap.a, step.swap.b);
+        break;
+    }
+  }
+}
+
+}  // namespace artemis::sim

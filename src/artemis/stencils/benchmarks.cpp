@@ -1,0 +1,610 @@
+#include "artemis/stencils/benchmarks.hpp"
+
+#include <array>
+
+#include "artemis/common/check.hpp"
+#include "artemis/common/str.hpp"
+#include "artemis/dsl/parser.hpp"
+
+namespace artemis::stencils {
+
+namespace {
+
+/// "arr[k+dk][j+dj][i+di]" (3D access).
+std::string at(const std::string& arr, int dk, int dj, int di) {
+  auto idx = [](const char* it, int off) {
+    if (off == 0) return std::string(it);
+    if (off > 0) return str_cat(it, "+", off);
+    return str_cat(it, off);
+  };
+  return str_cat(arr, "[", idx("k", dk), "][", idx("j", dj), "][",
+                 idx("i", di), "]");
+}
+
+/// Offset access along one axis: dim 0 = k, 1 = j, 2 = i.
+std::string at_dim(const std::string& arr, int dim, int off) {
+  const int dk = dim == 0 ? off : 0;
+  const int dj = dim == 1 ? off : 0;
+  const int di = dim == 2 ? off : 0;
+  return at(arr, dk, dj, di);
+}
+
+/// Order-4 central first derivative along `dim`, 11 FLOPs:
+/// c1*(A[+1]-A[-1]) + c2*(A[+2]-A[-2]) + c3*(A[+3]-A[-3]) + c4*(A[+4]-A[-4])
+std::string d4(const std::string& arr, int dim) {
+  std::vector<std::string> groups;
+  const char* coeff[] = {"0.8", "0.2", "0.038", "0.0035"};
+  for (int o = 1; o <= 4; ++o) {
+    groups.push_back(str_cat(coeff[o - 1], "*(", at_dim(arr, dim, o), " - ",
+                             at_dim(arr, dim, -o), ")"));
+  }
+  return join(groups, " + ");
+}
+
+/// Order-2 central first derivative along `dim`, 5 FLOPs.
+std::string d2(const std::string& arr, int dim, const std::string& c1,
+               const std::string& c2) {
+  return str_cat(c1, "*(", at_dim(arr, dim, 1), " - ", at_dim(arr, dim, -1),
+                 ") + ", c2, "*(", at_dim(arr, dim, 2), " - ",
+                 at_dim(arr, dim, -2), ")");
+}
+
+std::string header3d(std::int64_t n) {
+  return str_cat("parameter L=", n, ", M=", n, ", N=", n,
+                 ";\niterator k, j, i;\n");
+}
+
+// --------------------------------------------------------------------------
+// HPGMG smoothers and the denoise pipeline (written out).
+// --------------------------------------------------------------------------
+
+std::string gen_7pt(std::int64_t n, int t) {
+  return str_cat(header3d(n), R"(double u[L,M,N], un[L,M,N], a, b;
+copyin u, a, b;
+#pragma stream k block (32,16)
+stencil smooth (UN, U, a, b) {
+  UN[k][j][i] = a*U[k][j][i] - b*(U[k][j][i+1] + U[k][j][i-1]
+    + U[k][j+1][i] + U[k][j-1][i] + U[k+1][j][i] + U[k-1][j][i]
+    - U[k][j][i]*6.0);
+}
+iterate )",
+                 t, R"( {
+  smooth (un, u, a, b);
+  swap (un, u);
+}
+copyout u;
+)");
+}
+
+std::string gen_27pt(std::int64_t n, int t) {
+  // 27-point weighted smoother: center + 6 faces + 12 edges + 8 corners.
+  std::vector<std::string> faces, edges, corners;
+  for (int dk = -1; dk <= 1; ++dk) {
+    for (int dj = -1; dj <= 1; ++dj) {
+      for (int di = -1; di <= 1; ++di) {
+        const int nz = std::abs(dk) + std::abs(dj) + std::abs(di);
+        const std::string a = at("U", dk, dj, di);
+        if (nz == 1) faces.push_back(a);
+        if (nz == 2) edges.push_back(a);
+        if (nz == 3) corners.push_back(a);
+      }
+    }
+  }
+  return str_cat(header3d(n),
+                 "double u[L,M,N], un[L,M,N], w0, w1, w2, w3, c;\n"
+                 "copyin u, w0, w1, w2, w3, c;\n"
+                 "#pragma stream k block (32,16)\n"
+                 "stencil smooth (UN, U, w0, w1, w2, w3, c) {\n"
+                 "  UN[k][j][i] = w0*U[k][j][i]\n    + w1*(",
+                 join(faces, " + "), ")\n    + w2*(", join(edges, " + "),
+                 ")\n    + w3*(", join(corners, " + "),
+                 ")\n    - c*U[k][j][i];\n}\niterate ", t,
+                 " {\n  smooth (un, u, w0, w1, w2, w3, c);\n"
+                 "  swap (un, u);\n}\ncopyout u;\n");
+}
+
+std::string gen_helmholtz(std::int64_t n, int t) {
+  return str_cat(header3d(n), R"(double u[L,M,N], un[L,M,N], a, b, h2inv;
+copyin u, a, b, h2inv;
+#pragma stream k block (32,16)
+stencil helm (UN, U, a, b, h2inv) {
+  double s1 = U[k][j][i+1] + U[k][j][i-1] + U[k][j+1][i] + U[k][j-1][i]
+    + U[k+1][j][i] + U[k-1][j][i];
+  double s2 = U[k][j][i+2] + U[k][j][i-2] + U[k][j+2][i] + U[k][j-2][i]
+    + U[k+2][j][i] + U[k-2][j][i];
+  UN[k][j][i] = a*U[k][j][i] - b*(s1 + h2inv*s2 - 6.0*U[k][j][i]);
+}
+iterate )",
+                 t, R"( {
+  helm (un, u, a, b, h2inv);
+  swap (un, u);
+}
+copyout u;
+)");
+}
+
+std::string gen_denoise(std::int64_t n, int t) {
+  // CDSC-style denoise: a diffusion-coefficient stage followed by the
+  // weighted update; two stencils per iteration (multi-statement DAG).
+  return str_cat(header3d(n),
+                 R"(double u[L,M,N], un[L,M,N], g[L,M,N], f[L,M,N], eps, dt, gamma;
+copyin u, f, eps, dt, gamma;
+#pragma stream k block (32,16)
+stencil diffus (G, U, eps) {
+  double dx = U[k][j][i] - U[k][j][i+1];
+  double dy = U[k][j][i] - U[k][j+1][i];
+  double dz = U[k][j][i] - U[k+1][j][i];
+  double dx2 = U[k][j][i] - U[k][j][i-1];
+  double dy2 = U[k][j][i] - U[k][j-1][i];
+  double dz2 = U[k][j][i] - U[k-1][j][i];
+  double cx = 0.5*(U[k][j][i+1] - U[k][j][i-1]);
+  double cy = 0.5*(U[k][j+1][i] - U[k][j-1][i]);
+  double cz = 0.5*(U[k+1][j][i] - U[k-1][j][i]);
+  G[k][j][i] = 1.0 / sqrt(eps + dx*dx + dy*dy + dz*dz
+    + dx2*dx2 + dy2*dy2 + dz2*dz2
+    + 0.25*(cx*cx + cy*cy + cz*cz));
+}
+stencil update (UN, U, G, F, dt, gamma) {
+  double num = U[k][j][i] + dt*(U[k][j][i+1]*G[k][j][i+1]
+    + U[k][j][i-1]*G[k][j][i-1] + U[k][j+1][i]*G[k][j+1][i]
+    + U[k][j-1][i]*G[k][j-1][i] + U[k+1][j][i]*G[k+1][j][i]
+    + U[k-1][j][i]*G[k-1][j][i] + gamma*F[k][j][i]);
+  double den = 1.0 + dt*(G[k][j][i+1] + G[k][j][i-1] + G[k][j+1][i]
+    + G[k][j-1][i] + G[k+1][j][i] + G[k-1][j][i] + gamma);
+  UN[k][j][i] = num / den;
+}
+iterate )",
+                 t, R"( {
+  diffus (g, u, eps);
+  update (un, u, g, f, dt, gamma);
+  swap (un, u);
+}
+copyout u;
+)");
+}
+
+// --------------------------------------------------------------------------
+// ExpCNS synthesized kernels: miniflux, hypterm, diffterm.
+// --------------------------------------------------------------------------
+
+std::string gen_miniflux(std::int64_t n, int /*t*/) {
+  std::string decls =
+      "double dx0, dx1, dy0, dy1, dz0, dz1;\ncopyin dx0, dx1, dy0, dy1, "
+      "dz0, dz1";
+  std::string arrays = "double ";
+  std::vector<std::string> arr_names;
+  for (int c = 0; c < 5; ++c) arr_names.push_back(str_cat("flux", c));
+  for (int c = 0; c < 5; ++c) arr_names.push_back(str_cat("q", c));
+  for (int c = 0; c < 5; ++c) arr_names.push_back(str_cat("cons", c));
+  for (int c = 0; c < 3; ++c) arr_names.push_back(str_cat("vel", c));
+  arr_names.push_back("pres");
+  arr_names.push_back("rho");
+  for (int c = 0; c < 5; ++c) arr_names.push_back(str_cat("aux", c));
+  std::vector<std::string> withdims;
+  for (const auto& a : arr_names) withdims.push_back(a + "[L,M,N]");
+  arrays += join(withdims, ", ") + ";\n";
+
+  std::string copyin = "copyin ";
+  std::vector<std::string> ins(arr_names.begin() + 5, arr_names.end());
+  copyin += join(ins, ", ") + ";\n";
+
+  std::string body;
+  std::vector<std::string> params = {"F0", "F1", "F2", "F3", "F4"};
+  std::vector<std::string> args;
+  for (int c = 0; c < 5; ++c) args.push_back(str_cat("flux", c));
+  for (const auto& a : ins) {
+    params.push_back("p_" + a);
+    args.push_back(a);
+  }
+  params.insert(params.end(),
+                {"dx0", "dx1", "dy0", "dy1", "dz0", "dz1"});
+  args.insert(args.end(), {"dx0", "dx1", "dy0", "dy1", "dz0", "dz1"});
+
+  for (int c = 0; c < 5; ++c) {
+    const std::string q = str_cat("p_q", c);
+    const std::string cons = str_cat("p_cons", c);
+    const std::string aux = str_cat("p_aux", c);
+    body += str_cat(
+        "  F", c, "[k][j][i] = ", d2(q, 2, "dx0", "dx1"), "\n    + ",
+        d2(q, 1, "dy0", "dy1"), "\n    + ", d2(q, 0, "dz0", "dz1"),
+        "\n    + ", cons,
+        "[k][j][i]*(p_vel0[k][j][i] + p_vel1[k][j][i] + p_vel2[k][j][i])",
+        "\n    + ", aux, "[k][j][i]*p_pres[k][j][i] - p_rho[k][j][i]*", q,
+        "[k][j][i] - 2.0*", q, "[k][j][i];\n");
+  }
+
+  return str_cat(header3d(n), arrays, decls, ";\n", copyin,
+                 "#pragma block (32,8)\nstencil miniflux (",
+                 join(params, ", "), ") {\n", body, "}\nminiflux (",
+                 join(args, ", "), ");\ncopyout flux0, flux1, flux2, flux3, "
+                 "flux4;\n");
+}
+
+std::string gen_hypterm(std::int64_t n, int /*t*/) {
+  // 5 outputs + 8 inputs (q0..3, cons0..3): 13 arrays, order 4.
+  std::string arrays = "double ";
+  std::vector<std::string> withdims;
+  for (int c = 0; c < 5; ++c) withdims.push_back(str_cat("flux", c, "[L,M,N]"));
+  for (int c = 0; c < 4; ++c) withdims.push_back(str_cat("q", c, "[L,M,N]"));
+  for (int c = 0; c < 4; ++c) {
+    withdims.push_back(str_cat("cons", c, "[L,M,N]"));
+  }
+  arrays += join(withdims, ", ") + ";\n";
+  std::string copyin = "copyin ";
+  std::vector<std::string> ins;
+  for (int c = 0; c < 4; ++c) ins.push_back(str_cat("q", c));
+  for (int c = 0; c < 4; ++c) ins.push_back(str_cat("cons", c));
+  copyin += join(ins, ", ") + ";\n";
+
+  std::vector<std::string> params, args;
+  for (int c = 0; c < 5; ++c) {
+    params.push_back(str_cat("F", c));
+    args.push_back(str_cat("flux", c));
+  }
+  for (const auto& a : ins) {
+    params.push_back("p_" + a);
+    args.push_back(a);
+  }
+
+  std::string body;
+  for (int c = 0; c < 5; ++c) {
+    const std::string qa = str_cat("p_q", c % 4);
+    const std::string qb = str_cat("p_q", (c + 1) % 4);
+    const std::string qc = str_cat("p_q", (c + 2) % 4);
+    const std::string ca = str_cat("p_cons", c % 4);
+    const std::string cb = str_cat("p_cons", (c + 1) % 4);
+    body += str_cat("  F", c, "[k][j][i] = (", d4(qa, 2), ")\n    + (",
+                    d4(qb, 1), ")\n    + (", d4(qc, 0), ")\n    + ", ca,
+                    "[k][j][i]*(", d4(cb, 2), ")\n    + ", qa,
+                    "[k][j][i]*(", d4(ca, 1), ")\n    + ", cb,
+                    "[k][j][i]*(", d4(qc, 2), ");\n");
+  }
+  return str_cat(header3d(n), arrays, copyin,
+                 "#pragma block (32,8)\nstencil hypterm (",
+                 join(params, ", "), ") {\n", body, "}\nhypterm (",
+                 join(args, ", "),
+                 ");\ncopyout flux0, flux1, flux2, flux3, flux4;\n");
+}
+
+std::string gen_diffterm(std::int64_t n, int /*t*/) {
+  // 4 outputs + 7 inputs: 11 arrays, order 4, with first+second derivative
+  // combinations per output.
+  std::vector<std::string> withdims;
+  for (int c = 0; c < 4; ++c) {
+    withdims.push_back(str_cat("dflux", c, "[L,M,N]"));
+  }
+  for (int c = 0; c < 7; ++c) withdims.push_back(str_cat("q", c, "[L,M,N]"));
+  const std::string arrays = "double " + join(withdims, ", ") + ";\n";
+  std::vector<std::string> ins;
+  for (int c = 0; c < 7; ++c) ins.push_back(str_cat("q", c));
+  const std::string copyin = "copyin " + join(ins, ", ") + ";\n";
+
+  std::vector<std::string> params, args;
+  for (int c = 0; c < 4; ++c) {
+    params.push_back(str_cat("D", c));
+    args.push_back(str_cat("dflux", c));
+  }
+  for (const auto& a : ins) {
+    params.push_back("p_" + a);
+    args.push_back(a);
+  }
+
+  std::string body;
+  for (int c = 0; c < 4; ++c) {
+    const std::string qa = str_cat("p_q", c % 7);
+    const std::string qb = str_cat("p_q", (c + 1) % 7);
+    const std::string qc = str_cat("p_q", (c + 2) % 7);
+    const std::string qd = str_cat("p_q", (c + 3) % 7);
+    body += str_cat("  double t", c, "x = ", d4(qa, 2), ";\n");
+    body += str_cat("  double t", c, "y = ", d4(qb, 1), ";\n");
+    body += str_cat("  double t", c, "z = ", d4(qc, 0), ";\n");
+    body += str_cat("  D", c, "[k][j][i] = t", c, "x + t", c, "y + t", c,
+                    "z\n    + ", qd, "[k][j][i]*(", d4(qd, 2), ")\n    + ",
+                    qa, "[k][j][i]*(", d4(qb, 0), ")\n    + t", c, "x*t", c,
+                    "y + t", c, "y*t", c, "z\n    + 0.5*(", d4(qc, 1),
+                    ")\n    + (", d4(qd, 1), ");\n");
+  }
+  return str_cat(header3d(n), arrays, copyin,
+                 "#pragma block (32,8)\nstencil diffterm (",
+                 join(params, ", "), ") {\n", body, "}\ndiffterm (",
+                 join(args, ", "),
+                 ");\ncopyout dflux0, dflux1, dflux2, dflux3;\n");
+}
+
+// --------------------------------------------------------------------------
+// SW4lite synthesized kernels: addsgd4/6, rhs4center, rhs4sgcurv.
+// --------------------------------------------------------------------------
+
+/// Super-grid damping term: order-`r` damping stencil along `dim` for one
+/// component group, using 1D stretch/damping coefficient arrays.
+std::string sgd_dim_term(int dim, int r, const std::string& weight) {
+  // 1D coefficient arrays are indexed by the iterator of their own axis.
+  const char* iter = dim == 0 ? "k" : (dim == 1 ? "j" : "i");
+  const char* dc = dim == 0 ? "p_dcz" : (dim == 1 ? "p_dcy" : "p_dcx");
+  const char* st = dim == 0 ? "p_strz" : (dim == 1 ? "p_stry" : "p_strx");
+  std::vector<std::string> terms;
+  for (int off = -r; off <= r; ++off) {
+    // Binomial-style alternating damping weights; the 1D damping
+    // coefficient applies at each offset, like SW4's dcx/dcy/dcz.
+    const double bw = (std::abs(off) % 2 == 0 ? 1.0 : -4.0) /
+                      (std::abs(off) + 1.0);
+    std::string dc_off = str_cat(dc, "[", iter);
+    if (off > 0) dc_off += str_cat("+", off);
+    if (off < 0) dc_off += str_cat(off);
+    dc_off += "]";
+    terms.push_back(str_cat(format_double(bw, 6), "*(",
+                            at_dim("p_rho", dim, off), " + p_rho[k][j][i])*(",
+                            at_dim("p_u", dim, off), " - ",
+                            at_dim("p_um", dim, off), ")*", dc_off, "*",
+                            weight));
+  }
+  return str_cat(st, "[", iter, "]*(", join(terms, "\n      + "), ")");
+}
+
+std::string gen_addsgd(std::int64_t n, int r, bool with_assign = true) {
+  // r = 2 -> addsgd4 (order 2), r = 3 -> addsgd6 (order 3).
+  std::string arrays =
+      "double up[L,M,N], u[L,M,N], um[L,M,N], rho[L,M,N], "
+      "dcx[N], dcy[M], dcz[L], strx[N], stry[M], strz[L], beta;\n";
+  std::string copyin =
+      "copyin up, u, um, rho, dcx, dcy, dcz, strx, stry, strz, beta;\n";
+
+  std::string body;
+  // Component groups per dimension (the displacement components of SW4
+  // share the same arrays in this synthesis); the 6th-order variant also
+  // carries a corrector group.
+  const std::vector<std::string> weights =
+      r >= 3 ? std::vector<std::string>{"c1", "c2", "c3", "c4"}
+             : std::vector<std::string>{"c1", "c2", "c3"};
+  body += "  double c1 = beta * 1.0;\n";
+  body += "  double c2 = beta * 0.5;\n";
+  body += "  double c3 = beta * 0.25;\n";
+  if (r >= 3) body += "  double c4 = beta * 0.125;\n";
+  std::vector<std::string> terms;
+  for (int dim = 0; dim < 3; ++dim) {
+    for (const auto& w : weights) {
+      terms.push_back(sgd_dim_term(dim, r, w));
+    }
+  }
+  body += str_cat("  UP[k][j][i] += ", join(terms, "\n    + "), ";\n");
+
+  return str_cat(
+      header3d(n), arrays, copyin,
+      "#pragma block (16,16)\n"
+      "stencil addsgd (UP, p_u, p_um, p_rho, p_dcx, p_dcy, p_dcz, "
+      "p_strx, p_stry, p_strz, beta) {\n",
+      with_assign
+          ? "  #assign gmem (p_dcx, p_dcy, p_dcz, p_strx, p_stry, p_strz)\n"
+          : "", body,
+      "}\naddsgd (up, u, um, rho, dcx, dcy, dcz, strx, stry, strz, "
+      "beta);\ncopyout up;\n");
+}
+
+/// Second-difference term with variable coefficients (SW4 style):
+/// m1*(U[-2]-U[0]) + m2*(U[-1]-U[0]) + m3*(U[+1]-U[0]) + m4*(U[+2]-U[0])
+std::string var_coeff_d2(const std::string& u, int dim, const std::string& m1,
+                         const std::string& m2, const std::string& m3,
+                         const std::string& m4) {
+  return str_cat(m1, "*(", at_dim(u, dim, -2), " - ", at_dim(u, dim, 0),
+                 ") + ", m2, "*(", at_dim(u, dim, -1), " - ",
+                 at_dim(u, dim, 0), ")\n      + ", m3, "*(",
+                 at_dim(u, dim, 1), " - ", at_dim(u, dim, 0), ") + ", m4,
+                 "*(", at_dim(u, dim, 2), " - ", at_dim(u, dim, 0), ")");
+}
+
+/// Cross-derivative d2/(da db): order-2 mixed difference, 3 quartets deep.
+std::string cross_term(const std::string& u, int dima, int dimb,
+                       const std::string& coef) {
+  auto at2 = [&](int oa, int ob) {
+    const int dk = (dima == 0 ? oa : 0) + (dimb == 0 ? ob : 0);
+    const int dj = (dima == 1 ? oa : 0) + (dimb == 1 ? ob : 0);
+    const int di = (dima == 2 ? oa : 0) + (dimb == 2 ? ob : 0);
+    return at(u, dk, dj, di);
+  };
+  return str_cat(
+      coef, "*(", at2(1, 1), " - ", at2(1, -1), " - ", at2(-1, 1), " + ",
+      at2(-1, -1), "\n      + 0.25*(", at2(2, 2), " - ", at2(2, -2), " - ",
+      at2(-2, 2), " + ", at2(-2, -2), ")\n      + 0.5*(", at2(1, 2), " - ",
+      at2(1, -2), " - ", at2(-1, 2), " + ", at2(-1, -2), "))");
+}
+
+/// Per-dimension variable-coefficient temporaries, Fig. 3 style
+/// (mux1..muz4 and their la counterparts).
+std::string mu_temps(int dim, const char* base, const char* arr_a,
+                     const char* arr_b) {
+  const char* names[3] = {"z", "y", "x"};
+  std::string out;
+  for (int v = 1; v <= 4; ++v) {
+    const int center = v - 2;  // -1, 0, 1, 2
+    out += str_cat("  double ", base, names[dim], v, " = ",
+                   at_dim(arr_a, dim, center), " + 0.75*(",
+                   at_dim(arr_b, dim, center), " + ",
+                   at_dim(arr_a, dim, center == 2 ? 1 : center + 1),
+                   ") - 0.25*", at_dim(arr_b, dim, 0), ";\n");
+  }
+  return out;
+}
+
+std::string gen_rhs4center(std::int64_t n, int /*t*/) {
+  std::string arrays =
+      "double uacc0[L,M,N], uacc1[L,M,N], uacc2[L,M,N], u0[L,M,N], "
+      "u1[L,M,N], u2[L,M,N], mu[L,M,N], la[L,M,N], h;\n";
+  std::string copyin = "copyin u0, u1, u2, mu, la, h;\n";
+
+  std::string body;
+  for (int dim = 0; dim < 3; ++dim) {
+    body += mu_temps(dim, "mu", "p_mu", "p_la");
+    body += mu_temps(dim, "la", "p_la", "p_mu");
+  }
+  const char* dn[3] = {"z", "y", "x"};
+  for (int c = 0; c < 3; ++c) {
+    const std::string u = str_cat("p_u", c);
+    std::vector<std::string> terms;
+    for (int dim = 0; dim < 3; ++dim) {
+      terms.push_back(
+          var_coeff_d2(u, dim, str_cat("mu", dn[dim], 1),
+                       str_cat("mu", dn[dim], 2), str_cat("mu", dn[dim], 3),
+                       str_cat("mu", dn[dim], 4)));
+      terms.push_back(
+          var_coeff_d2(u, dim, str_cat("la", dn[dim], 1),
+                       str_cat("la", dn[dim], 2), str_cat("la", dn[dim], 3),
+                       str_cat("la", dn[dim], 4)));
+    }
+    // Mixed derivatives coupling the other two components (each pair of
+    // dimensions, both coupling coefficients).
+    const std::string ua = str_cat("p_u", (c + 1) % 3);
+    const std::string ub = str_cat("p_u", (c + 2) % 3);
+    for (const auto& [comp, dima, dimb, coef] :
+         {std::tuple{&ua, 2, 1, "p_la"}, std::tuple{&ua, 2, 0, "p_mu"},
+          std::tuple{&ua, 1, 0, "p_la"}, std::tuple{&ub, 2, 1, "p_mu"},
+          std::tuple{&ub, 2, 0, "p_la"}, std::tuple{&ub, 1, 0, "p_mu"}}) {
+      terms.push_back(cross_term(*comp, dima, dimb, at(coef, 0, 0, 0)));
+    }
+    body += str_cat("  UACC", c, "[k][j][i] = h*(", join(terms, "\n    + "),
+                    ");\n");
+  }
+  return str_cat(
+      header3d(n), arrays, copyin,
+      "#pragma block (16,16)\n"
+      "stencil rhs4center (UACC0, UACC1, UACC2, p_u0, p_u1, p_u2, p_mu, "
+      "p_la, h) {\n",
+      body,
+      "}\nrhs4center (uacc0, uacc1, uacc2, u0, u1, u2, mu, la, h);\n"
+      "copyout uacc0, uacc1, uacc2;\n");
+}
+
+std::string gen_rhs4sgcurv(std::int64_t n, int /*t*/) {
+  // Curvilinear variant: every derivative is contracted with metric terms
+  // met1..met4 and scaled by the Jacobian, roughly 3x the FLOPs of
+  // rhs4center. 3 outputs + 10 inputs = 13 arrays.
+  std::string arrays =
+      "double lu0[L,M,N], lu1[L,M,N], lu2[L,M,N], u0[L,M,N], u1[L,M,N], "
+      "u2[L,M,N], mu[L,M,N], la[L,M,N], met1[L,M,N], met2[L,M,N], "
+      "met3[L,M,N], met4[L,M,N], jac[L,M,N];\n";
+  std::string copyin =
+      "copyin u0, u1, u2, mu, la, met1, met2, met3, met4, jac;\n";
+
+  std::string body;
+  // met*_c locals first (read the metric arrays once).
+  for (int m = 1; m <= 4; ++m) {
+    body += str_cat("  double met", m, "_c = ",
+                    at(str_cat("p_met", m), 0, 0, 0), ";\n");
+  }
+  // Metric contraction temporaries.
+  for (int m = 1; m <= 4; ++m) {
+    body += str_cat("  double mm", m, " = met", m, "_c*met", m, "_c;\n");
+  }
+  for (int dim = 0; dim < 3; ++dim) {
+    body += mu_temps(dim, "mu", "p_mu", "p_la");
+    body += mu_temps(dim, "la", "p_la", "p_mu");
+  }
+
+  const char* dn[3] = {"z", "y", "x"};
+  for (int c = 0; c < 3; ++c) {
+    // Curvilinear coordinates couple every displacement component into
+    // every output: var-coeff second differences for all three components
+    // along all three dimensions with metric contractions, plus mixed
+    // derivatives for every dimension pair and both Lame coefficients.
+    std::vector<std::string> terms;
+    for (int comp = 0; comp < 3; ++comp) {
+      const std::string u = str_cat("p_u", comp);
+      for (int dim = 0; dim < 3; ++dim) {
+        terms.push_back(str_cat(
+            "mm", 1 + (dim + comp) % 4, "*(",
+            var_coeff_d2(u, dim, str_cat("mu", dn[dim], 1),
+                         str_cat("mu", dn[dim], 2), str_cat("mu", dn[dim], 3),
+                         str_cat("mu", dn[dim], 4)),
+            ")"));
+        terms.push_back(str_cat(
+            "mm", 1 + (dim + comp + 1) % 4, "*(",
+            var_coeff_d2(u, dim, str_cat("la", dn[dim], 1),
+                         str_cat("la", dn[dim], 2), str_cat("la", dn[dim], 3),
+                         str_cat("la", dn[dim], 4)),
+            ")"));
+      }
+      for (int dima = 0; dima < 3; ++dima) {
+        for (int dimb = dima + 1; dimb < 3; ++dimb) {
+          terms.push_back(cross_term(u, dima, dimb,
+                                     str_cat("met", dima + 1, "_c*met",
+                                             dimb + 1, "_c*",
+                                             at("p_la", 0, 0, 0))));
+          terms.push_back(cross_term(u, dima, dimb,
+                                     str_cat("met", dimb + 2, "_c*",
+                                             at("p_mu", 0, 0, 0))));
+        }
+      }
+    }
+    body += str_cat("  LU", c, "[k][j][i] = (", join(terms, "\n    + "),
+                    ") / ", at("p_jac", 0, 0, 0), ";\n");
+  }
+  return str_cat(
+      header3d(n), arrays, copyin,
+      "#pragma block (16,16)\n"
+      "stencil rhs4sgcurv (LU0, LU1, LU2, p_u0, p_u1, p_u2, p_mu, p_la, "
+      "p_met1, p_met2, p_met3, p_met4, p_jac) {\n",
+      body,
+      "}\nrhs4sgcurv (lu0, lu1, lu2, u0, u1, u2, mu, la, met1, met2, met3, "
+      "met4, jac);\ncopyout lu0, lu1, lu2;\n");
+}
+
+std::vector<BenchmarkSpec> make_specs() {
+  std::vector<BenchmarkSpec> specs;
+  auto add = [&](std::string name, std::int64_t dom, int t, int k,
+                 std::int64_t flops, int arrays, bool iterative,
+                 std::function<std::string(std::int64_t, int)> gen) {
+    BenchmarkSpec s;
+    s.name = std::move(name);
+    s.domain = dom;
+    s.time_steps = t;
+    s.order = k;
+    s.paper_flops = flops;
+    s.paper_arrays = arrays;
+    s.iterative = iterative;
+    s.generator = std::move(gen);
+    specs.push_back(std::move(s));
+  };
+  add("7pt-smoother", 512, 12, 1, 10, 2, true, gen_7pt);
+  add("27pt-smoother", 512, 12, 1, 32, 2, true, gen_27pt);
+  add("helmholtz", 512, 12, 2, 17, 2, true, gen_helmholtz);
+  add("denoise", 512, 12, 1, 61, 4, true, gen_denoise);
+  add("miniflux", 320, 1, 2, 135, 25, false, gen_miniflux);
+  add("hypterm", 320, 1, 4, 358, 13, false, gen_hypterm);
+  add("diffterm", 320, 1, 4, 415, 11, false, gen_diffterm);
+  add("addsgd4", 320, 1, 2, 373, 10, false,
+      [](std::int64_t e, int) { return gen_addsgd(e, 2); });
+  add("addsgd6", 320, 1, 3, 626, 10, false,
+      [](std::int64_t e, int) { return gen_addsgd(e, 3); });
+  add("rhs4center", 320, 1, 2, 666, 8, false, gen_rhs4center);
+  add("rhs4sgcurv", 320, 1, 2, 2126, 13, false, gen_rhs4sgcurv);
+  return specs;
+}
+
+}  // namespace
+
+std::string addsgd_dsl(std::int64_t extent, int r, bool with_assign) {
+  return gen_addsgd(extent > 0 ? extent : 320, r, with_assign);
+}
+
+std::string BenchmarkSpec::dsl(std::int64_t extent, int t) const {
+  return generator(extent > 0 ? extent : domain,
+                   t >= 0 ? t : time_steps);
+}
+
+const std::vector<BenchmarkSpec>& paper_benchmarks() {
+  static const std::vector<BenchmarkSpec> specs = make_specs();
+  return specs;
+}
+
+const BenchmarkSpec& benchmark(const std::string& name) {
+  for (const auto& s : paper_benchmarks()) {
+    if (s.name == name) return s;
+  }
+  throw Error(str_cat("unknown benchmark '", name, "'"));
+}
+
+ir::Program benchmark_program(const std::string& name, std::int64_t extent,
+                              int t) {
+  return dsl::parse(benchmark(name).dsl(extent, t));
+}
+
+}  // namespace artemis::stencils

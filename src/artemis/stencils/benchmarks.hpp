@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "artemis/ir/program.hpp"
+
+namespace artemis::stencils {
+
+/// One of the paper's 11 evaluation benchmarks (Table I).
+///
+/// The first four (HPGMG smoothers, helmholtz, denoise) are written out
+/// from their public definitions. The seven complex spatial stencils
+/// (ExpCNS miniflux/hypterm/diffterm, SW4lite addsgd4/6, rhs4center,
+/// rhs4sgcurv) are *synthesized*: we do not ship the proprietary physics,
+/// but the generators match Table I's stencil order, array count (3D and
+/// 1D), temporary-scalar structure (Fig. 3) and FLOP count to within a few
+/// percent, which is what the performance study depends on. See DESIGN.md
+/// section 2.
+struct BenchmarkSpec {
+  std::string name;
+  std::int64_t domain = 320;  ///< default extent per axis (paper value)
+  int time_steps = 1;         ///< Table I column T
+  int order = 1;              ///< Table I column k
+  std::int64_t paper_flops = 0;
+  int paper_arrays = 0;       ///< Table I "# IO Arrays"
+  bool iterative = false;     ///< time-iterated (deep-tunable)
+
+  /// Produce DSL source. `extent` overrides the domain size (0 = paper
+  /// size); `t` overrides the iterate count (-1 = paper value; ignored
+  /// for spatial stencils).
+  std::string dsl(std::int64_t extent = 0, int t = -1) const;
+
+  std::function<std::string(std::int64_t extent, int t)> generator;
+};
+
+/// All 11 benchmarks in Table I order.
+const std::vector<BenchmarkSpec>& paper_benchmarks();
+
+/// Lookup by name; throws artemis::Error if unknown.
+const BenchmarkSpec& benchmark(const std::string& name);
+
+/// SW4 super-grid damping source, with or without the expert `#assign`
+/// resource directives (the Section VIII-E experiment). r = 2 -> addsgd4,
+/// r = 3 -> addsgd6.
+std::string addsgd_dsl(std::int64_t extent, int r, bool with_assign);
+
+/// Parse the benchmark's DSL at the given size.
+ir::Program benchmark_program(const std::string& name,
+                              std::int64_t extent = 0, int t = -1);
+
+}  // namespace artemis::stencils

@@ -1,0 +1,160 @@
+#include "artemis/stencils/extra_stencils.hpp"
+
+#include "artemis/common/check.hpp"
+#include "artemis/common/str.hpp"
+#include "artemis/dsl/parser.hpp"
+
+namespace artemis::stencils {
+
+namespace {
+
+std::string gen_heat1d(std::int64_t n, int t) {
+  return str_cat(R"(parameter N=)", n, R"(;
+iterator i;
+double u[N], un[N], alpha;
+copyin u, alpha;
+stencil heat (UN, U, alpha) {
+  UN[i] = U[i] + alpha*(U[i-1] - 2.0*U[i] + U[i+1]);
+}
+iterate )",
+                 t, R"( {
+  heat (un, u, alpha);
+  swap (un, u);
+}
+copyout u;
+)");
+}
+
+std::string gen_jacobi2d(std::int64_t n, int t) {
+  return str_cat("parameter M=", n, ", N=", n, R"(;
+iterator j, i;
+double u[M,N], un[M,N], c;
+copyin u, c;
+#pragma stream j block (64)
+stencil jac (UN, U, c) {
+  UN[j][i] = c*(U[j][i-1] + U[j][i+1] + U[j-1][i] + U[j+1][i] + U[j][i]);
+}
+iterate )",
+                 t, R"( {
+  jac (un, u, c);
+  swap (un, u);
+}
+copyout u;
+)");
+}
+
+std::string gen_blur9(std::int64_t n, int t) {
+  return str_cat("parameter M=", n, ", N=", n, R"(;
+iterator j, i;
+double u[M,N], un[M,N];
+copyin u;
+stencil blur (UN, U) {
+  UN[j][i] = 0.111*(U[j-1][i-1] + U[j-1][i] + U[j-1][i+1]
+    + U[j][i-1] + U[j][i] + U[j][i+1]
+    + U[j+1][i-1] + U[j+1][i] + U[j+1][i+1]);
+}
+iterate )",
+                 t, R"( {
+  blur (un, u);
+  swap (un, u);
+}
+copyout u;
+)");
+}
+
+std::string gen_wave2d(std::int64_t n, int t) {
+  // Order-2 wave operator: needs two history levels; we model the
+  // velocity-free form with a single ping-pong (structural stand-in).
+  return str_cat("parameter M=", n, ", N=", n, R"(;
+iterator j, i;
+double u[M,N], un[M,N], c2;
+copyin u, c2;
+stencil wave (UN, U, c2) {
+  UN[j][i] = 2.0*U[j][i] + c2*(
+    1.333*(U[j][i-1] + U[j][i+1] + U[j-1][i] + U[j+1][i])
+    - 0.083*(U[j][i-2] + U[j][i+2] + U[j-2][i] + U[j+2][i])
+    - 5.0*U[j][i]);
+}
+iterate )",
+                 t, R"( {
+  wave (un, u, c2);
+  swap (un, u);
+}
+copyout u;
+)");
+}
+
+std::string gen_gradient2d(std::int64_t n, int /*t*/) {
+  // Spatial two-stage DAG: smooth, then gradient magnitude (squared, to
+  // stay within the restricted expression subset without sqrt).
+  return str_cat("parameter M=", n, ", N=", n, R"(;
+iterator j, i;
+double img[M,N], sm[M,N], grad[M,N];
+copyin img;
+stencil smooth (SM, IMG) {
+  SM[j][i] = 0.2*(IMG[j][i] + IMG[j][i-1] + IMG[j][i+1]
+    + IMG[j-1][i] + IMG[j+1][i]);
+}
+stencil gradmag (G, SM) {
+  double gx = 0.5*(SM[j][i+1] - SM[j][i-1]);
+  double gy = 0.5*(SM[j+1][i] - SM[j-1][i]);
+  G[j][i] = gx*gx + gy*gy;
+}
+smooth (sm, img);
+gradmag (grad, sm);
+copyout grad;
+)");
+}
+
+std::vector<ExtraStencilSpec> make_specs() {
+  std::vector<ExtraStencilSpec> out;
+  auto add = [&](std::string name, int dims, std::int64_t domain, int t,
+                 bool iterative, std::string desc,
+                 std::function<std::string(std::int64_t, int)> gen) {
+    ExtraStencilSpec s;
+    s.name = std::move(name);
+    s.dims = dims;
+    s.domain = domain;
+    s.time_steps = t;
+    s.iterative = iterative;
+    s.description = std::move(desc);
+    s.generator = std::move(gen);
+    out.push_back(std::move(s));
+  };
+  add("heat-1d", 1, 1 << 22, 16, true, "3-point explicit heat equation",
+      gen_heat1d);
+  add("jacobi-2d", 2, 4096, 8, true, "5-point 2D Jacobi smoother",
+      gen_jacobi2d);
+  add("blur9-2d", 2, 4096, 8, true, "9-point box blur", gen_blur9);
+  add("wave-2d", 2, 4096, 8, true, "order-2 13-point wave operator",
+      gen_wave2d);
+  add("gradient-2d", 2, 4096, 1, false,
+      "smooth + gradient-magnitude pipeline (2-stage DAG)", gen_gradient2d);
+  return out;
+}
+
+}  // namespace
+
+std::string ExtraStencilSpec::dsl(std::int64_t extent, int t) const {
+  return generator(extent > 0 ? extent : domain,
+                   t >= 0 ? t : time_steps);
+}
+
+const std::vector<ExtraStencilSpec>& extra_stencils() {
+  static const std::vector<ExtraStencilSpec> specs = make_specs();
+  return specs;
+}
+
+const ExtraStencilSpec& extra_stencil(const std::string& name) {
+  for (const auto& s : extra_stencils()) {
+    if (s.name == name) return s;
+  }
+  throw Error(str_cat("unknown extra stencil '", name, "'"));
+}
+
+ir::Program extra_stencil_program(const std::string& name,
+                                  std::int64_t extent, int t) {
+  return dsl::parse(extra_stencil(name).dsl(extent, t));
+}
+
+}  // namespace artemis::stencils

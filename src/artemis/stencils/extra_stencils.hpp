@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "artemis/ir/program.hpp"
+
+namespace artemis::stencils {
+
+/// A secondary suite of classic 1D/2D stencils. The paper's framework
+/// handles "both time-iterated 2D/3D stencils, and complex spatial
+/// stencils" (Section III-B); Table I only evaluates the 3D kernels, so
+/// these exercise the lower-dimensional code paths (2D streaming along j,
+/// 1D tiling) end to end: prior frameworks like Overtile were evaluated
+/// on exactly these patterns.
+struct ExtraStencilSpec {
+  std::string name;
+  int dims = 2;
+  std::int64_t domain = 4096;  ///< extent per axis
+  int time_steps = 8;
+  bool iterative = true;
+  std::string description;
+  std::string dsl(std::int64_t extent = 0, int t = -1) const;
+  std::function<std::string(std::int64_t, int)> generator;
+};
+
+/// heat-1d (3pt), jacobi-2d (5pt), blur9-2d (9pt box), wave-2d (order-2
+/// 13pt), gradient-2d (spatial 2-stage DAG).
+const std::vector<ExtraStencilSpec>& extra_stencils();
+
+const ExtraStencilSpec& extra_stencil(const std::string& name);
+
+ir::Program extra_stencil_program(const std::string& name,
+                                  std::int64_t extent = 0, int t = -1);
+
+}  // namespace artemis::stencils

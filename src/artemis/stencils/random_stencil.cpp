@@ -1,0 +1,175 @@
+#include "artemis/stencils/random_stencil.hpp"
+
+#include <algorithm>
+
+#include "artemis/common/check.hpp"
+#include "artemis/common/str.hpp"
+
+namespace artemis::stencils {
+
+namespace {
+
+using ir::ExprPtr;
+using ir::IndexExpr;
+
+/// Random center-anchored index vector for a `dims`-dimensional array.
+std::vector<IndexExpr> random_indices(Rng& rng, int dims, int max_order) {
+  std::vector<IndexExpr> idx(static_cast<std::size_t>(dims));
+  for (int d = 0; d < dims; ++d) {
+    idx[static_cast<std::size_t>(d)].iter = d;
+    idx[static_cast<std::size_t>(d)].offset =
+        rng.uniform_int(-max_order, max_order);
+  }
+  return idx;
+}
+
+ExprPtr random_leaf(Rng& rng, const std::vector<std::string>& readable,
+                    const std::vector<std::string>& scalars,
+                    const std::vector<std::string>& locals, int dims,
+                    int max_order) {
+  const double roll = rng.uniform();
+  if (roll < 0.55 || (scalars.empty() && locals.empty())) {
+    const auto& arr = readable[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(readable.size()) - 1))];
+    return ir::array_ref(arr, random_indices(rng, dims, max_order));
+  }
+  if (roll < 0.75) return ir::number(rng.uniform(0.1, 1.0));
+  if (!locals.empty() && rng.coin()) {
+    return ir::scalar_ref(locals[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(locals.size()) - 1))]);
+  }
+  if (!scalars.empty()) {
+    return ir::scalar_ref(scalars[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(scalars.size()) - 1))]);
+  }
+  return ir::number(rng.uniform(0.1, 1.0));
+}
+
+ExprPtr random_term(Rng& rng, const std::vector<std::string>& readable,
+                    const std::vector<std::string>& scalars,
+                    const std::vector<std::string>& locals, int dims,
+                    int max_order, bool allow_calls) {
+  ExprPtr e = random_leaf(rng, readable, scalars, locals, dims, max_order);
+  const int factors = static_cast<int>(rng.uniform_int(0, 2));
+  for (int f = 0; f < factors; ++f) {
+    e = ir::mul(e,
+                random_leaf(rng, readable, scalars, locals, dims, max_order));
+  }
+  if (allow_calls && rng.coin(0.15)) {
+    e = ir::call("fabs", {e});
+  }
+  if (rng.coin(0.2)) e = ir::unary_neg(e);
+  return e;
+}
+
+ExprPtr random_rhs(Rng& rng, const std::vector<std::string>& readable,
+                   const std::vector<std::string>& scalars,
+                   const std::vector<std::string>& locals, int dims,
+                   const RandomStencilOptions& opts) {
+  const int terms = static_cast<int>(rng.uniform_int(1, opts.max_terms));
+  ExprPtr e = random_term(rng, readable, scalars, locals, dims,
+                          opts.max_order, opts.allow_calls);
+  for (int t = 1; t < terms; ++t) {
+    ExprPtr rhs = random_term(rng, readable, scalars, locals, dims,
+                              opts.max_order, opts.allow_calls);
+    e = rng.coin() ? ir::add(e, rhs) : ir::sub(e, rhs);
+  }
+  return e;
+}
+
+}  // namespace
+
+ir::Program random_program(Rng& rng, const RandomStencilOptions& opts) {
+  ARTEMIS_CHECK(opts.dims >= 1 && opts.dims <= 3);
+  ARTEMIS_CHECK(opts.max_stages >= 1);
+
+  ir::Program prog;
+  const std::vector<std::string> all_iters = {"k", "j", "i"};
+  const std::vector<std::string> all_dims = {"L", "M", "N"};
+  for (int d = 0; d < opts.dims; ++d) {
+    prog.iterators.push_back(
+        all_iters[static_cast<std::size_t>(3 - opts.dims + d)]);
+    prog.params.push_back(
+        {all_dims[static_cast<std::size_t>(3 - opts.dims + d)], opts.extent});
+  }
+  std::vector<std::string> dim_names;
+  for (const auto& p : prog.params) dim_names.push_back(p.name);
+
+  // Arrays: one external input per stage (some stages share), one output
+  // per stage; stage s+1 reads stage s's output.
+  const int stages = static_cast<int>(rng.uniform_int(1, opts.max_stages));
+  prog.arrays.push_back({"a0", dim_names});
+  prog.copyin.push_back("a0");
+  prog.scalars.push_back({"c0"});
+  prog.scalars.push_back({"c1"});
+  prog.copyin.push_back("c0");
+  prog.copyin.push_back("c1");
+  const std::vector<std::string> scalar_names = {"c0", "c1"};
+
+  std::string prev_out = "a0";
+  for (int s = 0; s < stages; ++s) {
+    const std::string out = str_cat("v", s);
+    prog.arrays.push_back({out, dim_names});
+
+    ir::StencilDef def;
+    def.name = str_cat("stage", s);
+    def.params = {"OUT", "IN", "c0", "c1"};
+
+    std::vector<std::string> readable = {"IN"};
+    // Occasionally also read the original input in later stages.
+    if (s > 0 && rng.coin(0.3)) {
+      def.params.push_back("IN0");
+      readable.push_back("IN0");
+    }
+
+    std::vector<std::string> locals;
+    const int nlocals = static_cast<int>(rng.uniform_int(0, opts.max_locals));
+    for (int l = 0; l < nlocals; ++l) {
+      ir::Stmt st;
+      st.declares_local = true;
+      st.lhs_name = str_cat("t", l);
+      st.rhs = rng.coin()
+                   ? ir::mul(ir::scalar_ref("c0"), ir::scalar_ref("c1"))
+                   : ir::add(ir::scalar_ref("c0"), ir::number(rng.uniform(
+                                                       0.1, 0.9)));
+      def.stmts.push_back(std::move(st));
+      locals.push_back(str_cat("t", l));
+    }
+
+    ir::Stmt out_stmt;
+    out_stmt.lhs_name = "OUT";
+    out_stmt.lhs_indices.resize(static_cast<std::size_t>(opts.dims));
+    for (int d = 0; d < opts.dims; ++d) {
+      out_stmt.lhs_indices[static_cast<std::size_t>(d)].iter = d;
+    }
+    out_stmt.rhs = random_rhs(rng, readable, scalar_names, locals, opts.dims,
+                              opts);
+    def.stmts.push_back(out_stmt);
+
+    if (opts.allow_accumulate && rng.coin(0.3)) {
+      ir::Stmt acc = out_stmt;
+      acc.accumulate = true;
+      acc.rhs = random_rhs(rng, readable, scalar_names, locals, opts.dims,
+                           opts);
+      def.stmts.push_back(std::move(acc));
+    }
+
+    ir::Step step;
+    step.kind = ir::Step::Kind::Call;
+    step.call.callee = def.name;
+    step.call.args = {out, prev_out, "c0", "c1"};
+    if (std::find(def.params.begin(), def.params.end(), "IN0") !=
+        def.params.end()) {
+      step.call.args.push_back("a0");
+    }
+    prog.stencils.push_back(std::move(def));
+    prog.steps.push_back(std::move(step));
+    prev_out = out;
+  }
+  prog.copyout.push_back(prev_out);
+
+  ir::validate(prog);
+  return prog;
+}
+
+}  // namespace artemis::stencils

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "artemis/common/rng.hpp"
+#include "artemis/ir/program.hpp"
+
+namespace artemis::stencils {
+
+/// Options for the random stencil program generator used by the
+/// property-based tests (and by the fuzzing example).
+struct RandomStencilOptions {
+  int dims = 3;             ///< 1..3 iterators
+  int max_order = 2;        ///< max |offset| per axis
+  int max_stages = 1;       ///< length of the producer/consumer chain
+  int max_terms = 6;        ///< additive terms per statement
+  int max_locals = 2;       ///< local scalar temps per stencil
+  std::int64_t extent = 14; ///< domain extent per axis
+  bool allow_accumulate = true;
+  bool allow_calls = false; ///< sqrt/fabs/min/max intrinsics
+};
+
+/// Generate a random, semantically valid DSL program: a chain of
+/// `max_stages` stencils where stage s+1 reads stage s's output, each with
+/// random affine reads (offsets bounded by max_order), random +,-,*
+/// expression trees over array reads, scalars and literals, and optional
+/// local temporaries. Coefficients are kept in [0.1, 1] and the operator
+/// set avoids division so results stay finite. The program validates and
+/// round-trips through the printer.
+ir::Program random_program(Rng& rng, const RandomStencilOptions& opts = {});
+
+}  // namespace artemis::stencils

@@ -1,0 +1,207 @@
+#include "artemis/transform/fission.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "artemis/common/check.hpp"
+#include "artemis/common/str.hpp"
+#include "artemis/gpumodel/registers.hpp"
+#include "artemis/ir/analysis.hpp"
+
+namespace artemis::transform {
+
+namespace {
+
+/// Locate the (unique) top-level call to `stencil_name`.
+std::size_t find_call_step(const ir::Program& prog,
+                           const std::string& stencil_name) {
+  for (std::size_t i = 0; i < prog.steps.size(); ++i) {
+    if (prog.steps[i].kind == ir::Step::Kind::Call &&
+        prog.steps[i].call.callee == stencil_name) {
+      return i;
+    }
+  }
+  throw SemanticError(
+      str_cat("no top-level call to stencil '", stencil_name, "'"));
+}
+
+/// Names of local temporaries read (transitively) by `stmts` that are
+/// defined in `def` but not in `stmts`.
+std::vector<ir::Stmt> with_replicated_temps(
+    const ir::StencilDef& def, const std::vector<std::size_t>& group) {
+  // Map each local temp to its defining statement index.
+  std::map<std::string, std::size_t> local_def;
+  for (std::size_t i = 0; i < def.stmts.size(); ++i) {
+    if (def.stmts[i].declares_local) local_def[def.stmts[i].lhs_name] = i;
+  }
+
+  std::set<std::size_t> needed(group.begin(), group.end());
+  // Transitive closure over local-temp reads.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::set<std::size_t> to_add;
+    for (const auto idx : needed) {
+      ir::visit(*def.stmts[idx].rhs, [&](const ir::Expr& e) {
+        if (e.kind != ir::ExprKind::ScalarRef) return;
+        const auto it = local_def.find(e.name);
+        if (it != local_def.end() && !needed.count(it->second)) {
+          to_add.insert(it->second);
+        }
+      });
+    }
+    for (const auto idx : to_add) {
+      needed.insert(idx);
+      changed = true;
+    }
+  }
+
+  std::vector<ir::Stmt> out;
+  for (std::size_t i = 0; i < def.stmts.size(); ++i) {
+    if (needed.count(i)) out.push_back(def.stmts[i]);
+  }
+  return out;
+}
+
+/// Output arrays of a def, in first-write order.
+std::vector<std::string> outputs_of(const ir::StencilDef& def) {
+  std::vector<std::string> outs;
+  for (const auto& st : def.stmts) {
+    if (st.declares_local) continue;
+    if (std::find(outs.begin(), outs.end(), st.lhs_name) == outs.end()) {
+      outs.push_back(st.lhs_name);
+    }
+  }
+  return outs;
+}
+
+/// Statement indices writing any output in `group_outputs`.
+std::vector<std::size_t> stmts_writing(
+    const ir::StencilDef& def, const std::set<std::string>& group_outputs) {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < def.stmts.size(); ++i) {
+    if (!def.stmts[i].declares_local &&
+        group_outputs.count(def.stmts[i].lhs_name)) {
+      idx.push_back(i);
+    }
+  }
+  return idx;
+}
+
+/// Assemble the fissioned program from output groups.
+ir::Program assemble(const ir::Program& prog, const std::string& stencil_name,
+                     const std::vector<std::vector<std::string>>& groups) {
+  const ir::StencilDef* def = prog.find_stencil(stencil_name);
+  ARTEMIS_CHECK(def != nullptr);
+  const std::size_t call_idx = find_call_step(prog, stencil_name);
+  const ir::StencilCall& call = prog.steps[call_idx].call;
+
+  std::map<std::string, std::string> formal_to_actual;
+  for (std::size_t i = 0; i < def->params.size(); ++i) {
+    formal_to_actual[def->params[i]] = call.args[i];
+  }
+
+  ir::Program out = prog;
+  // Drop the original definition and call.
+  out.stencils.erase(
+      std::remove_if(out.stencils.begin(), out.stencils.end(),
+                     [&](const ir::StencilDef& d) {
+                       return d.name == stencil_name;
+                     }),
+      out.stencils.end());
+  out.steps.erase(out.steps.begin() +
+                  static_cast<std::ptrdiff_t>(call_idx));
+
+  std::vector<ir::Step> new_calls;
+  for (std::size_t gidx = 0; gidx < groups.size(); ++gidx) {
+    const std::set<std::string> group_outputs(groups[gidx].begin(),
+                                              groups[gidx].end());
+    ir::StencilDef sub;
+    sub.name = str_cat(stencil_name, "_", gidx);
+    sub.pragma = def->pragma;
+    sub.stmts =
+        with_replicated_temps(*def, stmts_writing(*def, group_outputs));
+
+    // Parameters: original formals referenced by the sub-kernel, original
+    // order preserved.
+    std::set<std::string> used;
+    for (const auto& st : sub.stmts) {
+      if (!st.declares_local) used.insert(st.lhs_name);
+      ir::visit(*st.rhs, [&](const ir::Expr& e) {
+        if (e.kind == ir::ExprKind::ArrayRef ||
+            e.kind == ir::ExprKind::ScalarRef) {
+          used.insert(e.name);
+        }
+      });
+    }
+    ir::StencilCall sub_call;
+    sub_call.callee = sub.name;
+    for (std::size_t i = 0; i < def->params.size(); ++i) {
+      if (used.count(def->params[i])) {
+        sub.params.push_back(def->params[i]);
+        sub_call.args.push_back(call.args[i]);
+      }
+    }
+    for (const auto& [formal, space] : def->resources.spaces) {
+      if (used.count(formal)) sub.resources.spaces[formal] = space;
+    }
+
+    out.stencils.push_back(std::move(sub));
+    ir::Step step;
+    step.kind = ir::Step::Kind::Call;
+    step.call = std::move(sub_call);
+    new_calls.push_back(std::move(step));
+  }
+
+  out.steps.insert(out.steps.begin() + static_cast<std::ptrdiff_t>(call_idx),
+                   new_calls.begin(), new_calls.end());
+  ir::validate(out);
+  return out;
+}
+
+}  // namespace
+
+ir::Program trivial_fission(const ir::Program& prog,
+                            const std::string& stencil_name) {
+  const ir::StencilDef* def = prog.find_stencil(stencil_name);
+  if (!def) throw SemanticError(str_cat("unknown stencil '", stencil_name,
+                                        "'"));
+  std::vector<std::vector<std::string>> groups;
+  for (const auto& out : outputs_of(*def)) groups.push_back({out});
+  return assemble(prog, stencil_name, groups);
+}
+
+ir::Program recompute_fission(const ir::Program& prog,
+                              const std::string& stencil_name,
+                              const gpumodel::DeviceSpec& dev,
+                              int reg_budget) {
+  const ir::StencilDef* def = prog.find_stencil(stencil_name);
+  if (!def) throw SemanticError(str_cat("unknown stencil '", stencil_name,
+                                        "'"));
+  reg_budget = std::min(reg_budget, dev.max_regs_per_thread);
+
+  // Max statement order r (the paper's halo budget is max(4, r); with flat
+  // stencil bodies the packing constraint that bites is register demand).
+  const auto outs = outputs_of(*def);
+  std::vector<std::vector<std::string>> groups;
+  std::vector<std::string> current;
+  for (const auto& out : outs) {
+    std::vector<std::string> candidate = current;
+    candidate.push_back(out);
+    const std::set<std::string> cand_set(candidate.begin(), candidate.end());
+    const auto stmts =
+        with_replicated_temps(*def, stmts_writing(*def, cand_set));
+    const int regs = gpumodel::estimate_registers_for_stmts(stmts);
+    if (!current.empty() && regs > reg_budget) {
+      groups.push_back(current);
+      current = {out};
+    } else {
+      current = std::move(candidate);
+    }
+  }
+  if (!current.empty()) groups.push_back(current);
+  return assemble(prog, stencil_name, groups);
+}
+
+}  // namespace artemis::transform

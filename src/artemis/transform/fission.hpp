@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "artemis/gpumodel/device.hpp"
+#include "artemis/ir/program.hpp"
+
+namespace artemis::transform {
+
+/// Kernel fission (Section VI-B). All variants rewrite a program whose
+/// step list calls one monolithic stencil into a program with several
+/// smaller stencils called in sequence, replicating the scalar-temporary
+/// statements each sub-kernel needs (Fig. 3). The result re-emits as DSL
+/// text ("ARTEMIS generates split versions ... and writes them out as DSL
+/// specification files").
+
+/// trivial-fission: one kernel per distinct output array, carrying the
+/// transitive closure of local temporaries it reads.
+ir::Program trivial_fission(const ir::Program& prog,
+                            const std::string& stencil_name);
+
+/// recompute-fission: greedily pack output arrays into kernels while the
+/// kernel's recomputation halo stays <= max(4, r) (r = max statement
+/// order) AND the estimated register demand stays within `reg_budget`.
+/// With a generous budget this degenerates to maxfuse; with a tight one it
+/// approaches trivial fission.
+ir::Program recompute_fission(const ir::Program& prog,
+                              const std::string& stencil_name,
+                              const gpumodel::DeviceSpec& dev,
+                              int reg_budget = 255);
+
+}  // namespace artemis::transform

@@ -1,0 +1,143 @@
+#include "artemis/transform/fold.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "artemis/common/check.hpp"
+
+namespace artemis::transform {
+
+namespace {
+
+using ir::BinOp;
+using ir::Expr;
+using ir::ExprKind;
+
+/// Flatten a multiplicative chain into factors.
+void collect_factors(const Expr& e, std::vector<const Expr*>& factors) {
+  if (e.kind == ExprKind::Binary && e.bop == BinOp::Mul) {
+    collect_factors(*e.args[0], factors);
+    collect_factors(*e.args[1], factors);
+    return;
+  }
+  factors.push_back(&e);
+}
+
+struct ArrayReadStats {
+  int total_reads = 0;
+  /// Reads that occurred inside a joint product keyed by the sorted partner
+  /// set (including self).
+  std::map<std::set<std::string>, int> joint_reads;
+};
+
+/// Walk the expression, recording for every array read whether it occurs in
+/// a pointwise product with co-indexed partners.
+void scan(const Expr& e, std::map<std::string, ArrayReadStats>& stats) {
+  // First, see if this node is a product of co-indexed array refs (possibly
+  // with extra non-array factors, which do not break folding).
+  if (e.kind == ExprKind::Binary && e.bop == BinOp::Mul) {
+    std::vector<const Expr*> factors;
+    collect_factors(e, factors);
+    std::vector<const Expr*> array_factors;
+    for (const Expr* f : factors) {
+      if (f->kind == ExprKind::ArrayRef) array_factors.push_back(f);
+    }
+    bool co_indexed = array_factors.size() >= 2;
+    for (std::size_t i = 1; co_indexed && i < array_factors.size(); ++i) {
+      co_indexed = array_factors[i]->indices == array_factors[0]->indices;
+    }
+    if (co_indexed) {
+      std::set<std::string> group;
+      for (const Expr* f : array_factors) group.insert(f->name);
+      // Distinct arrays only; A[i]*A[i] is not a fold group.
+      if (group.size() == array_factors.size()) {
+        for (const Expr* f : array_factors) {
+          auto& s = stats[f->name];
+          ++s.total_reads;
+          ++s.joint_reads[group];
+        }
+        // Recurse into non-array factors only.
+        for (const Expr* f : factors) {
+          if (f->kind != ExprKind::ArrayRef) scan(*f, stats);
+        }
+        return;
+      }
+    }
+    // Not a foldable product: fall through to generic traversal.
+  }
+  if (e.kind == ExprKind::ArrayRef) {
+    ++stats[e.name].total_reads;
+    return;
+  }
+  for (const auto& a : e.args) scan(*a, stats);
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> find_fold_groups(
+    const std::vector<ir::Stmt>& stmts) {
+  std::map<std::string, ArrayReadStats> stats;
+  std::set<std::string> written;
+  for (const auto& st : stmts) {
+    scan(*st.rhs, stats);
+    if (!st.declares_local) written.insert(st.lhs_name);
+  }
+
+  // An array is foldable into group G iff all of its reads are joint reads
+  // with exactly the partner set G, and it is never written by the kernel
+  // (folding a produced array would change the buffer the producer fills).
+  std::set<std::set<std::string>> candidate_groups;
+  for (const auto& [name, s] : stats) {
+    if (s.joint_reads.size() != 1) continue;
+    const auto& [group, count] = *s.joint_reads.begin();
+    if (count == s.total_reads) candidate_groups.insert(group);
+  }
+
+  std::vector<std::vector<std::string>> out;
+  for (const auto& group : candidate_groups) {
+    bool all_members_exclusive = true;
+    for (const auto& name : group) {
+      const auto it = stats.find(name);
+      ARTEMIS_CHECK(it != stats.end());
+      const auto& s = it->second;
+      if (written.count(name) || s.joint_reads.size() != 1 ||
+          s.joint_reads.begin()->first != group ||
+          s.joint_reads.begin()->second != s.total_reads) {
+        all_members_exclusive = false;
+        break;
+      }
+    }
+    if (all_members_exclusive) {
+      out.emplace_back(group.begin(), group.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::int64_t folding_flop_savings(
+    const std::vector<ir::Stmt>& stmts,
+    const std::vector<std::vector<std::string>>& groups) {
+  std::int64_t savings = 0;
+  for (const auto& group : groups) {
+    ARTEMIS_CHECK(group.size() >= 2);
+    // Count distinct offsets the group is read at (reads of the first
+    // member are representative since members are always co-indexed).
+    std::set<std::vector<ir::IndexExpr>> offsets;
+    for (const auto& st : stmts) {
+      ir::visit(*st.rhs, [&](const Expr& e) {
+        if (e.kind == ExprKind::ArrayRef && e.name == group.front()) {
+          offsets.insert(e.indices);
+        }
+      });
+    }
+    const auto m = static_cast<std::int64_t>(offsets.size());
+    if (m > 1) {
+      savings += static_cast<std::int64_t>(group.size() - 1) * (m - 1);
+    }
+  }
+  return savings;
+}
+
+}  // namespace artemis::transform

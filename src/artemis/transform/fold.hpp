@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "artemis/ir/program.hpp"
+
+namespace artemis::transform {
+
+/// Storage and computation folding (Section III-B4).
+///
+/// Detects groups of arrays {A0..An} whose every read appears as a
+/// point-wise product A0[idx] * A1[idx] * ... with identical index vectors.
+/// Instead of buffering each array separately in shared memory or
+/// registers, the code generator can buffer the single folded value
+/// prod_r Ar[idx], cutting the buffer count from n+1 to 1 and removing the
+/// repeated multiplies at every reading offset.
+///
+/// Returns the folded groups (each with >= 2 members). Detection is
+/// conservative: an array joins a group only if *all* of its reads across
+/// all statements occur inside such products with the same partners.
+std::vector<std::vector<std::string>> find_fold_groups(
+    const std::vector<ir::Stmt>& stmts);
+
+/// FLOPs per output point saved by folding: for each group of size n read
+/// at m distinct offsets, (n-1) multiplies are saved at (m-1) offsets.
+std::int64_t folding_flop_savings(
+    const std::vector<ir::Stmt>& stmts,
+    const std::vector<std::vector<std::string>>& groups);
+
+}  // namespace artemis::transform

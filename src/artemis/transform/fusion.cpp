@@ -1,0 +1,191 @@
+#include "artemis/transform/fusion.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "artemis/common/check.hpp"
+#include "artemis/common/str.hpp"
+
+namespace artemis::transform {
+
+TimeTiledKernel time_tile_iterate(const ir::Program& prog,
+                                  const ir::Step& iterate_step, int x) {
+  ARTEMIS_CHECK(x >= 1);
+  if (iterate_step.kind != ir::Step::Kind::Iterate ||
+      iterate_step.body.size() < 2 ||
+      iterate_step.body.back().kind != ir::Step::Kind::Swap) {
+    throw SemanticError(
+        "time tiling requires an iterate block of the form "
+        "{ call(...); ...; swap(out, in); }");
+  }
+  std::vector<const ir::StencilCall*> body_calls;
+  for (std::size_t i = 0; i + 1 < iterate_step.body.size(); ++i) {
+    if (iterate_step.body[i].kind != ir::Step::Kind::Call) {
+      throw SemanticError(
+          "time tiling supports iterate bodies of calls ending in one swap");
+    }
+    body_calls.push_back(&iterate_step.body[i].call);
+  }
+  const ir::SwapStmt& swap = iterate_step.body.back().swap;
+  const std::string& out_name = swap.a;
+  const std::string& in_name = swap.b;
+
+  // Arrays recomputed by the body each iteration (besides the ping-pong
+  // output): per-step temporaries like denoise's diffusion coefficient.
+  std::set<std::string> step_temps;
+  bool writes_out = false;
+  for (const ir::StencilCall* call : body_calls) {
+    const ir::StencilDef* def = prog.find_stencil(call->callee);
+    ARTEMIS_CHECK(def != nullptr);
+    for (const auto& st : def->stmts) {
+      if (st.declares_local) continue;
+      const auto formal = std::find(def->params.begin(), def->params.end(),
+                                    st.lhs_name);
+      ARTEMIS_CHECK(formal != def->params.end());
+      const std::string& actual = call->args[static_cast<std::size_t>(
+          formal - def->params.begin())];
+      if (actual == out_name) {
+        writes_out = true;
+      } else if (actual != in_name) {
+        step_temps.insert(actual);
+      }
+    }
+  }
+  if (!writes_out) {
+    throw SemanticError(
+        "iterate body never writes the swapped output array");
+  }
+
+  TimeTiledKernel result;
+  result.time_tile = x;
+  result.augmented = prog;
+
+  const ir::ArrayDecl* out_decl = prog.find_array(out_name);
+  ARTEMIS_CHECK(out_decl != nullptr);
+
+  // Ping-pong chain: input of step k.
+  std::vector<std::string> chain;
+  chain.push_back(in_name);
+  for (int k = 0; k + 1 < x; ++k) {
+    const std::string tmp = str_cat("__tt", k, "_", out_name);
+    result.augmented.arrays.push_back({tmp, out_decl->dims});
+    chain.push_back(tmp);
+  }
+  chain.push_back(out_name);
+
+  // Per-step temporaries get private copies for non-final steps.
+  for (int k = 0; k + 1 < x; ++k) {
+    for (const auto& temp : step_temps) {
+      const ir::ArrayDecl* decl = prog.find_array(temp);
+      ARTEMIS_CHECK(decl != nullptr);
+      result.augmented.arrays.push_back({str_cat("__tt", k, "_", temp),
+                                         decl->dims});
+    }
+  }
+
+  for (int k = 0; k < x; ++k) {
+    const bool final_step = (k + 1 == x);
+    for (std::size_t c = 0; c < body_calls.size(); ++c) {
+      ir::StencilCall staged = *body_calls[c];
+      for (auto& arg : staged.args) {
+        if (arg == in_name) {
+          arg = chain[static_cast<std::size_t>(k)];
+        } else if (arg == out_name) {
+          arg = chain[static_cast<std::size_t>(k + 1)];
+        } else if (!final_step && step_temps.count(arg)) {
+          arg = str_cat("__tt", k, "_", arg);
+        }
+      }
+      result.stages.push_back(ir::bind_call(result.augmented, staged,
+                                            str_cat("tt", k, "c", c, "_")));
+    }
+  }
+  return result;
+}
+
+std::vector<ir::BoundStencil> bind_all_calls(const ir::Program& prog) {
+  std::vector<ir::BoundStencil> stages;
+  int idx = 0;
+  for (const auto& step : prog.steps) {
+    ARTEMIS_CHECK_MSG(step.kind == ir::Step::Kind::Call,
+                      "bind_all_calls expects a flat call sequence");
+    stages.push_back(ir::bind_call(prog, step.call, str_cat("f", idx++, "_")));
+  }
+  return stages;
+}
+
+ir::Program maxfuse_program(const ir::Program& prog) {
+  const auto stages = bind_all_calls(prog);
+  ARTEMIS_CHECK(!stages.empty());
+
+  // A single fused stencil body executes all statements at one point
+  // before moving on, so a statement may read an array produced by an
+  // earlier statement only at the center point. Cross-point
+  // producer/consumer DAGs must instead be planned as a staged kernel
+  // (build_plan with multiple stages), which stages them around barriers.
+  {
+    std::set<std::string> written;
+    for (const auto& stage : stages) {
+      for (const auto& st : stage.stmts) {
+        if (st.declares_local) continue;
+        ir::visit(*st.rhs, [&](const ir::Expr& e) {
+          if (e.kind != ir::ExprKind::ArrayRef || !written.count(e.name)) {
+            return;
+          }
+          for (const auto& ix : e.indices) {
+            if (ix.is_const() || ix.offset != 0) {
+              throw SemanticError(str_cat(
+                  "maxfuse: '", e.name,
+                  "' is produced by an earlier statement and read at a "
+                  "non-center offset; fuse these calls as a staged plan "
+                  "instead"));
+            }
+          }
+        });
+        written.insert(st.lhs_name);
+      }
+    }
+  }
+
+  ir::Program fused = prog;
+  fused.stencils.clear();
+  fused.steps.clear();
+
+  ir::StencilDef def;
+  def.name = "maxfuse";
+  def.pragma = stages.front().pragma;
+
+  // Formal parameters: every distinct array and external scalar, bound to
+  // themselves (the bound statements already carry actual names).
+  std::set<std::string> params;
+  for (const auto& stage : stages) {
+    for (const auto& st : stage.stmts) {
+      if (!st.declares_local) params.insert(st.lhs_name);
+      ir::visit(*st.rhs, [&](const ir::Expr& e) {
+        if (e.kind == ir::ExprKind::ArrayRef) params.insert(e.name);
+        if (e.kind == ir::ExprKind::ScalarRef && prog.find_scalar(e.name)) {
+          params.insert(e.name);
+        }
+      });
+    }
+    for (const auto& [name, space] : stage.resources.spaces) {
+      def.resources.spaces[name] = space;
+    }
+    def.stmts.insert(def.stmts.end(), stage.stmts.begin(), stage.stmts.end());
+  }
+  def.params.assign(params.begin(), params.end());
+
+  ir::StencilCall call;
+  call.callee = def.name;
+  call.args = def.params;  // identity binding
+
+  fused.stencils.push_back(std::move(def));
+  ir::Step step;
+  step.kind = ir::Step::Kind::Call;
+  step.call = std::move(call);
+  fused.steps.push_back(std::move(step));
+  ir::validate(fused);
+  return fused;
+}
+
+}  // namespace artemis::transform

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "artemis/ir/analysis.hpp"
+#include "artemis/ir/program.hpp"
+
+namespace artemis::transform {
+
+/// A time-tiled version of an iterative stencil (Section VI-A): one fused
+/// kernel that advances the solution by `x` time steps using overlapped
+/// tiling, with x-1 kernel-internal intermediates.
+struct TimeTiledKernel {
+  /// The source program augmented with declarations for the synthesized
+  /// intermediate arrays (named __ttK_<out>). Build plans and GridSets
+  /// against this program.
+  ir::Program augmented;
+  /// The x fused stages; stage k reads stage k-1's output. The final stage
+  /// writes the original output array. Executing these stages as one plan
+  /// and then applying the iterate body's swap equals x reference
+  /// iterations of the body.
+  std::vector<ir::BoundStencil> stages;
+  int time_tile = 1;
+};
+
+/// Construct the (x x 1) fused version of an iterate block whose body is a
+/// single stencil call followed by a swap (the shape of every iterative
+/// benchmark). Throws SemanticError for other iterate shapes.
+TimeTiledKernel time_tile_iterate(const ir::Program& prog,
+                                  const ir::Step& iterate_step, int x);
+
+/// Fuse every top-level Call step of a spatial stencil DAG into a single
+/// "maxfuse" stencil definition (Section VI-B). Local temporaries are
+/// renamed apart; the resulting program has one stencil and one call, and
+/// re-emits as DSL text like the paper's generated specifications.
+ir::Program maxfuse_program(const ir::Program& prog);
+
+/// Bind all top-level calls of a program as a fused stage list (utility
+/// for planning a DAG as one kernel without rewriting the program).
+std::vector<ir::BoundStencil> bind_all_calls(const ir::Program& prog);
+
+}  // namespace artemis::transform

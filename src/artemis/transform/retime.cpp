@@ -1,0 +1,147 @@
+#include "artemis/transform/retime.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "artemis/common/check.hpp"
+
+namespace artemis::transform {
+
+namespace {
+
+using ir::BinOp;
+using ir::Expr;
+using ir::ExprKind;
+using ir::ExprPtr;
+
+/// Expansion cap: products of long sums are kept whole rather than blown
+/// up combinatorially.
+constexpr std::size_t kMaxDistributedTerms = 64;
+
+/// Flatten `e` into signed terms, distributing multiplication (and the
+/// numerator of division) over embedded +/- chains — the "associativity
+/// and distributivity" step of Section III-B2 that exposes per-plane
+/// accumulation statements.
+void collect_terms(const ExprPtr& e, bool negate,
+                   std::vector<std::pair<ExprPtr, bool>>& terms) {
+  if (e->kind == ExprKind::Binary &&
+      (e->bop == BinOp::Add || e->bop == BinOp::Sub)) {
+    collect_terms(e->args[0], negate, terms);
+    collect_terms(e->args[1], negate ^ (e->bop == BinOp::Sub), terms);
+    return;
+  }
+  if (e->kind == ExprKind::Unary) {
+    collect_terms(e->args[0], !negate, terms);
+    return;
+  }
+  if (e->kind == ExprKind::Binary && e->bop == BinOp::Mul) {
+    std::vector<std::pair<ExprPtr, bool>> lhs, rhs;
+    collect_terms(e->args[0], false, lhs);
+    collect_terms(e->args[1], false, rhs);
+    if (lhs.size() * rhs.size() > 1 &&
+        lhs.size() * rhs.size() <= kMaxDistributedTerms) {
+      for (const auto& [le, ls] : lhs) {
+        for (const auto& [re, rs] : rhs) {
+          terms.emplace_back(ir::mul(le, re), negate ^ ls ^ rs);
+        }
+      }
+      return;
+    }
+  }
+  if (e->kind == ExprKind::Binary && e->bop == BinOp::Div) {
+    std::vector<std::pair<ExprPtr, bool>> num;
+    collect_terms(e->args[0], false, num);
+    if (num.size() > 1 && num.size() <= kMaxDistributedTerms) {
+      for (const auto& [ne, ns] : num) {
+        terms.emplace_back(ir::div(ne, e->args[1]), negate ^ ns);
+      }
+      return;
+    }
+  }
+  terms.emplace_back(e, negate);
+}
+
+/// Offset along `stream_iter` shared by all array reads in `e`, or
+/// nullopt when reads disagree. Returns 0 when no read uses the iterator.
+std::optional<std::int64_t> common_stream_offset(const Expr& e,
+                                                 int stream_iter) {
+  std::optional<std::int64_t> common;
+  bool conflict = false;
+  ir::visit(e, [&](const Expr& n) {
+    if (n.kind != ExprKind::ArrayRef) return;
+    for (const auto& ix : n.indices) {
+      if (!ix.is_const() && ix.iter == stream_iter) {
+        if (!common) {
+          common = ix.offset;
+        } else if (*common != ix.offset) {
+          conflict = true;
+        }
+      }
+    }
+  });
+  if (conflict) return std::nullopt;
+  return common.value_or(0);
+}
+
+}  // namespace
+
+std::vector<ir::Stmt> decompose_statement(const ir::Stmt& stmt) {
+  if (stmt.declares_local) return {stmt};
+  std::vector<std::pair<ExprPtr, bool>> terms;
+  collect_terms(stmt.rhs, /*negate=*/false, terms);
+  if (terms.size() <= 1) return {stmt};
+
+  std::vector<ir::Stmt> out;
+  out.reserve(terms.size());
+  for (std::size_t t = 0; t < terms.size(); ++t) {
+    ir::Stmt sub;
+    sub.lhs_name = stmt.lhs_name;
+    sub.lhs_indices = stmt.lhs_indices;
+    sub.rhs = terms[t].second ? ir::unary_neg(terms[t].first) : terms[t].first;
+    // The first sub-statement seeds the accumulator unless the original
+    // statement was itself accumulating.
+    sub.accumulate = (t > 0) || stmt.accumulate;
+    out.push_back(std::move(sub));
+  }
+  return out;
+}
+
+bool is_homogenizable(const ir::Expr& e, int stream_iter) {
+  return common_stream_offset(e, stream_iter).has_value();
+}
+
+RetimeResult try_retime(const std::vector<ir::Stmt>& stmts, int stream_iter) {
+  RetimeResult result;
+  bool all_homogenizable = true;
+
+  for (const auto& stmt : stmts) {
+    for (auto& sub : decompose_statement(stmt)) {
+      std::int64_t offset = 0;
+      if (!sub.declares_local) {
+        ++result.num_substatements;
+        const auto common = common_stream_offset(*sub.rhs, stream_iter);
+        if (!common) {
+          all_homogenizable = false;
+        } else {
+          offset = *common;
+        }
+      } else {
+        // Local temporaries must themselves be stream-invariant (offset 0)
+        // to be computed once per retimed plane.
+        const auto common = common_stream_offset(*sub.rhs, stream_iter);
+        if (!common || *common != 0) all_homogenizable = false;
+      }
+      result.stream_offsets.push_back(offset);
+      result.stmts.push_back(std::move(sub));
+    }
+  }
+
+  result.applied = all_homogenizable;
+  if (!result.applied) {
+    // Echo the decomposed list but zero the (meaningless) shifts.
+    std::fill(result.stream_offsets.begin(), result.stream_offsets.end(), 0);
+  }
+  return result;
+}
+
+}  // namespace artemis::transform

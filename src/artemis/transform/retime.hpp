@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "artemis/ir/program.hpp"
+
+namespace artemis::transform {
+
+/// Statement decomposition (Section III-B2): split an array assignment
+/// into a chain of accumulation sub-statements by leveraging the
+/// associativity of the top-level +/- chain:
+///     B[...] = e1 + e2 - e3;
+/// becomes
+///     B[...]  = e1;
+///     B[...] += e2;
+///     B[...] += -e3;
+/// Local scalar declarations and statements whose RHS has no top-level
+/// +/- chain are returned unchanged (as a single statement).
+std::vector<ir::Stmt> decompose_statement(const ir::Stmt& stmt);
+
+/// True if every array access in `e` carries the same offset along the
+/// streaming iterator (index `stream_iter` into the program's iterator
+/// list). Such an expression can be homogenized: the common offset can be
+/// shifted to zero on both sides of the statement. Expressions that read
+/// no array along the streaming dimension are trivially homogenizable.
+bool is_homogenizable(const ir::Expr& e, int stream_iter);
+
+/// Result of attempting to retime a statement list for streaming along
+/// `stream_iter` (Section III-B2).
+struct RetimeResult {
+  bool applied = false;          ///< all sub-statements homogenizable
+  std::vector<ir::Stmt> stmts;   ///< decomposed statement list
+  /// Per statement in `stmts`: the common offset of its reads along the
+  /// streaming iterator (0 for locals and stream-invariant statements).
+  /// The code generator realizes the shift with retimed accumulation
+  /// buffers; the statements themselves keep their original offsets so
+  /// that semantics (and the functional executor) are unchanged.
+  std::vector<std::int64_t> stream_offsets;
+  int num_substatements = 0;     ///< accumulation statements produced
+};
+
+/// Decompose every statement and check homogenizability of each
+/// sub-statement. If every sub-statement can be homogenized, `applied` is
+/// true and `stream_offsets` records each sub-statement's shift. If any
+/// sub-statement is not homogenizable, `applied` is false and `stmts`
+/// echoes the (still decomposed) input.
+RetimeResult try_retime(const std::vector<ir::Stmt>& stmts, int stream_iter);
+
+}  // namespace artemis::transform

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "artemis/baselines/baselines.hpp"
+#include "artemis/stencils/benchmarks.hpp"
+
+namespace artemis::baselines {
+namespace {
+
+TEST(Baselines, FiveStrategiesInFigure5Order) {
+  const auto strategies = figure5_strategies();
+  ASSERT_EQ(strategies.size(), 5u);
+  EXPECT_EQ(strategies[0].name, "ppcg");
+  EXPECT_EQ(strategies[1].name, "global-stream");
+  EXPECT_EQ(strategies[2].name, "global");
+  EXPECT_EQ(strategies[3].name, "stencilgen");
+  EXPECT_EQ(strategies[4].name, "artemis");
+}
+
+TEST(Baselines, StrategyRestrictionsEncodePaper) {
+  const auto ppcg = driver::ppcg_strategy();
+  EXPECT_FALSE(ppcg.allow_streaming);
+  EXPECT_FALSE(ppcg.allow_fission);
+  EXPECT_GT(ppcg.time_multiplier, 1.0);  // complex conditionals
+
+  const auto sg = driver::stencilgen_strategy();
+  EXPECT_TRUE(sg.reject_mixed_dims);
+  EXPECT_TRUE(sg.tune.disable_unroll);
+  EXPECT_FALSE(sg.tune.tune_prefetch);
+  EXPECT_FALSE(sg.tune.tune_perspective);
+
+  const auto gs = driver::global_strategy(true);
+  EXPECT_FALSE(gs.use_shared_memory);
+  EXPECT_TRUE(gs.allow_streaming);
+  EXPECT_FALSE(driver::global_strategy(false).allow_streaming);
+}
+
+TEST(Baselines, CompareGeneratorsOnSmallSmoother) {
+  const auto dev = gpumodel::p100();
+  const auto prog = stencils::benchmark_program("7pt-smoother", 128, 4);
+  const auto row = compare_generators("7pt-smoother", prog, dev);
+  ASSERT_EQ(row.generators.size(), 5u);
+  for (const auto& g : row.generators) {
+    ASSERT_TRUE(g.result.has_value()) << g.generator;
+    EXPECT_GT(g.tflops(), 0.0) << g.generator;
+  }
+  EXPECT_TRUE(row.artemis_wins());
+  EXPECT_LE(row.by_name("global-stream").tflops(),
+            row.by_name("global").tflops());
+}
+
+TEST(Baselines, StencilgenFailureIsRecordedNotThrown) {
+  const auto dev = gpumodel::p100();
+  const auto prog = stencils::benchmark_program("addsgd4", 96);
+  const auto row = compare_generators("addsgd4", prog, dev);
+  const auto& sg = row.by_name("stencilgen");
+  EXPECT_FALSE(sg.result.has_value());
+  EXPECT_NE(sg.failure.find("different dimensions"), std::string::npos);
+  EXPECT_EQ(sg.tflops(), 0.0);
+  // The failing generator must not poison the win computation.
+  EXPECT_TRUE(row.artemis_wins(0.05));
+}
+
+TEST(Baselines, UnknownGeneratorNameThrows) {
+  ComparisonRow row;
+  EXPECT_THROW(row.by_name("nope"), Error);
+}
+
+}  // namespace
+}  // namespace artemis::baselines

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "artemis/common/check.hpp"
+#include "artemis/gpumodel/cache_sim.hpp"
+
+namespace artemis::gpumodel {
+namespace {
+
+TEST(CacheSim, ColdMissThenHit) {
+  CacheSim c(1024, 32, 2);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(31));   // same line
+  EXPECT_FALSE(c.access(32));  // next line
+  EXPECT_EQ(c.hits(), 2);
+  EXPECT_EQ(c.misses(), 2);
+  EXPECT_EQ(c.miss_bytes(), 64);
+}
+
+TEST(CacheSim, LruEvictionWithinSet) {
+  // 2-way, 2 sets of 32B lines: capacity 128B. Lines 0, 2, 4 map to set 0.
+  CacheSim c(128, 32, 2);
+  EXPECT_FALSE(c.access(0 * 32));
+  EXPECT_FALSE(c.access(2 * 32));
+  EXPECT_TRUE(c.access(0 * 32));   // refresh line 0: line 2 is now LRU
+  EXPECT_FALSE(c.access(4 * 32));  // evicts line 2
+  EXPECT_TRUE(c.access(0 * 32));   // line 0 retained
+  EXPECT_FALSE(c.access(2 * 32));  // line 2 was evicted
+}
+
+TEST(CacheSim, SetIndexingIsolatesSets) {
+  CacheSim c(128, 32, 2);
+  // Lines 1 and 3 map to set 1; they must not disturb set 0.
+  c.access(0 * 32);
+  c.access(1 * 32);
+  c.access(3 * 32);
+  EXPECT_TRUE(c.access(0 * 32));
+}
+
+TEST(CacheSim, CapacityBoundStreaming) {
+  // Stream far more data than capacity: hit rate collapses to intra-line
+  // reuse only.
+  CacheSim c(4096, 32, 8);
+  for (std::uint64_t pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t a = 0; a < 1 << 16; a += 8) c.access(a);
+  }
+  // Each line holds 4 8-byte accesses: 3/4 intra-line hits; the second
+  // pass cannot hit (working set 64KB >> 4KB).
+  EXPECT_NEAR(c.hit_rate(), 0.75, 0.01);
+}
+
+TEST(CacheSim, FullyResidentWorkingSet) {
+  CacheSim c(1 << 16, 32, 8);
+  for (std::uint64_t pass = 0; pass < 4; ++pass) {
+    for (std::uint64_t a = 0; a < 1 << 12; a += 8) c.access(a);
+  }
+  // First pass: 1 miss per line; then everything hits.
+  const std::int64_t lines = (1 << 12) / 32;
+  EXPECT_EQ(c.misses(), lines);
+}
+
+TEST(CacheSim, ResetClearsEverything) {
+  CacheSim c(1024, 32, 2);
+  c.access(0);
+  c.access(0);
+  c.reset();
+  EXPECT_EQ(c.accesses(), 0);
+  EXPECT_FALSE(c.access(0));  // cold again
+}
+
+TEST(CacheSim, RejectsBadGeometry) {
+  EXPECT_THROW(CacheSim(0, 32, 2), Error);
+  EXPECT_THROW(CacheSim(1024, 24, 2), Error);  // non-power-of-two line
+}
+
+TEST(CacheSim, TinyCapacityStillWorks) {
+  CacheSim c(16, 32, 4);  // fewer bytes than one line: one set is forced
+  EXPECT_GT(c.capacity_bytes(), 0);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+}
+
+}  // namespace
+}  // namespace artemis::gpumodel

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "artemis/common/check.hpp"
+#include "artemis/common/grid.hpp"
+#include "artemis/common/rng.hpp"
+#include "artemis/common/str.hpp"
+#include "artemis/common/table.hpp"
+
+namespace artemis {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  EXPECT_THROW(ARTEMIS_CHECK(false), Error);
+  try {
+    ARTEMIS_CHECK_MSG(1 == 2, "one is " << 1);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("one is 1"), std::string::npos);
+  }
+}
+
+TEST(Grid, FillAndIndexing) {
+  Grid3D g({2, 3, 4}, 1.5);
+  EXPECT_EQ(g.size(), 24);
+  EXPECT_DOUBLE_EQ(g.at(1, 2, 3), 1.5);
+  g.at(0, 0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(g.raw()[0], 7.0);
+  EXPECT_TRUE(g.in_bounds(1, 2, 3));
+  EXPECT_FALSE(g.in_bounds(2, 0, 0));
+  EXPECT_FALSE(g.in_bounds(0, -1, 0));
+}
+
+TEST(Grid, OutOfBoundsAccessThrows) {
+  Grid3D g({2, 2, 2});
+  EXPECT_THROW(g.at(2, 0, 0), Error);
+  EXPECT_THROW(g.at(0, 0, -1), Error);
+}
+
+TEST(Grid, MaxAbsDiff) {
+  Grid3D a({1, 2, 2}, 1.0);
+  Grid3D b({1, 2, 2}, 1.0);
+  EXPECT_DOUBLE_EQ(Grid3D::max_abs_diff(a, b), 0.0);
+  b.at(0, 1, 1) = 3.5;
+  EXPECT_DOUBLE_EQ(Grid3D::max_abs_diff(a, b), 2.5);
+  Grid3D c({2, 2, 2});
+  EXPECT_THROW(Grid3D::max_abs_diff(a, c), Error);
+}
+
+TEST(Grid, OneDimensionalShape) {
+  Grid3D g({1, 1, 8});
+  EXPECT_EQ(g.extents().x, 8);
+  EXPECT_EQ(g.size(), 8);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformRanges) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const auto v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng r(11);
+  bool seen[5] = {};
+  for (int i = 0; i < 500; ++i) seen[r.uniform_int(0, 4)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Str, JoinSplitTrim) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(trim("  x y \n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_FALSE(starts_with("h", "he"));
+}
+
+TEST(Str, Indent) {
+  EXPECT_EQ(indent("a\nb\n", 2), "  a\n  b\n");
+  EXPECT_EQ(indent("\n", 2), "\n");
+}
+
+TEST(Str, FormatDouble) {
+  EXPECT_EQ(format_double(1.5), "1.5");
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(0.333333333, 3), "0.333");
+}
+
+TEST(Table, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name    value"), std::string::npos);
+  EXPECT_NE(s.find("longer  22"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, RejectsWrongArity) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+}  // namespace
+}  // namespace artemis

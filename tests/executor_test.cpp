@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "artemis/codegen/plan_builder.hpp"
+#include "artemis/common/str.hpp"
+#include "artemis/dsl/parser.hpp"
+#include "artemis/gpumodel/device.hpp"
+#include "artemis/sim/executor.hpp"
+#include "artemis/sim/reference.hpp"
+#include "artemis/stencils/random_stencil.hpp"
+#include "test_programs.hpp"
+
+namespace artemis::sim {
+namespace {
+
+using codegen::BuildOptions;
+using codegen::KernelConfig;
+using codegen::KernelPlan;
+using codegen::TilingScheme;
+
+/// Run every call step of `prog` through build_plan + execute_plan with
+/// `config`, and compare all copyout arrays against the reference
+/// interpreter. Returns max abs diff over outputs.
+double run_and_compare(const ir::Program& prog, const KernelConfig& config,
+                       const BuildOptions& opts = {}, bool fuse_all = false,
+                       std::uint64_t seed = 1234) {
+  const auto dev = gpumodel::p100();
+
+  GridSet ref = GridSet::from_program(prog, seed);
+  GridSet tiled = ref.clone();
+
+  run_program_reference(prog, ref);
+
+  if (fuse_all) {
+    std::vector<ir::BoundStencil> stages;
+    int idx = 0;
+    for (const auto& step : prog.steps) {
+      ARTEMIS_CHECK(step.kind == ir::Step::Kind::Call);
+      stages.push_back(
+          ir::bind_call(prog, step.call, str_cat("s", idx++, "_")));
+    }
+    const KernelPlan plan =
+        codegen::build_plan(prog, std::move(stages), config, dev, opts);
+    execute_plan(plan, tiled);
+  } else {
+    for (const auto& step : ir::flatten_steps(prog)) {
+      if (step.kind == ir::ExecStep::Kind::Swap) {
+        tiled.swap(step.swap.a, step.swap.b);
+        continue;
+      }
+      std::vector<ir::BoundStencil> stages = {step.stencil};
+      const KernelPlan plan =
+          codegen::build_plan(prog, std::move(stages), config, dev, opts);
+      execute_plan(plan, tiled);
+    }
+  }
+
+  double worst = 0.0;
+  for (const auto& out : prog.copyout) {
+    worst = std::max(
+        worst, Grid3D::max_abs_diff(ref.grid(out), tiled.grid(out)));
+  }
+  return worst;
+}
+
+TEST(Executor, JacobiSpatialMatchesReference) {
+  const ir::Program prog = dsl::parse(artemis::testing::kJacobiDsl);
+  KernelConfig cfg;
+  cfg.tiling = TilingScheme::Spatial3D;
+  cfg.block = {8, 4, 2};
+  EXPECT_EQ(run_and_compare(prog, cfg), 0.0);
+}
+
+TEST(Executor, JacobiStreamSerialMatchesReference) {
+  const ir::Program prog = dsl::parse(artemis::testing::kJacobiDsl);
+  KernelConfig cfg;
+  cfg.tiling = TilingScheme::StreamSerial;
+  cfg.stream_axis = 2;
+  cfg.block = {8, 4, 1};
+  EXPECT_EQ(run_and_compare(prog, cfg), 0.0);
+}
+
+TEST(Executor, JacobiStreamConcurrentMatchesReference) {
+  const ir::Program prog = dsl::parse(artemis::testing::kJacobiDsl);
+  KernelConfig cfg;
+  cfg.tiling = TilingScheme::StreamConcurrent;
+  cfg.stream_axis = 2;
+  cfg.stream_chunk = 5;
+  cfg.block = {8, 4, 1};
+  EXPECT_EQ(run_and_compare(prog, cfg), 0.0);
+}
+
+TEST(Executor, UnevenTileSizesMatchReference) {
+  const ir::Program prog = dsl::parse(artemis::testing::kJacobiDsl);
+  // 16^3 domain with tiles of 5x3x7: forces partial boundary tiles.
+  KernelConfig cfg;
+  cfg.tiling = TilingScheme::Spatial3D;
+  cfg.block = {5, 3, 7};
+  EXPECT_EQ(run_and_compare(prog, cfg), 0.0);
+}
+
+TEST(Executor, UnrollChangesTilesNotValues) {
+  const ir::Program prog = dsl::parse(artemis::testing::kJacobiDsl);
+  KernelConfig cfg;
+  cfg.tiling = TilingScheme::Spatial3D;
+  cfg.block = {4, 4, 2};
+  cfg.unroll = {2, 2, 1};
+  EXPECT_EQ(run_and_compare(prog, cfg), 0.0);
+}
+
+TEST(Executor, IterativePingPongMatchesReference) {
+  const ir::Program prog = dsl::parse(artemis::testing::kJacobiIterativeDsl);
+  KernelConfig cfg;
+  cfg.tiling = TilingScheme::Spatial3D;
+  cfg.block = {4, 4, 4};
+  EXPECT_EQ(run_and_compare(prog, cfg), 0.0);
+}
+
+TEST(Executor, FusedDagMatchesReference) {
+  const ir::Program prog = dsl::parse(artemis::testing::kDagDsl);
+  KernelConfig cfg;
+  cfg.tiling = TilingScheme::Spatial3D;
+  cfg.block = {4, 4, 2};
+  EXPECT_EQ(run_and_compare(prog, cfg, {}, /*fuse_all=*/true), 0.0);
+}
+
+TEST(Executor, FusedDagStreamingMatchesReference) {
+  const ir::Program prog = dsl::parse(artemis::testing::kDagDsl);
+  KernelConfig cfg;
+  cfg.tiling = TilingScheme::StreamSerial;
+  cfg.stream_axis = 2;
+  cfg.block = {4, 4, 1};
+  EXPECT_EQ(run_and_compare(prog, cfg, {}, /*fuse_all=*/true), 0.0);
+}
+
+TEST(Executor, FusedDagGlobalOnlyMatchesReference) {
+  const ir::Program prog = dsl::parse(artemis::testing::kDagDsl);
+  KernelConfig cfg;
+  cfg.tiling = TilingScheme::Spatial3D;
+  cfg.block = {4, 4, 2};
+  BuildOptions opts;
+  opts.use_shared_memory = false;
+  EXPECT_EQ(run_and_compare(prog, cfg, opts, /*fuse_all=*/true), 0.0);
+}
+
+TEST(Executor, CountsComputeAndSkips) {
+  const ir::Program prog = dsl::parse(artemis::testing::kJacobiDsl);
+  const auto dev = gpumodel::p100();
+  GridSet gs = GridSet::from_program(prog, 7);
+  KernelConfig cfg;
+  cfg.block = {8, 8, 8};
+  const auto plan =
+      codegen::build_plan_for_call(prog, prog.steps[0].call, cfg, dev);
+  const ExecCounters c = execute_plan(plan, gs);
+  // 16^3 domain, order-1: interior 14^3 computed, the shell skipped.
+  EXPECT_EQ(c.computed_points, 14 * 14 * 14);
+  EXPECT_EQ(c.skipped_points, 16 * 16 * 16 - 14 * 14 * 14);
+  EXPECT_EQ(c.blocks, 8);
+  EXPECT_EQ(c.global_write_elems, 14 * 14 * 14);
+}
+
+// ---- property tests: random programs x random configs ----------------------
+
+struct PropertyCase {
+  int dims;
+  int max_order;
+  int max_stages;
+};
+
+class ExecutorProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(ExecutorProperty, TiledMatchesReference) {
+  const PropertyCase pc = GetParam();
+  Rng rng(0xC0FFEE + static_cast<std::uint64_t>(pc.dims * 100 +
+                                                pc.max_order * 10 +
+                                                pc.max_stages));
+  for (int trial = 0; trial < 8; ++trial) {
+    stencils::RandomStencilOptions opts;
+    opts.dims = pc.dims;
+    opts.max_order = pc.max_order;
+    opts.max_stages = pc.max_stages;
+    const ir::Program prog = stencils::random_program(rng, opts);
+
+    KernelConfig cfg;
+    const std::int64_t roll = rng.uniform_int(0, 2);
+    if (pc.dims >= 2 && roll == 1) {
+      cfg.tiling = TilingScheme::StreamSerial;
+    } else if (pc.dims >= 2 && roll == 2) {
+      cfg.tiling = TilingScheme::StreamConcurrent;
+      cfg.stream_chunk = static_cast<int>(rng.uniform_int(3, 9));
+    } else {
+      cfg.tiling = TilingScheme::Spatial3D;
+    }
+    cfg.stream_axis = pc.dims - 1;
+    cfg.block = {static_cast<int>(rng.uniform_int(2, 7)),
+                 pc.dims >= 2 ? static_cast<int>(rng.uniform_int(2, 7)) : 1,
+                 pc.dims >= 3 ? static_cast<int>(rng.uniform_int(1, 5)) : 1};
+    if (cfg.tiling != TilingScheme::Spatial3D) {
+      cfg.block[static_cast<std::size_t>(pc.dims - 1)] = 1;
+    }
+    if (rng.coin(0.3)) cfg.unroll[0] = 2;
+
+    const bool fuse = pc.max_stages > 1;
+    const double diff = run_and_compare(
+        prog, cfg, {}, fuse, 0x5EED0 + static_cast<std::uint64_t>(trial));
+    EXPECT_EQ(diff, 0.0) << "dims=" << pc.dims << " order=" << pc.max_order
+                         << " stages=" << pc.max_stages
+                         << " trial=" << trial << " cfg "
+                         << cfg.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExecutorProperty,
+    ::testing::Values(PropertyCase{1, 1, 1}, PropertyCase{1, 3, 1},
+                      PropertyCase{2, 1, 1}, PropertyCase{2, 2, 2},
+                      PropertyCase{3, 1, 1}, PropertyCase{3, 2, 1},
+                      PropertyCase{3, 1, 3}, PropertyCase{3, 2, 2}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return "d" + std::to_string(info.param.dims) + "r" +
+             std::to_string(info.param.max_order) + "s" +
+             std::to_string(info.param.max_stages);
+    });
+
+}  // namespace
+}  // namespace artemis::sim

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "artemis/ir/expr.hpp"
+
+namespace artemis::ir {
+namespace {
+
+const std::vector<std::string> kIters = {"k", "j", "i"};
+
+ExprPtr acc(const std::string& a, int dk, int dj, int di) {
+  return array_ref(a, {{0, dk}, {1, dj}, {2, di}});
+}
+
+TEST(Expr, NumberToString) {
+  EXPECT_EQ(to_string(*number(2.0), kIters), "2.0");
+  EXPECT_EQ(to_string(*number(0.5), kIters), "0.5");
+  EXPECT_EQ(to_string(*number(-3.0), kIters), "-3.0");
+}
+
+TEST(Expr, ArrayRefToString) {
+  EXPECT_EQ(to_string(*acc("A", 0, 1, -2), kIters), "A[k][j+1][i-2]");
+  EXPECT_EQ(to_string(*array_ref("w", {{2, 0}}), kIters), "w[i]");
+  EXPECT_EQ(to_string(*array_ref("w", {{-1, 3}}), kIters), "w[3]");
+}
+
+TEST(Expr, PrecedenceParens) {
+  // (a + b) * c needs parens; a + b * c does not.
+  const auto sum = add(scalar_ref("a"), scalar_ref("b"));
+  EXPECT_EQ(to_string(*mul(sum, scalar_ref("c")), kIters), "(a + b) * c");
+  EXPECT_EQ(to_string(*add(scalar_ref("a"),
+                           mul(scalar_ref("b"), scalar_ref("c"))),
+                      kIters),
+            "a + b * c");
+}
+
+TEST(Expr, SubRightAssociationParens) {
+  // a - (b + c) must keep parens to preserve meaning.
+  const auto e = sub(scalar_ref("a"), add(scalar_ref("b"), scalar_ref("c")));
+  EXPECT_EQ(to_string(*e, kIters), "a - (b + c)");
+}
+
+TEST(Expr, DivByProductParens) {
+  const auto e = div(scalar_ref("a"), mul(scalar_ref("b"), scalar_ref("c")));
+  EXPECT_EQ(to_string(*e, kIters), "a / (b * c)");
+}
+
+TEST(Expr, CallToString) {
+  const auto e = call("min", {scalar_ref("a"), number(1.0)});
+  EXPECT_EQ(to_string(*e, kIters), "min(a, 1.0)");
+}
+
+TEST(Expr, NegationToString) {
+  EXPECT_EQ(to_string(*unary_neg(scalar_ref("a")), kIters), "-a");
+  EXPECT_EQ(to_string(*mul(unary_neg(scalar_ref("a")), scalar_ref("b")),
+                      kIters),
+            "-a * b");
+}
+
+TEST(Expr, DeepEquality) {
+  const auto a = add(mul(scalar_ref("x"), acc("A", 0, 0, 1)), number(2.0));
+  const auto b = add(mul(scalar_ref("x"), acc("A", 0, 0, 1)), number(2.0));
+  const auto c = add(mul(scalar_ref("x"), acc("A", 0, 0, -1)), number(2.0));
+  EXPECT_TRUE(equal(*a, *b));
+  EXPECT_FALSE(equal(*a, *c));
+  EXPECT_FALSE(equal(*a, *scalar_ref("x")));
+}
+
+TEST(Expr, FlopCountConvention) {
+  // Each binary op, unary negation, and call counts 1.
+  const auto e = add(mul(scalar_ref("a"), scalar_ref("b")),
+                     unary_neg(call("sqrt", {scalar_ref("c")})));
+  EXPECT_EQ(flop_count(*e), 4);
+  EXPECT_EQ(flop_count(*number(1.0)), 0);
+  EXPECT_EQ(flop_count(*acc("A", 0, 0, 0)), 0);
+}
+
+TEST(Expr, VisitPreOrderCountsNodes) {
+  const auto e = add(mul(scalar_ref("a"), number(2.0)), acc("A", 1, 0, 0));
+  int nodes = 0;
+  visit(*e, [&](const Expr&) { ++nodes; });
+  EXPECT_EQ(nodes, 5);
+}
+
+TEST(Expr, RewriteReplacesLeaves) {
+  const auto e = add(scalar_ref("a"), mul(scalar_ref("a"), number(3.0)));
+  const auto rewritten = rewrite(e, [](const ExprPtr& n) -> ExprPtr {
+    if (n->kind == ExprKind::ScalarRef && n->name == "a") {
+      return scalar_ref("z");
+    }
+    return nullptr;
+  });
+  EXPECT_EQ(to_string(*rewritten, kIters), "z + z * 3.0");
+  // Original untouched (persistent tree).
+  EXPECT_EQ(to_string(*e, kIters), "a + a * 3.0");
+}
+
+TEST(Expr, RewriteSharesUnchangedSubtrees) {
+  const auto shared = mul(scalar_ref("b"), number(2.0));
+  const auto e = add(scalar_ref("a"), shared);
+  const auto rewritten = rewrite(e, [](const ExprPtr& n) -> ExprPtr {
+    if (n->kind == ExprKind::ScalarRef && n->name == "a") {
+      return number(0.0);
+    }
+    return nullptr;
+  });
+  // The untouched right subtree must be the same node (no copy).
+  EXPECT_EQ(rewritten->args[1].get(), shared.get());
+}
+
+TEST(Expr, IndexExprOrdering) {
+  const IndexExpr a{0, -1}, b{0, 1}, c{1, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (IndexExpr{0, -1}));
+}
+
+TEST(Expr, BinOpTokens) {
+  EXPECT_STREQ(bin_op_token(BinOp::Add), "+");
+  EXPECT_STREQ(bin_op_token(BinOp::Sub), "-");
+  EXPECT_STREQ(bin_op_token(BinOp::Mul), "*");
+  EXPECT_STREQ(bin_op_token(BinOp::Div), "/");
+}
+
+}  // namespace
+}  // namespace artemis::ir

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "artemis/codegen/plan_builder.hpp"
+#include "artemis/driver/driver.hpp"
+#include "artemis/sim/executor.hpp"
+#include "artemis/sim/reference.hpp"
+#include "artemis/stencils/extra_stencils.hpp"
+#include "artemis/transform/fusion.hpp"
+
+namespace artemis::stencils {
+namespace {
+
+using codegen::KernelConfig;
+using codegen::TilingScheme;
+
+class ExtraSuite : public ::testing::TestWithParam<std::string> {
+ protected:
+  gpumodel::DeviceSpec dev_ = gpumodel::p100();
+};
+
+TEST_P(ExtraSuite, ExecutesBitExact) {
+  const auto& spec = extra_stencil(GetParam());
+  const auto prog = extra_stencil_program(spec.name, 20, 2);
+  sim::GridSet ref = sim::GridSet::from_program(prog, 3);
+  sim::GridSet tiled = ref.clone();
+  sim::run_program_reference(prog, ref);
+
+  KernelConfig cfg;
+  cfg.block = {4, spec.dims >= 2 ? 4 : 1, 1};
+  for (const auto& step : ir::flatten_steps(prog)) {
+    if (step.kind == ir::ExecStep::Kind::Swap) {
+      tiled.swap(step.swap.a, step.swap.b);
+      continue;
+    }
+    const auto plan = codegen::build_plan(prog, {step.stencil}, cfg, dev_);
+    sim::execute_plan(plan, tiled);
+  }
+  for (const auto& out : prog.copyout) {
+    EXPECT_EQ(Grid3D::max_abs_diff(ref.grid(out), tiled.grid(out)), 0.0)
+        << out;
+  }
+}
+
+TEST_P(ExtraSuite, OptimizesUnderArtemis) {
+  const auto& spec = extra_stencil(GetParam());
+  const auto prog = extra_stencil_program(spec.name, 512, 4);
+  const auto r = driver::optimize_program(prog, dev_);
+  EXPECT_GT(r.tflops, 0.0);
+  if (spec.iterative && spec.dims >= 2) {
+    ASSERT_TRUE(r.deep_tuning.has_value());
+    EXPECT_GE(r.deep_tuning->entries.size(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ExtraSuite,
+                         ::testing::Values("heat-1d", "jacobi-2d",
+                                           "blur9-2d", "wave-2d",
+                                           "gradient-2d"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(ExtraSuiteDag, GradientPipelineFusesIn2D) {
+  const auto prog = extra_stencil_program("gradient-2d", 40);
+  const auto dev = gpumodel::p100();
+  const auto stages = transform::bind_all_calls(prog);
+  KernelConfig cfg;
+  cfg.block = {8, 8, 1};
+  const auto plan = codegen::build_plan(prog, stages, cfg, dev);
+  EXPECT_EQ(plan.internal_arrays, (std::vector<std::string>{"sm"}));
+  EXPECT_EQ(plan.dims, 2);
+  // smooth (radius 1) expanded by gradmag (radius 1): halo (2,2).
+  EXPECT_EQ(plan.radius[0], 2);
+  EXPECT_EQ(plan.radius[1], 2);
+
+  sim::GridSet ref = sim::GridSet::from_program(prog, 4);
+  sim::GridSet tiled = ref.clone();
+  sim::run_program_reference(prog, ref);
+  sim::execute_plan(plan, tiled);
+  EXPECT_EQ(Grid3D::max_abs_diff(ref.grid("grad"), tiled.grid("grad")),
+            0.0);
+}
+
+TEST(ExtraSuiteDag, TwoDStreamingMatchesReference) {
+  // 2D streaming sweeps j (the outer iterator).
+  const auto prog = extra_stencil_program("jacobi-2d", 24, 2);
+  const auto dev = gpumodel::p100();
+  sim::GridSet ref = sim::GridSet::from_program(prog, 8);
+  sim::GridSet tiled = ref.clone();
+  sim::run_program_reference(prog, ref);
+
+  KernelConfig cfg;
+  cfg.tiling = TilingScheme::StreamSerial;
+  cfg.stream_axis = 1;
+  cfg.block = {8, 1, 1};
+  for (const auto& step : ir::flatten_steps(prog)) {
+    if (step.kind == ir::ExecStep::Kind::Swap) {
+      tiled.swap(step.swap.a, step.swap.b);
+      continue;
+    }
+    const auto plan = codegen::build_plan(prog, {step.stencil}, cfg, dev);
+    sim::execute_plan(plan, tiled);
+  }
+  EXPECT_EQ(Grid3D::max_abs_diff(ref.grid("u"), tiled.grid("u")), 0.0);
+}
+
+TEST(ExtraSuiteDag, LinearStencilScalesLinearly) {
+  // jacobi-2d is linear: scaling the input scales the output.
+  const auto prog = extra_stencil_program("jacobi-2d", 20, 3);
+  sim::GridSet a = sim::GridSet::from_program(prog, 17);
+  sim::GridSet b = a.clone();
+  for (auto& v : b.grid("u").raw()) v *= 2.0;
+  sim::run_program_reference(prog, a);
+  sim::run_program_reference(prog, b);
+  const auto& ga = a.grid("u");
+  const auto& gb = b.grid("u");
+  double worst = 0;
+  for (std::size_t i = 0; i < ga.raw().size(); ++i) {
+    worst = std::max(worst, std::abs(gb.raw()[i] - 2.0 * ga.raw()[i]));
+  }
+  EXPECT_LT(worst, 1e-9);
+}
+
+}  // namespace
+}  // namespace artemis::stencils

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "artemis/codegen/plan_builder.hpp"
+#include "artemis/dsl/parser.hpp"
+#include "artemis/gpumodel/occupancy.hpp"
+#include "artemis/gpumodel/perf_model.hpp"
+#include "artemis/gpumodel/registers.hpp"
+#include "test_programs.hpp"
+
+namespace artemis::gpumodel {
+namespace {
+
+using codegen::KernelConfig;
+using codegen::KernelPlan;
+using codegen::TilingScheme;
+
+TEST(Device, P100MachineBalance) {
+  const DeviceSpec d = p100();
+  // Paper Section VIII-A: alpha/beta ratios 6.42, 2.35, 0.49.
+  EXPECT_NEAR(d.balance_dram(), 6.42, 0.01);
+  EXPECT_NEAR(d.balance_tex(), 2.35, 0.01);
+  EXPECT_NEAR(d.balance_shm(), 0.49, 0.01);
+}
+
+TEST(Occupancy, FullAtModestResources) {
+  const DeviceSpec d = p100();
+  const Occupancy o = compute_occupancy(d, {256, 32, 0});
+  EXPECT_EQ(o.active_blocks_per_sm, 8);
+  EXPECT_DOUBLE_EQ(o.fraction, 1.0);
+  EXPECT_EQ(o.limiter, Occupancy::Limiter::Threads);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  const DeviceSpec d = p100();
+  // 128 regs x 256 threads = 32768 regs/block; 65536/32768 = 2 blocks.
+  const Occupancy o = compute_occupancy(d, {256, 128, 0});
+  EXPECT_EQ(o.active_blocks_per_sm, 2);
+  EXPECT_EQ(o.limiter, Occupancy::Limiter::Registers);
+  EXPECT_DOUBLE_EQ(o.fraction, 0.25);
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  const DeviceSpec d = p100();
+  // 40KB per block: only one fits in 64KB/SM.
+  const Occupancy o = compute_occupancy(d, {128, 32, 40 * 1024});
+  EXPECT_EQ(o.active_blocks_per_sm, 1);
+  EXPECT_EQ(o.limiter, Occupancy::Limiter::SharedMemory);
+}
+
+TEST(Occupancy, InvalidLaunches) {
+  const DeviceSpec d = p100();
+  EXPECT_DOUBLE_EQ(compute_occupancy(d, {2048, 32, 0}).fraction, 0.0);
+  EXPECT_DOUBLE_EQ(compute_occupancy(d, {256, 300, 0}).fraction, 0.0);
+  EXPECT_DOUBLE_EQ(compute_occupancy(d, {256, 32, 64 * 1024}).fraction, 0.0);
+  // 255 regs x 1024 threads exceeds the register file entirely.
+  const Occupancy o = compute_occupancy(d, {1024, 255, 0});
+  EXPECT_DOUBLE_EQ(o.fraction, 0.0);
+  EXPECT_EQ(o.limiter, Occupancy::Limiter::Registers);
+}
+
+TEST(Occupancy, MaxBlockSlotsLimited) {
+  const DeviceSpec d = p100();
+  const Occupancy o = compute_occupancy(d, {32, 16, 0});
+  EXPECT_EQ(o.active_blocks_per_sm, 32);  // slot limit
+  EXPECT_EQ(o.limiter, Occupancy::Limiter::Blocks);
+}
+
+TEST(Device, GenerationsOrdered) {
+  const auto k = k40();
+  const auto p = p100();
+  const auto v = v100();
+  EXPECT_LT(k.peak_dp_flops, p.peak_dp_flops);
+  EXPECT_LT(p.peak_dp_flops, v.peak_dp_flops);
+  // Newer devices are more bandwidth-starved (higher balance).
+  EXPECT_LT(k.balance_dram(), p.balance_dram());
+  EXPECT_LT(p.balance_dram(), v.balance_dram());
+}
+
+class PlanFixture : public ::testing::Test {
+ protected:
+  KernelPlan make_plan(const char* src, const KernelConfig& cfg,
+                       codegen::BuildOptions opts = {}) {
+    prog_ = dsl::parse(src);
+    return codegen::build_plan_for_call(prog_, prog_.steps.back().call, cfg,
+                                        dev_, opts);
+  }
+  ir::Program prog_;
+  DeviceSpec dev_ = p100();
+};
+
+TEST_F(PlanFixture, RegistersGrowWithUnroll) {
+  KernelConfig cfg;
+  const auto base =
+      estimate_registers(make_plan(artemis::testing::kJacobiDsl, cfg));
+  cfg.unroll = {4, 1, 1};
+  const auto unrolled =
+      estimate_registers(make_plan(artemis::testing::kJacobiDsl, cfg));
+  EXPECT_GT(unrolled.total, base.total);
+}
+
+TEST_F(PlanFixture, CyclicUsesMoreRegistersThanBlocked) {
+  KernelConfig cfg;
+  cfg.unroll = {4, 1, 1};
+  cfg.unroll_strategy = codegen::UnrollStrategy::Blocked;
+  const auto blocked =
+      estimate_registers(make_plan(artemis::testing::kJacobiDsl, cfg));
+  cfg.unroll_strategy = codegen::UnrollStrategy::Cyclic;
+  const auto cyclic =
+      estimate_registers(make_plan(artemis::testing::kJacobiDsl, cfg));
+  EXPECT_GT(cyclic.total, blocked.total);
+}
+
+TEST_F(PlanFixture, StreamingAddsRegisterPlanes) {
+  KernelConfig spatial;
+  spatial.tiling = TilingScheme::Spatial3D;
+  const auto s =
+      estimate_registers(make_plan(artemis::testing::kJacobiDsl, spatial));
+  KernelConfig stream;
+  stream.tiling = TilingScheme::StreamSerial;
+  stream.stream_axis = 2;
+  const auto t =
+      estimate_registers(make_plan(artemis::testing::kJacobiDsl, stream));
+  EXPECT_GT(t.stream_planes, 0);
+  EXPECT_GT(t.total, s.total);
+}
+
+TEST_F(PlanFixture, EvaluateProducesFiniteTime) {
+  KernelConfig cfg;
+  const auto plan = make_plan(artemis::testing::kJacobiDsl, cfg);
+  const KernelEval ev = evaluate(plan, dev_);
+  ASSERT_TRUE(ev.valid);
+  EXPECT_GT(ev.time_s, 0.0);
+  EXPECT_GT(ev.counters.flops, 0);
+  EXPECT_GT(ev.counters.dram_bytes(), 0);
+  EXPECT_GT(ev.tflops(), 0.0);
+  EXPECT_LT(ev.tflops(), 4.7);  // cannot beat the device peak
+}
+
+TEST_F(PlanFixture, UsefulFlopsMatchAnalysis) {
+  KernelConfig cfg;
+  const auto plan = make_plan(artemis::testing::kJacobiDsl, cfg);
+  const KernelEval ev = evaluate(plan, dev_);
+  const std::int64_t points = 16 * 16 * 16;
+  EXPECT_EQ(ev.useful_flops, plan.info.flops_per_point * points);
+  // With a single stage there is no recomputation.
+  EXPECT_EQ(ev.counters.flops >= ev.useful_flops, true);
+}
+
+TEST_F(PlanFixture, InvalidLaunchReported) {
+  KernelConfig cfg;
+  cfg.block = {32, 32, 1};
+  cfg.max_registers = 255;
+  cfg.unroll = {8, 8, 1};  // blows past the register file
+  cfg.unroll_strategy = codegen::UnrollStrategy::Cyclic;
+  codegen::BuildOptions opts;
+  opts.use_shared_memory = false;  // isolate the register story
+  const auto plan = make_plan(artemis::testing::kJacobiDsl, cfg, opts);
+  const KernelEval ev = evaluate(plan, dev_);
+  // Either invalid or heavily spilled; both are acceptable model outcomes,
+  // but time must reflect the penalty.
+  if (ev.valid) {
+    EXPECT_GT(ev.counters.spill_bytes, 0);
+  } else {
+    EXPECT_FALSE(ev.invalid_reason.empty());
+  }
+}
+
+}  // namespace
+}  // namespace artemis::gpumodel

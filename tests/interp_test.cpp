@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "artemis/dsl/parser.hpp"
+#include "artemis/sim/gridset.hpp"
+#include "artemis/sim/interp.hpp"
+#include "artemis/sim/reference.hpp"
+
+namespace artemis::sim {
+namespace {
+
+/// A reader over one named flat vector treated as a 1D grid of length n.
+ArrayReader vector_reader(const std::string& name,
+                          const std::vector<double>& data) {
+  return [name, &data](const std::string& arr, std::int64_t z,
+                       std::int64_t y,
+                       std::int64_t x) -> std::optional<double> {
+    if (arr != name || z != 0 || y != 0) return std::nullopt;
+    if (x < 0 || x >= static_cast<std::int64_t>(data.size())) {
+      return std::nullopt;
+    }
+    return data[static_cast<std::size_t>(x)];
+  };
+}
+
+TEST(AccessCoords, MapsTrailingAxes) {
+  // 3D access.
+  EXPECT_EQ(access_coords({{0, 1}, {1, -2}, {2, 0}}, {10, 20, 30}),
+            (std::array<std::int64_t, 3>{11, 18, 30}));
+  // 1D access binds to x.
+  EXPECT_EQ(access_coords({{2, 3}}, {10, 20, 30}),
+            (std::array<std::int64_t, 3>{0, 0, 33}));
+  // Constant index.
+  EXPECT_EQ(access_coords({{-1, 7}}, {1}),
+            (std::array<std::int64_t, 3>{0, 0, 7}));
+}
+
+TEST(EvalExpr, Arithmetic) {
+  const std::map<std::string, double> scalars = {{"a", 3.0}, {"b", 2.0}};
+  const std::map<std::string, double> locals;
+  const std::vector<std::int64_t> itv = {0};
+  const ArrayReader no_arrays = [](const std::string&, std::int64_t,
+                                   std::int64_t,
+                                   std::int64_t) -> std::optional<double> {
+    return std::nullopt;
+  };
+  auto ev = [&](const char* src) {
+    // Parse a one-statement program to get the expression.
+    const auto prog = dsl::parse(
+        std::string("parameter N=4;\niterator i;\ndouble o[N], a, b;\n"
+                    "stencil s (O, a, b) { O[i] = ") +
+        src + "; }\ns (o, a, b);\n");
+    return eval_expr(*prog.stencils[0].stmts[0].rhs, scalars, locals, itv,
+                     no_arrays);
+  };
+  EXPECT_DOUBLE_EQ(*ev("a + b"), 5.0);
+  EXPECT_DOUBLE_EQ(*ev("a - b"), 1.0);
+  EXPECT_DOUBLE_EQ(*ev("a * b"), 6.0);
+  EXPECT_DOUBLE_EQ(*ev("a / b"), 1.5);
+  EXPECT_DOUBLE_EQ(*ev("-a"), -3.0);
+  EXPECT_DOUBLE_EQ(*ev("sqrt(a + 1.0)"), 2.0);
+  EXPECT_DOUBLE_EQ(*ev("fabs(b - a)"), 1.0);
+  EXPECT_DOUBLE_EQ(*ev("min(a, b)"), 2.0);
+  EXPECT_DOUBLE_EQ(*ev("max(a, b)"), 3.0);
+  EXPECT_DOUBLE_EQ(*ev("pow(b, a)"), 8.0);
+  EXPECT_DOUBLE_EQ(*ev("exp(0.0)"), 1.0);
+  EXPECT_DOUBLE_EQ(*ev("log(1.0)"), 0.0);
+}
+
+TEST(ApplyStmts, OutOfBoundsVetoesWholePoint) {
+  const auto prog = dsl::parse(R"(
+    parameter N=4;
+    iterator i;
+    double o[N], a[N];
+    stencil s (O, A) {
+      O[i] = A[i];
+      O[i] += A[i+1];
+    }
+    s (o, a);
+  )");
+  const std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> o(4, -1.0);
+  const std::map<std::string, double> scalars;
+
+  const ArrayReader reader = [&](const std::string& arr, std::int64_t,
+                                 std::int64_t,
+                                 std::int64_t x) -> std::optional<double> {
+    const auto& v = arr == "a" ? a : o;
+    if (x < 0 || x >= 4) return std::nullopt;
+    return v[static_cast<std::size_t>(x)];
+  };
+  const ArrayWriter writer = [&](const std::string&, std::int64_t,
+                                 std::int64_t, std::int64_t x, double val) {
+    o[static_cast<std::size_t>(x)] = val;
+  };
+  const auto& stmts = ir::bind_call(prog, prog.steps[0].call).stmts;
+  EXPECT_TRUE(apply_stmts_at_point(stmts, scalars, {1}, reader, writer));
+  EXPECT_DOUBLE_EQ(o[1], 2.0 + 3.0);
+  // i = 3 reads A[4]: the whole point is skipped, and crucially the
+  // first statement's write must NOT have been committed.
+  EXPECT_FALSE(apply_stmts_at_point(stmts, scalars, {3}, reader, writer));
+  EXPECT_DOUBLE_EQ(o[3], -1.0);
+}
+
+TEST(ApplyStmts, PendingWritesVisibleAtSamePoint) {
+  // O[i] = 1; O[i] += O[i];  -> 2 (the += reads the pending value).
+  const auto prog = dsl::parse(R"(
+    parameter N=2;
+    iterator i;
+    double o[N];
+    stencil s (O) {
+      O[i] = 1.0;
+      O[i] += O[i];
+    }
+    s (o);
+  )");
+  std::vector<double> o = {5.0, 5.0};
+  const ArrayReader reader = vector_reader("o", o);
+  const ArrayWriter writer = [&](const std::string&, std::int64_t,
+                                 std::int64_t, std::int64_t x, double val) {
+    o[static_cast<std::size_t>(x)] = val;
+  };
+  const auto& stmts = ir::bind_call(prog, prog.steps[0].call).stmts;
+  ASSERT_TRUE(apply_stmts_at_point(stmts, {}, {0}, reader, writer));
+  EXPECT_DOUBLE_EQ(o[0], 2.0);
+}
+
+TEST(ApplyStmts, LocalsShadowScalars) {
+  const auto prog = dsl::parse(R"(
+    parameter N=2;
+    iterator i;
+    double o[N], c;
+    stencil s (O, c) {
+      double t = c * 2.0;
+      O[i] = t + c;
+    }
+    s (o, c);
+  )");
+  std::vector<double> o = {0, 0};
+  const std::map<std::string, double> scalars = {{"c", 3.0}};
+  const ArrayWriter writer = [&](const std::string&, std::int64_t,
+                                 std::int64_t, std::int64_t x, double val) {
+    o[static_cast<std::size_t>(x)] = val;
+  };
+  const auto& stmts = ir::bind_call(prog, prog.steps[0].call).stmts;
+  ASSERT_TRUE(apply_stmts_at_point(stmts, scalars, {0},
+                                   vector_reader("o", o), writer));
+  EXPECT_DOUBLE_EQ(o[0], 9.0);
+}
+
+TEST(Reference, InPlaceNeighborReadsSnapshot) {
+  // u[i] = u[i-1] + u[i+1]: GPU semantics read pre-kernel values
+  // everywhere, so a sequential in-place sweep must snapshot.
+  const auto prog = dsl::parse(R"(
+    parameter N=5;
+    iterator i;
+    double u[N];
+    copyin u;
+    stencil s (U) { U[i] = U[i-1] + U[i+1]; }
+    s (u);
+    copyout u;
+  )");
+  GridSet gs = GridSet::from_program(prog, 0);
+  auto& u = gs.grid("u");
+  for (std::int64_t x = 0; x < 5; ++x) u.at(0, 0, x) = double(x + 1);
+  run_program_reference(prog, gs);
+  // With snapshotting: u = [1, 1+3, 2+4, 3+5, 5].
+  EXPECT_DOUBLE_EQ(u.at(0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(u.at(0, 0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(u.at(0, 0, 2), 6.0);
+  EXPECT_DOUBLE_EQ(u.at(0, 0, 3), 8.0);
+  EXPECT_DOUBLE_EQ(u.at(0, 0, 4), 5.0);
+}
+
+TEST(Reference, CenterOnlyReadWriteNeedsNoSnapshot) {
+  const auto prog = dsl::parse(R"(
+    parameter N=4;
+    iterator i;
+    double u[N], a[N];
+    copyin u, a;
+    stencil s (U, A) { U[i] += A[i]; }
+    s (u, a);
+    copyout u;
+  )");
+  GridSet gs = GridSet::from_program(prog, 0);
+  auto& u = gs.grid("u");
+  auto& a = gs.grid("a");
+  for (std::int64_t x = 0; x < 4; ++x) {
+    u.at(0, 0, x) = 1.0;
+    a.at(0, 0, x) = double(x);
+  }
+  run_program_reference(prog, gs);
+  for (std::int64_t x = 0; x < 4; ++x) {
+    EXPECT_DOUBLE_EQ(u.at(0, 0, x), 1.0 + double(x));
+  }
+}
+
+}  // namespace
+}  // namespace artemis::sim

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "artemis/common/check.hpp"
+#include "artemis/dsl/lexer.hpp"
+
+namespace artemis::dsl {
+namespace {
+
+std::vector<TokKind> kinds(const std::string& src) {
+  std::vector<TokKind> out;
+  for (const auto& t : lex(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInput) {
+  const auto toks = lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokKind::End);
+}
+
+TEST(Lexer, Identifiers) {
+  const auto toks = lex("abc _x x1_y");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "abc");
+  EXPECT_EQ(toks[1].text, "_x");
+  EXPECT_EQ(toks[2].text, "x1_y");
+}
+
+TEST(Lexer, IntegerAndFloatLiterals) {
+  const auto toks = lex("42 3.5 1e3 2.5e-2 .5");
+  EXPECT_EQ(toks[0].kind, TokKind::Integer);
+  EXPECT_EQ(toks[0].int_value, 42);
+  EXPECT_EQ(toks[1].kind, TokKind::Float);
+  EXPECT_DOUBLE_EQ(toks[1].float_value, 3.5);
+  EXPECT_EQ(toks[2].kind, TokKind::Float);
+  EXPECT_DOUBLE_EQ(toks[2].float_value, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[3].float_value, 0.025);
+  EXPECT_DOUBLE_EQ(toks[4].float_value, 0.5);
+}
+
+TEST(Lexer, Punctuation) {
+  EXPECT_EQ(kinds("()[]{},;=+-*/#"),
+            (std::vector<TokKind>{
+                TokKind::LParen, TokKind::RParen, TokKind::LBracket,
+                TokKind::RBracket, TokKind::LBrace, TokKind::RBrace,
+                TokKind::Comma, TokKind::Semicolon, TokKind::Assign,
+                TokKind::Plus, TokKind::Minus, TokKind::Star, TokKind::Slash,
+                TokKind::Hash, TokKind::End}));
+}
+
+TEST(Lexer, PlusAssign) {
+  const auto toks = lex("a += b");
+  EXPECT_EQ(toks[1].kind, TokKind::PlusAssign);
+}
+
+TEST(Lexer, LineComments) {
+  const auto toks = lex("a // comment = ;\nb");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, BlockComments) {
+  const auto toks = lex("a /* multi\nline */ b");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[1].line, 2);
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows) {
+  EXPECT_THROW(lex("a /* nope"), ParseError);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto toks = lex("a\n  bb\n    c");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].col, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].col, 3);
+  EXPECT_EQ(toks[2].line, 3);
+  EXPECT_EQ(toks[2].col, 5);
+}
+
+TEST(Lexer, UnknownCharacterThrows) {
+  EXPECT_THROW(lex("a @ b"), ParseError);
+  try {
+    lex("\n  @");
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.col(), 3);
+  }
+}
+
+TEST(Lexer, MalformedFloatThrows) {
+  EXPECT_THROW(lex("1e999999"), ParseError);
+}
+
+}  // namespace
+}  // namespace artemis::dsl

@@ -1,0 +1,119 @@
+// Frontend robustness: the lexer/parser must reject arbitrary garbage and
+// mutated programs with typed errors -- never crash, hang, or accept
+// invalid input silently.
+
+#include <gtest/gtest.h>
+
+#include "artemis/common/check.hpp"
+#include "artemis/common/rng.hpp"
+#include "artemis/dsl/parser.hpp"
+#include "artemis/dsl/printer.hpp"
+#include "artemis/stencils/benchmarks.hpp"
+#include "artemis/stencils/random_stencil.hpp"
+
+namespace artemis::dsl {
+namespace {
+
+TEST(ParserFuzz, RandomBytesNeverCrash) {
+  Rng rng(0xFEED);
+  const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyz0123456789 \n\t(){}[];,=+-*/#._\"";
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string input;
+    const auto len = rng.uniform_int(0, 200);
+    for (std::int64_t i = 0; i < len; ++i) {
+      input.push_back(alphabet[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(alphabet.size()) - 1))]);
+    }
+    try {
+      parse(input);
+      // Accepting is fine only if the input happened to be valid; re-print
+      // to prove a Program actually materialized.
+    } catch (const Error&) {
+      // ParseError / SemanticError are the expected outcomes.
+    }
+  }
+}
+
+TEST(ParserFuzz, MutatedValidProgramsNeverCrash) {
+  Rng rng(0xBEEF);
+  const std::string base = stencils::benchmark("7pt-smoother").dsl(32);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string mutated = base;
+    const int edits = static_cast<int>(rng.uniform_int(1, 4));
+    for (int e = 0; e < edits; ++e) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(mutated.size()) - 1));
+      switch (rng.uniform_int(0, 2)) {
+        case 0:
+          mutated.erase(pos, 1);
+          break;
+        case 1:
+          mutated.insert(pos, 1, "+*;[]()xq0"[rng.uniform_int(0, 9)]);
+          break;
+        default:
+          mutated[pos] = "+*;[]()xq0"[rng.uniform_int(0, 9)];
+          break;
+      }
+    }
+    try {
+      const ir::Program p = parse(mutated);
+      // If the mutation survived parsing, the result must still be a
+      // valid, printable program.
+      const std::string printed = print_program(p);
+      EXPECT_FALSE(printed.empty());
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(ParserFuzz, RandomProgramsAlwaysRoundTrip) {
+  Rng rng(0x1234);
+  for (int trial = 0; trial < 60; ++trial) {
+    stencils::RandomStencilOptions opts;
+    opts.dims = static_cast<int>(rng.uniform_int(1, 3));
+    opts.max_order = static_cast<int>(rng.uniform_int(1, 4));
+    opts.max_stages = static_cast<int>(rng.uniform_int(1, 3));
+    opts.allow_calls = true;
+    const ir::Program p = stencils::random_program(rng, opts);
+    const std::string printed = print_program(p);
+    const ir::Program reparsed = parse(printed);
+    EXPECT_EQ(print_program(reparsed), printed) << printed;
+  }
+}
+
+TEST(ParserFuzz, DeeplyNestedExpressionsParse) {
+  // 200 nested parens: no recursion blowup at reasonable depths.
+  std::string expr = "A[i]";
+  for (int d = 0; d < 200; ++d) expr = "(" + expr + " + 1.0)";
+  const std::string src =
+      "parameter N=8;\niterator i;\ndouble a[N], b[N];\n"
+      "stencil s (B, A) { B[i] = " +
+      expr + "; }\ns (b, a);\n";
+  EXPECT_NO_THROW(parse(src));
+}
+
+TEST(ParserFuzz, HugeProgramParses) {
+  // Many stencils and calls: linear scaling, no quadratic blowups biting
+  // at this size.
+  std::string src = "parameter N=64;\niterator i;\ndouble a[N]";
+  for (int s = 0; s < 120; ++s) src += ", v" + std::to_string(s) + "[N]";
+  src += ";\ncopyin a;\n";
+  for (int s = 0; s < 120; ++s) {
+    src += "stencil f" + std::to_string(s) +
+           " (O, A) { O[i] = A[i-1] + A[i+1]; }\n";
+  }
+  std::string prev = "a";
+  for (int s = 0; s < 120; ++s) {
+    const std::string out = "v" + std::to_string(s);
+    src += "f" + std::to_string(s) + " (" + out + ", " + prev + ");\n";
+    prev = out;
+  }
+  src += "copyout " + prev + ";\n";
+  const ir::Program p = parse(src);
+  EXPECT_EQ(p.stencils.size(), 120u);
+  EXPECT_EQ(p.steps.size(), 120u);
+}
+
+}  // namespace
+}  // namespace artemis::dsl

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "artemis/common/check.hpp"
+#include "artemis/dsl/parser.hpp"
+#include "test_programs.hpp"
+
+namespace artemis::dsl {
+namespace {
+
+using testing::kDagDsl;
+using testing::kJacobiDsl;
+using testing::kJacobiIterativeDsl;
+
+TEST(Parser, JacobiDeclarations) {
+  const ir::Program p = parse(kJacobiDsl);
+  ASSERT_EQ(p.params.size(), 3u);
+  EXPECT_EQ(p.params[0].name, "L");
+  EXPECT_EQ(p.params[0].value, 16);
+  EXPECT_EQ(p.iterators, (std::vector<std::string>{"k", "j", "i"}));
+  ASSERT_EQ(p.arrays.size(), 2u);
+  EXPECT_EQ(p.arrays[0].name, "in");
+  EXPECT_EQ(p.arrays[0].dims, (std::vector<std::string>{"L", "M", "N"}));
+  ASSERT_EQ(p.scalars.size(), 3u);
+  EXPECT_EQ(p.copyin.size(), 5u);
+  EXPECT_EQ(p.copyout, (std::vector<std::string>{"out"}));
+}
+
+TEST(Parser, JacobiPragma) {
+  const ir::Program p = parse(kJacobiDsl);
+  ASSERT_EQ(p.stencils.size(), 1u);
+  const auto& prag = p.stencils[0].pragma;
+  ASSERT_TRUE(prag.stream_iter.has_value());
+  EXPECT_EQ(*prag.stream_iter, "k");
+  EXPECT_EQ(prag.block, (std::vector<std::int64_t>{32, 16}));
+  ASSERT_EQ(prag.unroll.size(), 1u);
+  EXPECT_EQ(prag.unroll.at("j"), 2);
+  EXPECT_FALSE(prag.occupancy.has_value());
+}
+
+TEST(Parser, JacobiBody) {
+  const ir::Program p = parse(kJacobiDsl);
+  const auto& def = p.stencils[0];
+  EXPECT_EQ(def.params,
+            (std::vector<std::string>{"B", "A", "h2inv", "a", "b"}));
+  ASSERT_EQ(def.stmts.size(), 2u);
+  EXPECT_TRUE(def.stmts[0].declares_local);
+  EXPECT_EQ(def.stmts[0].lhs_name, "c");
+  EXPECT_FALSE(def.stmts[1].declares_local);
+  EXPECT_EQ(def.stmts[1].lhs_name, "B");
+  ASSERT_EQ(def.stmts[1].lhs_indices.size(), 3u);
+  EXPECT_EQ(def.stmts[1].lhs_indices[0].iter, 0);
+  EXPECT_EQ(def.stmts[1].lhs_indices[0].offset, 0);
+}
+
+TEST(Parser, CallStep) {
+  const ir::Program p = parse(kJacobiDsl);
+  ASSERT_EQ(p.steps.size(), 1u);
+  EXPECT_EQ(p.steps[0].kind, ir::Step::Kind::Call);
+  EXPECT_EQ(p.steps[0].call.callee, "jacobi");
+  EXPECT_EQ(p.steps[0].call.args,
+            (std::vector<std::string>{"out", "in", "h2inv", "a", "b"}));
+}
+
+TEST(Parser, IterateBlock) {
+  const ir::Program p = parse(kJacobiIterativeDsl);
+  ASSERT_EQ(p.steps.size(), 1u);
+  const auto& it = p.steps[0];
+  EXPECT_EQ(it.kind, ir::Step::Kind::Iterate);
+  EXPECT_EQ(it.iterations, 4);
+  ASSERT_EQ(it.body.size(), 2u);
+  EXPECT_EQ(it.body[0].kind, ir::Step::Kind::Call);
+  EXPECT_EQ(it.body[1].kind, ir::Step::Kind::Swap);
+  EXPECT_EQ(it.body[1].swap.a, "out");
+  EXPECT_EQ(it.body[1].swap.b, "in");
+}
+
+TEST(Parser, AssignDirective) {
+  const ir::Program p = parse(kDagDsl);
+  const ir::StencilDef* blurx = p.find_stencil("blurx");
+  ASSERT_NE(blurx, nullptr);
+  EXPECT_EQ(blurx->resources.lookup("U"), ir::MemSpace::Shared);
+  EXPECT_EQ(blurx->resources.lookup("W"), ir::MemSpace::Global);
+  EXPECT_EQ(blurx->resources.lookup("T"), ir::MemSpace::Auto);
+}
+
+TEST(Parser, MixedDimensionalityArrays) {
+  const ir::Program p = parse(kDagDsl);
+  const ir::ArrayDecl* w = p.find_array("w");
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->dims, (std::vector<std::string>{"N"}));
+}
+
+TEST(Parser, NegativeAndConstantIndices) {
+  const ir::Program p = parse(R"(
+    parameter N=8;
+    iterator i;
+    double a[N], b[N];
+    stencil s (B, A) { B[i] = A[i-2] + A[0] + A[i+1]; }
+    s (b, a);
+  )");
+  const auto& rhs = *p.stencils[0].stmts[0].rhs;
+  ASSERT_EQ(rhs.kind, ir::ExprKind::Binary);
+}
+
+TEST(Parser, IntrinsicCalls) {
+  const ir::Program p = parse(R"(
+    parameter N=8;
+    iterator i;
+    double a[N], b[N];
+    stencil s (B, A) { B[i] = sqrt(fabs(A[i])) + min(A[i], 2.0); }
+    s (b, a);
+  )");
+  EXPECT_EQ(p.stencils.size(), 1u);
+}
+
+TEST(Parser, UnknownFunctionThrows) {
+  EXPECT_THROW(parse(R"(
+    parameter N=8;
+    iterator i;
+    double a[N], b[N];
+    stencil s (B, A) { B[i] = foo(A[i]); }
+    s (b, a);
+  )"),
+               ParseError);
+}
+
+TEST(Parser, UndeclaredIteratorInIndexThrows) {
+  EXPECT_THROW(parse(R"(
+    parameter N=8;
+    iterator i;
+    double a[N], b[N];
+    stencil s (B, A) { B[i] = A[q]; }
+    s (b, a);
+  )"),
+               ParseError);
+}
+
+TEST(Parser, DanglingPragmaThrows) {
+  EXPECT_THROW(parse(R"(
+    parameter N=8;
+    iterator i;
+    double a[N];
+    #pragma block (32)
+  )"),
+               SemanticError);
+}
+
+TEST(Parser, ArityMismatchThrows) {
+  EXPECT_THROW(parse(R"(
+    parameter N=8;
+    iterator i;
+    double a[N], b[N];
+    stencil s (B, A) { B[i] = A[i]; }
+    s (b);
+  )"),
+               SemanticError);
+}
+
+TEST(Parser, UndeclaredArgumentThrows) {
+  EXPECT_THROW(parse(R"(
+    parameter N=8;
+    iterator i;
+    double a[N], b[N];
+    stencil s (B, A) { B[i] = A[i]; }
+    s (b, zz);
+  )"),
+               SemanticError);
+}
+
+TEST(Parser, SwapOutsideIterateThrows) {
+  EXPECT_THROW(parse(R"(
+    parameter N=8;
+    iterator i;
+    double a[N], b[N];
+    stencil s (B, A) { B[i] = A[i]; }
+    swap (a, b);
+  )"),
+               SemanticError);
+}
+
+TEST(Parser, WritesOffCenterThrows) {
+  EXPECT_THROW(parse(R"(
+    parameter N=8;
+    iterator i;
+    double a[N], b[N];
+    stencil s (B, A) { B[i+1] = A[i]; }
+    s (b, a);
+  )"),
+               SemanticError);
+}
+
+TEST(Parser, OccupancyClause) {
+  const ir::Program p = parse(R"(
+    parameter N=8;
+    iterator i;
+    double a[N], b[N];
+    #pragma block (64) occupancy 0.5
+    stencil s (B, A) { B[i] = A[i]; }
+    s (b, a);
+  )");
+  ASSERT_TRUE(p.stencils[0].pragma.occupancy.has_value());
+  EXPECT_DOUBLE_EQ(*p.stencils[0].pragma.occupancy, 0.5);
+}
+
+TEST(Parser, MultiIteratorUnroll) {
+  const ir::Program p = parse(R"(
+    parameter L=8, M=8, N=8;
+    iterator k, j, i;
+    double a[L,M,N], b[L,M,N];
+    #pragma unroll j=2, i=4 block (32,4)
+    stencil s (B, A) { B[k][j][i] = A[k][j][i]; }
+    s (b, a);
+  )");
+  EXPECT_EQ(p.stencils[0].pragma.unroll.at("j"), 2);
+  EXPECT_EQ(p.stencils[0].pragma.unroll.at("i"), 4);
+  EXPECT_EQ(p.stencils[0].pragma.block, (std::vector<std::int64_t>{32, 4}));
+}
+
+TEST(Parser, AccumulateStatement) {
+  const ir::Program p = parse(R"(
+    parameter N=8;
+    iterator i;
+    double a[N], b[N];
+    stencil s (B, A) { B[i] = A[i]; B[i] += A[i-1]; }
+    s (b, a);
+  )");
+  EXPECT_TRUE(p.stencils[0].stmts[1].accumulate);
+}
+
+}  // namespace
+}  // namespace artemis::dsl

@@ -1,0 +1,247 @@
+// Behavioral properties of the analytic performance model: each of the
+// paper's optimizations must move the modelled counters/time in the
+// physically right direction on a kernel where it applies.
+
+#include <gtest/gtest.h>
+
+#include "artemis/codegen/plan_builder.hpp"
+#include "artemis/dsl/parser.hpp"
+#include "artemis/common/str.hpp"
+#include "artemis/gpumodel/perf_model.hpp"
+#include "artemis/stencils/benchmarks.hpp"
+#include "test_programs.hpp"
+
+namespace artemis::gpumodel {
+namespace {
+
+using codegen::BuildOptions;
+using codegen::KernelConfig;
+using codegen::KernelPlan;
+using codegen::Perspective;
+using codegen::TilingScheme;
+using codegen::UnrollStrategy;
+
+class PerfBehavior : public ::testing::Test {
+ protected:
+  DeviceSpec dev_ = p100();
+  ModelParams params_;
+
+  KernelEval eval_smoother(const KernelConfig& cfg, BuildOptions opts = {},
+                           std::int64_t extent = 256) {
+    const auto prog = stencils::benchmark_program("7pt-smoother", extent);
+    const auto plan = codegen::build_plan_for_call(
+        prog, prog.steps[0].body[0].call, cfg, dev_, opts);
+    return evaluate(plan, dev_, params_);
+  }
+};
+
+TEST_F(PerfBehavior, PrefetchSpeedsUpStreaming) {
+  KernelConfig cfg;
+  cfg.tiling = TilingScheme::StreamSerial;
+  cfg.stream_axis = 2;
+  cfg.block = {32, 16, 1};
+  const auto base = eval_smoother(cfg);
+  cfg.prefetch = true;
+  const auto pf = eval_smoother(cfg);
+  EXPECT_LT(pf.time_s, base.time_s);
+  // Prefetch costs registers.
+  EXPECT_GT(pf.regs.prefetch, 0);
+}
+
+TEST_F(PerfBehavior, PrefetchIrrelevantForSpatial) {
+  KernelConfig cfg;
+  cfg.tiling = TilingScheme::Spatial3D;
+  cfg.block = {16, 4, 4};
+  const auto base = eval_smoother(cfg);
+  cfg.prefetch = true;
+  const auto pf = eval_smoother(cfg);
+  EXPECT_DOUBLE_EQ(pf.time_s, base.time_s);
+}
+
+TEST_F(PerfBehavior, RetimingShrinksSharedAndSwapsRegisters) {
+  const auto prog = stencils::benchmark_program("7pt-smoother", 256);
+  KernelConfig cfg;
+  cfg.tiling = TilingScheme::StreamSerial;
+  cfg.stream_axis = 2;
+  cfg.block = {32, 16, 1};
+  const auto plain = codegen::build_plan_for_call(
+      prog, prog.steps[0].body[0].call, cfg, dev_);
+  cfg.retime = true;
+  const auto retimed = codegen::build_plan_for_call(
+      prog, prog.steps[0].body[0].call, cfg, dev_);
+  ASSERT_TRUE(retimed.retimed);
+  const auto er = estimate_registers(retimed);
+  const auto ep = estimate_registers(plain);
+  EXPECT_EQ(er.stream_planes, 0);
+  EXPECT_GT(er.accumulators, 0);
+  EXPECT_GT(ep.stream_planes, 0);
+  EXPECT_EQ(ep.accumulators, 0);
+}
+
+TEST_F(PerfBehavior, FoldingReducesSharedMemoryAndFlops) {
+  const char* src = R"(
+    parameter L=64, M=64, N=64;
+    iterator k, j, i;
+    double a[L,M,N], b[L,M,N], o[L,M,N];
+    copyin a, b;
+    stencil s (O, A, B) {
+      O[k][j][i] = A[k][j][i]*B[k][j][i] + A[k][j][i+1]*B[k][j][i+1]
+                 + A[k][j-1][i]*B[k][j-1][i] + A[k+1][j][i]*B[k+1][j][i];
+    }
+    s (o, a, b);
+    copyout o;
+  )";
+  const auto prog = dsl::parse(src);
+  KernelConfig cfg;
+  cfg.block = {8, 8, 4};
+  const auto plain =
+      codegen::build_plan_for_call(prog, prog.steps[0].call, cfg, dev_);
+  cfg.fold = true;
+  const auto folded =
+      codegen::build_plan_for_call(prog, prog.steps[0].call, cfg, dev_);
+  ASSERT_EQ(folded.fold_groups.size(), 1u);
+  EXPECT_LT(folded.shmem_bytes_per_block, plain.shmem_bytes_per_block);
+  const auto ev_plain = evaluate(plain, dev_, params_);
+  const auto ev_folded = evaluate(folded, dev_, params_);
+  EXPECT_LT(ev_folded.counters.flops, ev_plain.counters.flops);
+  EXPECT_LT(ev_folded.counters.shm_bytes, ev_plain.counters.shm_bytes);
+}
+
+TEST_F(PerfBehavior, InputPerspectiveCostsOccupancyNotWaste) {
+  KernelConfig cfg;
+  cfg.tiling = TilingScheme::StreamSerial;
+  cfg.stream_axis = 2;
+  cfg.block = {32, 16, 1};
+  const auto out = eval_smoother(cfg);
+  cfg.perspective = Perspective::Input;
+  const auto in = eval_smoother(cfg);
+  // Input perspective launches halo threads: fewer blocks per SM...
+  EXPECT_LE(in.occupancy.active_blocks_per_sm,
+            out.occupancy.active_blocks_per_sm);
+  // ...but removes the non-coalesced halo tex waste.
+  EXPECT_LT(in.counters.tex_bytes, out.counters.tex_bytes);
+}
+
+TEST_F(PerfBehavior, MixedPerspectiveWithinThreadLimit) {
+  KernelConfig cfg;
+  cfg.tiling = TilingScheme::StreamSerial;
+  cfg.stream_axis = 2;
+  cfg.block = {256, 4, 1};
+  cfg.perspective = Perspective::Input;
+  // (256+2)x(4+2) = 1548 threads: over the limit -> invalid.
+  const auto in = eval_smoother(cfg);
+  EXPECT_FALSE(in.valid);
+  cfg.perspective = Perspective::Mixed;
+  const auto mixed = eval_smoother(cfg);  // (256+2)x4 = 1032 > 1024: invalid
+  EXPECT_FALSE(mixed.valid);
+  cfg.block = {128, 4, 1};
+  const auto ok = eval_smoother(cfg);
+  EXPECT_TRUE(ok.valid);
+}
+
+TEST_F(PerfBehavior, BlockedUnrollBeatsCyclicOnMemory) {
+  KernelConfig cfg;
+  cfg.tiling = TilingScheme::Spatial3D;
+  cfg.block = {16, 4, 4};
+  cfg.unroll = {4, 1, 1};
+  BuildOptions opts;
+  opts.use_shared_memory = false;
+  cfg.unroll_strategy = UnrollStrategy::Blocked;
+  const auto blocked = eval_smoother(cfg, opts);
+  cfg.unroll_strategy = UnrollStrategy::Cyclic;
+  const auto cyclic = eval_smoother(cfg, opts);
+  // Blocked distribution reuses overlapping x-window loads.
+  EXPECT_LT(blocked.counters.tex_bytes, cyclic.counters.tex_bytes);
+  EXPECT_LT(blocked.regs.total, cyclic.regs.total);
+}
+
+TEST_F(PerfBehavior, HigherOrderMeansMoreHaloTraffic) {
+  // Same structure, growing radius: redundant loads must grow.
+  std::int64_t prev = 0;
+  for (int r = 1; r <= 3; ++r) {
+    std::string src = str_cat(
+        "parameter L=128, M=128, N=128;\niterator k, j, i;\n",
+        "double a[L,M,N], o[L,M,N];\ncopyin a;\n",
+        "stencil s (O, A) { O[k][j][i] = A[k][j][i+", r, "] + A[k][j][i-",
+        r, "] + A[k][j+", r, "][i] + A[k][j-", r, "][i] + A[k+", r,
+        "][j][i] + A[k-", r, "][j][i]; }\ns (o, a);\ncopyout o;\n");
+    const auto prog = dsl::parse(src);
+    KernelConfig cfg;
+    cfg.block = {8, 8, 4};
+    const auto plan =
+        codegen::build_plan_for_call(prog, prog.steps[0].call, cfg, dev_);
+    const auto ev = evaluate(plan, dev_, params_);
+    EXPECT_GT(ev.counters.dram_read_bytes, prev) << "r=" << r;
+    prev = ev.counters.dram_read_bytes;
+  }
+}
+
+TEST_F(PerfBehavior, ConcurrentStreamingRaisesBlockCount) {
+  KernelConfig cfg;
+  cfg.tiling = TilingScheme::StreamSerial;
+  cfg.stream_axis = 2;
+  cfg.block = {32, 16, 1};
+  const auto serial = eval_smoother(cfg);
+  cfg.tiling = TilingScheme::StreamConcurrent;
+  cfg.stream_chunk = 32;
+  const auto conc = eval_smoother(cfg);
+  EXPECT_GT(conc.counters.num_blocks, serial.counters.num_blocks);
+}
+
+TEST_F(PerfBehavior, SpillsAddTrafficAndTime) {
+  const auto prog = stencils::benchmark_program("rhs4sgcurv", 320);
+  KernelConfig cfg;
+  cfg.block = {16, 16, 1};
+  BuildOptions opts;
+  opts.use_shared_memory = false;
+  cfg.max_registers = 255;
+  const auto plan255 =
+      codegen::build_plan_for_call(prog, prog.steps[0].call, cfg, dev_, opts);
+  cfg.max_registers = 64;
+  const auto plan64 =
+      codegen::build_plan_for_call(prog, prog.steps[0].call, cfg, dev_, opts);
+  const auto ev255 = evaluate(plan255, dev_, params_);
+  const auto ev64 = evaluate(plan64, dev_, params_);
+  EXPECT_GT(ev64.counters.spill_bytes, ev255.counters.spill_bytes);
+  // Lower budget raises occupancy but the spill penalty must dominate for
+  // this kernel.
+  EXPECT_GT(ev64.time_s, ev255.time_s);
+}
+
+TEST_F(PerfBehavior, TailEffectOnTinyGrids) {
+  KernelConfig cfg;
+  cfg.tiling = TilingScheme::Spatial3D;
+  cfg.block = {16, 4, 4};
+  // 32^3 grid: 8x8x8 = 512 blocks... use a very coarse block so only a
+  // handful of blocks exist.
+  cfg.block = {32, 8, 4};
+  const auto small = eval_smoother(cfg, {}, 32);
+  const auto big = eval_smoother(cfg, {}, 256);
+  // Useful-FLOPS rate must be worse on the tiny grid (tail underutilizes).
+  EXPECT_LT(small.tflops(), big.tflops());
+}
+
+class UnrollSweep : public PerfBehavior,
+                    public ::testing::WithParamInterface<int> {};
+
+TEST_P(UnrollSweep, RegistersMonotoneInUnroll) {
+  const int u = GetParam();
+  KernelConfig cfg;
+  cfg.tiling = TilingScheme::Spatial3D;
+  cfg.block = {16, 4, 4};
+  cfg.unroll = {u, 1, 1};
+  BuildOptions opts;
+  opts.use_shared_memory = false;
+  const auto ev = eval_smoother(cfg, opts);
+  cfg.unroll = {u * 2, 1, 1};
+  const auto ev2 = eval_smoother(cfg, opts);
+  EXPECT_GT(ev2.regs.total, ev.regs.total) << "u=" << u;
+  // And traffic per useful flop never increases with blocked unrolling.
+  EXPECT_LE(static_cast<double>(ev2.counters.tex_bytes),
+            static_cast<double>(ev.counters.tex_bytes) * 1.0001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2, UnrollSweep, ::testing::Values(1, 2, 4));
+
+}  // namespace
+}  // namespace artemis::gpumodel

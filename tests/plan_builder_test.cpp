@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "artemis/codegen/plan_builder.hpp"
+#include "artemis/common/str.hpp"
+#include "artemis/dsl/parser.hpp"
+#include "test_programs.hpp"
+
+namespace artemis::codegen {
+namespace {
+
+using artemis::testing::kDagDsl;
+using artemis::testing::kJacobiDsl;
+
+class PlanBuilderTest : public ::testing::Test {
+ protected:
+  gpumodel::DeviceSpec dev_ = gpumodel::p100();
+};
+
+TEST_F(PlanBuilderTest, JacobiDefaults) {
+  const ir::Program prog = dsl::parse(kJacobiDsl);
+  KernelConfig cfg;
+  const KernelPlan plan =
+      build_plan_for_call(prog, prog.steps[0].call, cfg, dev_);
+  EXPECT_EQ(plan.name, "jacobi");
+  EXPECT_EQ(plan.dims, 3);
+  EXPECT_EQ(plan.domain, (Extents{16, 16, 16}));
+  EXPECT_EQ(plan.radius, (std::array<int, 3>{1, 1, 1}));
+  // Default heuristic: input staged in shared memory, output global.
+  EXPECT_EQ(plan.placement.at("in").space, ir::MemSpace::Shared);
+  EXPECT_EQ(plan.placement.at("out").space, ir::MemSpace::Global);
+  EXPECT_GT(plan.shmem_bytes_per_block, 0);
+}
+
+TEST_F(PlanBuilderTest, GlobalOnlyOption) {
+  const ir::Program prog = dsl::parse(kJacobiDsl);
+  KernelConfig cfg;
+  BuildOptions opts;
+  opts.use_shared_memory = false;
+  const KernelPlan plan =
+      build_plan_for_call(prog, prog.steps[0].call, cfg, dev_, opts);
+  EXPECT_EQ(plan.placement.at("in").space, ir::MemSpace::Global);
+  EXPECT_EQ(plan.shmem_bytes_per_block, 0);
+}
+
+TEST_F(PlanBuilderTest, UserPinsAreHonored) {
+  const ir::Program prog = dsl::parse(kDagDsl);
+  KernelConfig cfg;
+  const KernelPlan plan =
+      build_plan_for_call(prog, prog.steps[0].call, cfg, dev_);
+  EXPECT_EQ(plan.placement.at("u").space, ir::MemSpace::Shared);
+  EXPECT_TRUE(plan.placement.at("u").user_pinned);
+  EXPECT_EQ(plan.placement.at("w").space, ir::MemSpace::Global);
+  EXPECT_TRUE(plan.placement.at("w").user_pinned);
+}
+
+TEST_F(PlanBuilderTest, ShmemSizeAccountsHalo) {
+  const ir::Program prog = dsl::parse(kJacobiDsl);
+  KernelConfig cfg;
+  cfg.tiling = TilingScheme::Spatial3D;
+  cfg.block = {8, 8, 4};
+  const KernelPlan plan =
+      build_plan_for_call(prog, prog.steps[0].call, cfg, dev_);
+  // in: (8+2)(8+2)(4+2) doubles.
+  EXPECT_EQ(plan.shmem_bytes_per_block, 10 * 10 * 6 * 8);
+}
+
+TEST_F(PlanBuilderTest, StreamingUsesOnePlane) {
+  const ir::Program prog = dsl::parse(kJacobiDsl);
+  KernelConfig cfg;
+  cfg.tiling = TilingScheme::StreamSerial;
+  cfg.stream_axis = 2;
+  cfg.block = {8, 8, 1};
+  const KernelPlan plan =
+      build_plan_for_call(prog, prog.steps[0].call, cfg, dev_);
+  EXPECT_EQ(plan.shmem_bytes_per_block, 10 * 10 * 8);
+}
+
+TEST_F(PlanBuilderTest, RationingDemotesLeastAccessed) {
+  // Two inputs: `a` read at 7 order-2 offsets, `b` read once. With a full
+  // occupancy target the shared-memory budget per block is 16KB: both
+  // buffers (~15.4KB + 4KB) do not fit, so the least-accessed `b` must be
+  // demoted to global memory.
+  const char* src = R"(
+    parameter L=64, M=64, N=64;
+    iterator k, j, i;
+    double a[L,M,N], b[L,M,N], o[L,M,N];
+    copyin a, b;
+    stencil s (O, A, B) {
+      O[k][j][i] = A[k][j][i] + A[k][j][i+2] + A[k][j][i-2] + A[k][j+2][i]
+                 + A[k][j-2][i] + A[k+2][j][i] + A[k-2][j][i] + B[k][j][i];
+    }
+    s (o, a, b);
+    copyout o;
+  )";
+  const ir::Program prog = dsl::parse(src);
+  KernelConfig cfg;
+  cfg.tiling = TilingScheme::Spatial3D;
+  cfg.block = {16, 8, 4};
+  cfg.target_occupancy = 1.0;
+  const KernelPlan plan =
+      build_plan_for_call(prog, prog.steps[0].call, cfg, dev_);
+  EXPECT_EQ(plan.placement.at("b").space, ir::MemSpace::Global);
+  EXPECT_EQ(plan.placement.at("a").space, ir::MemSpace::Shared);
+}
+
+TEST_F(PlanBuilderTest, OverCapacityWithoutTargetIsInfeasible) {
+  // Without an occupancy target the builder does not silently demote:
+  // over-capacity mappings are infeasible (Section II-B1's complaint).
+  const ir::Program prog = dsl::parse(kJacobiDsl);
+  KernelConfig cfg;
+  cfg.block = {32, 32, 1};
+  cfg.unroll = {2, 1, 8};  // 64 x 32 x 8 tile: way over 48KB if staged
+  EXPECT_THROW(build_plan_for_call(prog, prog.steps[0].call, cfg, dev_),
+               PlanError);
+}
+
+TEST_F(PlanBuilderTest, RationingRespectsDeviceCapacity) {
+  const ir::Program prog = dsl::parse(kJacobiDsl);
+  KernelConfig cfg;
+  cfg.block = {32, 32, 1};
+  cfg.unroll = {2, 1, 8};
+  cfg.target_occupancy = 0.1;  // rationing enabled: demote to fit
+  const KernelPlan plan =
+      build_plan_for_call(prog, prog.steps[0].call, cfg, dev_);
+  EXPECT_LE(plan.shmem_bytes_per_block, dev_.shmem_per_block);
+}
+
+TEST_F(PlanBuilderTest, FusedDagInternalArrays) {
+  const ir::Program prog = dsl::parse(kDagDsl);
+  std::vector<ir::BoundStencil> stages;
+  stages.push_back(ir::bind_call(prog, prog.steps[0].call, "s0_"));
+  stages.push_back(ir::bind_call(prog, prog.steps[1].call, "s1_"));
+  KernelConfig cfg;
+  const KernelPlan plan = build_plan(prog, std::move(stages), cfg, dev_);
+  ASSERT_EQ(plan.internal_arrays, (std::vector<std::string>{"tmp"}));
+  EXPECT_TRUE(plan.materialized_internals.empty());
+  // Combined radius: blurx reads x+-1, blury reads y+-1; fused halo 1,1.
+  EXPECT_EQ(plan.radius[0], 1);
+  EXPECT_EQ(plan.radius[1], 1);
+  EXPECT_EQ(plan.radius[2], 0);
+  // Stage 0 must expand by stage 1's radius.
+  EXPECT_EQ(plan.stage_expand[0], (std::array<int, 3>{0, 1, 0}));
+  EXPECT_EQ(plan.stage_expand[1], (std::array<int, 3>{0, 0, 0}));
+  // tmp is consumed at y+-1 from an expanded region.
+  EXPECT_EQ(plan.eff_halo.at("tmp"), (std::array<int, 3>{0, 1, 0}));
+  // u is read by stage 0 (radius x=1) which is expanded by (0,1,0).
+  EXPECT_EQ(plan.eff_halo.at("u"), (std::array<int, 3>{1, 1, 0}));
+}
+
+TEST_F(PlanBuilderTest, MaterializedInternalWhenCopyout) {
+  const char* src = R"(
+    parameter N=16;
+    iterator i;
+    double a[N], t[N], o[N];
+    copyin a;
+    stencil s1 (T, A) { T[i] = A[i-1] + A[i+1]; }
+    stencil s2 (O, T) { O[i] = T[i] * 2.0; }
+    s1 (t, a);
+    s2 (o, t);
+    copyout o, t;
+  )";
+  const ir::Program prog = dsl::parse(src);
+  std::vector<ir::BoundStencil> stages;
+  stages.push_back(ir::bind_call(prog, prog.steps[0].call));
+  stages.push_back(ir::bind_call(prog, prog.steps[1].call));
+  KernelConfig cfg;
+  const KernelPlan plan = build_plan(prog, std::move(stages), cfg, dev_);
+  EXPECT_EQ(plan.materialized_internals, (std::vector<std::string>{"t"}));
+}
+
+TEST_F(PlanBuilderTest, PragmaDerivedConfig) {
+  const ir::Program prog = dsl::parse(kJacobiDsl);
+  const KernelConfig cfg =
+      config_from_pragma(prog, prog.stencils[0].pragma, 3);
+  EXPECT_EQ(cfg.tiling, TilingScheme::StreamSerial);
+  EXPECT_EQ(cfg.stream_axis, 2);  // streams iterator k = axis z
+  EXPECT_EQ(cfg.block, (std::array<int, 3>{32, 16, 1}));
+  EXPECT_EQ(cfg.unroll, (std::array<int, 3>{1, 2, 1}));  // unroll j=2
+}
+
+TEST_F(PlanBuilderTest, RejectsOversizedBlock) {
+  const ir::Program prog = dsl::parse(kJacobiDsl);
+  KernelConfig cfg;
+  cfg.block = {64, 64, 1};  // 4096 threads
+  EXPECT_THROW(build_plan_for_call(prog, prog.steps[0].call, cfg, dev_),
+               PlanError);
+}
+
+TEST_F(PlanBuilderTest, RejectsZeroBlock) {
+  const ir::Program prog = dsl::parse(kJacobiDsl);
+  KernelConfig cfg;
+  cfg.block = {0, 1, 1};
+  EXPECT_THROW(build_plan_for_call(prog, prog.steps[0].call, cfg, dev_),
+               PlanError);
+}
+
+TEST_F(PlanBuilderTest, TimeTileTenFusedJacobiStagesShrinkShmem) {
+  // Fusing two jacobi applications: the intermediate becomes internal.
+  const char* src = R"(
+    parameter L=16, M=16, N=16;
+    iterator k, j, i;
+    double in[L,M,N], mid[L,M,N], out[L,M,N], c;
+    copyin in, c;
+    stencil j1 (B, A, c) {
+      B[k][j][i] = c * (A[k][j][i+1] + A[k][j][i-1] + A[k][j+1][i]
+        + A[k][j-1][i] + A[k+1][j][i] + A[k-1][j][i] + A[k][j][i]);
+    }
+    j1 (mid, in, c);
+    j1 (out, mid, c);
+    copyout out;
+  )";
+  const ir::Program prog = dsl::parse(src);
+  std::vector<ir::BoundStencil> stages;
+  stages.push_back(ir::bind_call(prog, prog.steps[0].call, "a_"));
+  stages.push_back(ir::bind_call(prog, prog.steps[1].call, "b_"));
+  KernelConfig cfg;
+  const KernelPlan plan = build_plan(prog, std::move(stages), cfg, dev_);
+  EXPECT_EQ(plan.internal_arrays, (std::vector<std::string>{"mid"}));
+  EXPECT_EQ(plan.radius, (std::array<int, 3>{2, 2, 2}));
+  EXPECT_EQ(plan.eff_halo.at("in"), (std::array<int, 3>{2, 2, 2}));
+  EXPECT_EQ(plan.eff_halo.at("mid"), (std::array<int, 3>{1, 1, 1}));
+}
+
+}  // namespace
+}  // namespace artemis::codegen

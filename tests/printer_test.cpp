@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "artemis/dsl/parser.hpp"
+#include "artemis/dsl/printer.hpp"
+#include "test_programs.hpp"
+
+namespace artemis::dsl {
+namespace {
+
+using testing::kDagDsl;
+using testing::kJacobiDsl;
+using testing::kJacobiIterativeDsl;
+
+/// Round-trip: parse -> print -> parse -> print must be a fixed point.
+void expect_round_trip(const std::string& src) {
+  const ir::Program p1 = parse(src);
+  const std::string printed1 = print_program(p1);
+  const ir::Program p2 = parse(printed1);
+  const std::string printed2 = print_program(p2);
+  EXPECT_EQ(printed1, printed2);
+}
+
+TEST(Printer, JacobiRoundTrip) { expect_round_trip(kJacobiDsl); }
+TEST(Printer, IterativeRoundTrip) { expect_round_trip(kJacobiIterativeDsl); }
+TEST(Printer, DagRoundTrip) { expect_round_trip(kDagDsl); }
+
+TEST(Printer, EmitsPragma) {
+  const std::string printed = print_program(parse(kJacobiDsl));
+  EXPECT_NE(printed.find("#pragma stream k block (32,16) unroll j=2"),
+            std::string::npos);
+}
+
+TEST(Printer, EmitsAssign) {
+  const std::string printed = print_program(parse(kDagDsl));
+  EXPECT_NE(printed.find("#assign"), std::string::npos);
+  EXPECT_NE(printed.find("gmem (W)"), std::string::npos);
+  EXPECT_NE(printed.find("shmem (U)"), std::string::npos);
+}
+
+TEST(Printer, EmitsIterate) {
+  const std::string printed = print_program(parse(kJacobiIterativeDsl));
+  EXPECT_NE(printed.find("iterate 4 {"), std::string::npos);
+  EXPECT_NE(printed.find("swap (out, in);"), std::string::npos);
+}
+
+TEST(Printer, StmtRendering) {
+  const ir::Program p = parse(kJacobiDsl);
+  const std::string s = print_stmt(p.stencils[0].stmts[0], p.iterators);
+  EXPECT_EQ(s, "double c = b * h2inv;");
+}
+
+TEST(Printer, PreservesIndexOffsets) {
+  const std::string printed = print_program(parse(kJacobiDsl));
+  EXPECT_NE(printed.find("A[k][j][i+1]"), std::string::npos);
+  EXPECT_NE(printed.find("A[k-1][j][i]"), std::string::npos);
+}
+
+TEST(Printer, ParenthesizationPreservesStructure) {
+  const ir::Program p = parse(R"(
+    parameter N=8;
+    iterator i;
+    double a[N], b[N], c;
+    stencil s (B, A, c) { B[i] = (A[i] + c) * (A[i-1] - 2.0) / c; }
+    s (b, a, c);
+  )");
+  const std::string printed = print_program(p);
+  const ir::Program p2 = parse(printed);
+  EXPECT_TRUE(ir::equal(*p.stencils[0].stmts[0].rhs,
+                        *p2.stencils[0].stmts[0].rhs));
+}
+
+}  // namespace
+}  // namespace artemis::dsl

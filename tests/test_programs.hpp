@@ -1,0 +1,67 @@
+#pragma once
+
+// Shared DSL sources used across the test suite.
+
+namespace artemis::testing {
+
+/// Listing 1 of the paper: 3D 7-point Jacobi from HPGMG, with the iterate
+/// extension used for time-iterated execution.
+inline const char* kJacobiDsl = R"(
+parameter L=16, M=16, N=16;
+iterator k, j, i;
+double in[L,M,N], out[L,M,N], a, b, h2inv;
+copyin out, in, h2inv, a, b;
+#pragma stream k block (32,16) unroll j=2
+stencil jacobi (B, A, h2inv, a, b) {
+  double c = b * h2inv;
+  B[k][j][i] = a*A[k][j][i] - c*(A[k][j][i+1]
+    + A[k][j][i-1] + A[k][j+1][i] + A[k][j-1][i] +
+    A[k+1][j][i] + A[k-1][j][i] - A[k][j][i]*6.0);
+}
+jacobi (out, in, h2inv, a, b);
+copyout out;
+)";
+
+/// Iterative variant: 4 ping-pong time steps. Note that `out` is NOT
+/// copied in: the scratch buffer starts zeroed, so overlapped time tiling
+/// (whose intermediates are zero-initialized) matches the ping-pong
+/// reference exactly, boundaries included.
+inline const char* kJacobiIterativeDsl = R"(
+parameter L=12, M=12, N=12;
+iterator k, j, i;
+double in[L,M,N], out[L,M,N], a, b, h2inv;
+copyin in, h2inv, a, b;
+stencil jacobi (B, A, h2inv, a, b) {
+  double c = b * h2inv;
+  B[k][j][i] = a*A[k][j][i] - c*(A[k][j][i+1]
+    + A[k][j][i-1] + A[k][j+1][i] + A[k][j-1][i] +
+    A[k+1][j][i] + A[k-1][j][i] - A[k][j][i]*6.0);
+}
+iterate 4 {
+  jacobi (out, in, h2inv, a, b);
+  swap (out, in);
+}
+copyout in;
+)";
+
+/// A two-stage stencil DAG with a 1D coefficient array and #assign clauses,
+/// exercising mixed dimensionality and resource directives.
+inline const char* kDagDsl = R"(
+parameter L=10, M=10, N=10;
+iterator k, j, i;
+double u[L,M,N], tmp[L,M,N], out[L,M,N], w[N], alpha;
+copyin u, w, alpha;
+#pragma block (16,8)
+stencil blurx (T, U, W) {
+  #assign shmem (U), gmem (W)
+  T[k][j][i] = W[i] * (U[k][j][i-1] + U[k][j][i] + U[k][j][i+1]);
+}
+stencil blury (O, T, alpha) {
+  O[k][j][i] = alpha * (T[k][j-1][i] + T[k][j][i] + T[k][j+1][i]);
+}
+blurx (tmp, u, w);
+blury (out, tmp, alpha);
+copyout out;
+)";
+
+}  // namespace artemis::testing

@@ -1,0 +1,370 @@
+#include <gtest/gtest.h>
+
+#include "artemis/codegen/plan_builder.hpp"
+#include "artemis/dsl/parser.hpp"
+#include "artemis/dsl/printer.hpp"
+#include "artemis/sim/executor.hpp"
+#include "artemis/sim/reference.hpp"
+#include "artemis/transform/fission.hpp"
+#include "artemis/transform/fold.hpp"
+#include "artemis/transform/fusion.hpp"
+#include "artemis/transform/retime.hpp"
+#include "test_programs.hpp"
+
+namespace artemis::transform {
+namespace {
+
+using artemis::testing::kJacobiDsl;
+using artemis::testing::kJacobiIterativeDsl;
+
+ir::Program parse(const char* src) { return dsl::parse(src); }
+
+/// Max abs diff over the interior shrunk by `margin` on every axis that
+/// has extent > 2*margin.
+double max_abs_diff_interior(const Grid3D& a, const Grid3D& b,
+                             std::int64_t margin) {
+  const auto& e = a.extents();
+  const std::int64_t mz = e.z > 2 * margin ? margin : 0;
+  const std::int64_t my = e.y > 2 * margin ? margin : 0;
+  const std::int64_t mx = e.x > 2 * margin ? margin : 0;
+  double worst = 0;
+  for (std::int64_t z = mz; z < e.z - mz; ++z) {
+    for (std::int64_t y = my; y < e.y - my; ++y) {
+      for (std::int64_t x = mx; x < e.x - mx; ++x) {
+        worst = std::max(worst, std::abs(a.at(z, y, x) - b.at(z, y, x)));
+      }
+    }
+  }
+  return worst;
+}
+
+// ---- decomposition ----------------------------------------------------------
+
+TEST(Decompose, SplitsAdditiveChain) {
+  const ir::Program p = parse(R"(
+    parameter N=8;
+    iterator i;
+    double a[N], b[N];
+    stencil s (B, A) { B[i] = A[i-1] + A[i] - A[i+1]; }
+    s (b, a);
+  )");
+  const auto subs = decompose_statement(p.stencils[0].stmts[0]);
+  ASSERT_EQ(subs.size(), 3u);
+  EXPECT_FALSE(subs[0].accumulate);
+  EXPECT_TRUE(subs[1].accumulate);
+  EXPECT_TRUE(subs[2].accumulate);
+  // The subtracted term is negated.
+  EXPECT_EQ(subs[2].rhs->kind, ir::ExprKind::Unary);
+}
+
+TEST(Decompose, LeavesLocalsAndProductsAlone) {
+  const ir::Program p = parse(R"(
+    parameter N=8;
+    iterator i;
+    double a[N], b[N], c;
+    stencil s (B, A, c) {
+      double t = c * c;
+      B[i] = t * A[i];
+    }
+    s (b, a, c);
+  )");
+  EXPECT_EQ(decompose_statement(p.stencils[0].stmts[0]).size(), 1u);
+  EXPECT_EQ(decompose_statement(p.stencils[0].stmts[1]).size(), 1u);
+}
+
+TEST(Decompose, PreservesSemantics) {
+  const ir::Program p = parse(kJacobiDsl);
+  sim::GridSet ref = sim::GridSet::from_program(p, 99);
+  sim::GridSet dec = ref.clone();
+
+  ir::BoundStencil bound = ir::bind_call(p, p.steps[0].call);
+  sim::run_stencil_reference(p, bound, ref);
+
+  ir::BoundStencil decomposed = bound;
+  decomposed.stmts.clear();
+  for (const auto& st : bound.stmts) {
+    for (auto& sub : decompose_statement(st)) {
+      decomposed.stmts.push_back(std::move(sub));
+    }
+  }
+  sim::run_stencil_reference(p, decomposed, dec);
+  EXPECT_LT(Grid3D::max_abs_diff(ref.grid("out"), dec.grid("out")), 1e-12);
+}
+
+// ---- homogenization / retiming ---------------------------------------------
+
+TEST(Retime, JacobiIsRetimable) {
+  const ir::Program p = parse(kJacobiDsl);
+  const auto bound = ir::bind_call(p, p.steps[0].call);
+  // Streaming along k (iterator 0): every additive term touches a single
+  // k-offset, so the decomposed statement list homogenizes.
+  const RetimeResult rt = try_retime(bound.stmts, 0);
+  EXPECT_TRUE(rt.applied);
+  EXPECT_GT(rt.num_substatements, 1);
+  // Offsets must include -1, 0, +1 planes.
+  std::set<std::int64_t> offsets(rt.stream_offsets.begin(),
+                                 rt.stream_offsets.end());
+  EXPECT_TRUE(offsets.count(-1));
+  EXPECT_TRUE(offsets.count(0));
+  EXPECT_TRUE(offsets.count(1));
+}
+
+TEST(Retime, MixedOffsetsNotHomogenizable) {
+  const ir::Program p = parse(R"(
+    parameter L=8, M=8, N=8;
+    iterator k, j, i;
+    double a[L,M,N], b[L,M,N], c[L,M,N];
+    stencil s (B, A, C) { B[k][j][i] = C[k+1][j][i] * A[k-1][j][i]; }
+    s (b, a, c);
+  )");
+  const auto bound = ir::bind_call(p, p.steps[0].call);
+  EXPECT_FALSE(try_retime(bound.stmts, 0).applied);
+  EXPECT_FALSE(is_homogenizable(*bound.stmts[0].rhs, 0));
+}
+
+TEST(Retime, HomogenizableSingleOffsetProduct) {
+  const ir::Program p = parse(R"(
+    parameter L=8, M=8, N=8;
+    iterator k, j, i;
+    double a[L,M,N], b[L,M,N], c[L,M,N];
+    stencil s (B, A, C) { B[k][j][i] = C[k-1][j][i] * A[k-1][j+1][i]; }
+    s (b, a, c);
+  )");
+  const auto bound = ir::bind_call(p, p.steps[0].call);
+  const RetimeResult rt = try_retime(bound.stmts, 0);
+  EXPECT_TRUE(rt.applied);
+  EXPECT_EQ(rt.stream_offsets, (std::vector<std::int64_t>{-1}));
+}
+
+// ---- folding ------------------------------------------------------------------
+
+TEST(Fold, DetectsPointwiseProductGroup) {
+  const ir::Program p = parse(R"(
+    parameter L=8, M=8, N=8;
+    iterator k, j, i;
+    double a[L,M,N], b[L,M,N], o[L,M,N];
+    stencil s (O, A, B) {
+      O[k][j][i] = A[k][j][i]*B[k][j][i] + A[k][j][i+1]*B[k][j][i+1]
+                 - A[k][j-1][i]*B[k][j-1][i];
+    }
+    s (o, a, b);
+  )");
+  const auto bound = ir::bind_call(p, p.steps[0].call);
+  const auto groups = find_fold_groups(bound.stmts);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], (std::vector<std::string>{"a", "b"}));
+  // (n-1)*(m-1) = 1 * 2 multiplies saved per point.
+  EXPECT_EQ(folding_flop_savings(bound.stmts, groups), 2);
+}
+
+TEST(Fold, LoneReadBreaksGroup) {
+  const ir::Program p = parse(R"(
+    parameter L=8, M=8, N=8;
+    iterator k, j, i;
+    double a[L,M,N], b[L,M,N], o[L,M,N];
+    stencil s (O, A, B) {
+      O[k][j][i] = A[k][j][i]*B[k][j][i] + A[k][j][i+1];
+    }
+    s (o, a, b);
+  )");
+  const auto bound = ir::bind_call(p, p.steps[0].call);
+  EXPECT_TRUE(find_fold_groups(bound.stmts).empty());
+}
+
+TEST(Fold, MismatchedIndicesBreakGroup) {
+  const ir::Program p = parse(R"(
+    parameter L=8, M=8, N=8;
+    iterator k, j, i;
+    double a[L,M,N], b[L,M,N], o[L,M,N];
+    stencil s (O, A, B) {
+      O[k][j][i] = A[k][j][i]*B[k][j][i+1];
+    }
+    s (o, a, b);
+  )");
+  const auto bound = ir::bind_call(p, p.steps[0].call);
+  EXPECT_TRUE(find_fold_groups(bound.stmts).empty());
+}
+
+TEST(Fold, ThreeWayGroup) {
+  const ir::Program p = parse(R"(
+    parameter L=8, M=8, N=8;
+    iterator k, j, i;
+    double a[L,M,N], b[L,M,N], c[L,M,N], o[L,M,N];
+    stencil s (O, A, B, C) {
+      O[k][j][i] = A[k][j][i]*B[k][j][i]*C[k][j][i]
+                 + A[k+1][j][i]*B[k+1][j][i]*C[k+1][j][i];
+    }
+    s (o, a, b, c);
+  )");
+  const auto bound = ir::bind_call(p, p.steps[0].call);
+  const auto groups = find_fold_groups(bound.stmts);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 3u);
+}
+
+// ---- time tiling -------------------------------------------------------------
+
+TEST(TimeTile, StagesChainThroughIntermediates) {
+  const ir::Program p = parse(kJacobiIterativeDsl);
+  const TimeTiledKernel tt = time_tile_iterate(p, p.steps[0], 3);
+  ASSERT_EQ(tt.stages.size(), 3u);
+  EXPECT_EQ(tt.augmented.arrays.size(), p.arrays.size() + 2);
+  // Final stage writes the real output.
+  EXPECT_EQ(tt.stages[2].stmts.back().lhs_name, "out");
+}
+
+TEST(TimeTile, MatchesReferenceForDivisibleT) {
+  const ir::Program p = parse(kJacobiIterativeDsl);  // iterate 4
+  sim::GridSet ref = sim::GridSet::from_program(p, 21);
+  // Time-tiled equivalence requires homogeneous Dirichlet boundaries (see
+  // zero_boundary): the ping-pong buffers then carry identical (zero)
+  // shells, matching the fused kernel's zero-initialized intermediates.
+  sim::zero_boundary(ref.grid("in"), 1);
+  sim::GridSet pre = ref.clone();
+  sim::run_program_reference(p, ref);
+
+  const TimeTiledKernel tt = time_tile_iterate(p, p.steps[0], 2);
+  sim::GridSet fused = sim::GridSet::from_program(tt.augmented, 21);
+  fused.grid("in") = pre.grid("in");
+  const auto dev = gpumodel::p100();
+  codegen::KernelConfig cfg;
+  cfg.block = {4, 4, 2};
+  cfg.time_tile = 2;
+  const auto plan = codegen::build_plan(tt.augmented, tt.stages, cfg, dev);
+  // Two invocations of the 2x-fused kernel == 4 reference iterations.
+  for (int inv = 0; inv < 2; ++inv) {
+    sim::execute_plan(plan, fused);
+    fused.swap("out", "in");
+  }
+  EXPECT_LT(Grid3D::max_abs_diff(ref.grid("in"), fused.grid("in")), 1e-12);
+}
+
+TEST(TimeTile, RejectsMalformedIterate) {
+  const ir::Program p = parse(kJacobiDsl);
+  ir::Step bogus;
+  bogus.kind = ir::Step::Kind::Iterate;
+  EXPECT_THROW(time_tile_iterate(p, bogus, 2), SemanticError);
+}
+
+// ---- maxfuse -------------------------------------------------------------------
+
+const char* kIndependentCallsDsl = R"(
+  parameter L=10, M=10, N=10;
+  iterator k, j, i;
+  double a[L,M,N], r0[L,M,N], r1[L,M,N], c;
+  copyin a, c;
+  stencil s0 (R, A, c) { R[k][j][i] = c * (A[k][j][i-1] + A[k][j][i+1]); }
+  stencil s1 (R, A, c) { R[k][j][i] = c * (A[k][j-1][i] - A[k][j+1][i]); }
+  s0 (r0, a, c);
+  s1 (r1, a, c);
+  copyout r0, r1;
+)";
+
+TEST(MaxFuse, SingleStencilSingleCall) {
+  const ir::Program p = parse(kIndependentCallsDsl);
+  const ir::Program fused = maxfuse_program(p);
+  ASSERT_EQ(fused.stencils.size(), 1u);
+  EXPECT_EQ(fused.stencils[0].name, "maxfuse");
+  ASSERT_EQ(fused.steps.size(), 1u);
+  EXPECT_EQ(fused.stencils[0].stmts.size(), 2u);
+}
+
+TEST(MaxFuse, SemanticsPreservedForIndependentOutputs) {
+  const ir::Program p = parse(kIndependentCallsDsl);
+  sim::GridSet a = sim::GridSet::from_program(p, 5);
+  sim::GridSet b = a.clone();
+  sim::run_program_reference(p, a);
+  sim::run_program_reference(maxfuse_program(p), b);
+  // Guards merge under fusion (a point is skipped if ANY statement's reads
+  // go out of bounds), so only the common interior must agree.
+  for (const auto& out : {"r0", "r1"}) {
+    EXPECT_LT(max_abs_diff_interior(a.grid(out), b.grid(out), 1), 1e-12)
+        << out;
+  }
+}
+
+TEST(MaxFuse, RejectsCrossPointDag) {
+  // blury reads blurx's output at j+-1: single-body fusion is illegal.
+  const ir::Program p = parse(artemis::testing::kDagDsl);
+  EXPECT_THROW(maxfuse_program(p), SemanticError);
+}
+
+// ---- fission --------------------------------------------------------------------
+
+const char* kMultiOutputDsl = R"(
+  parameter L=10, M=10, N=10;
+  iterator k, j, i;
+  double u0[L,M,N], u1[L,M,N], mu[L,M,N], r0[L,M,N], r1[L,M,N], r2[L,M,N], h;
+  copyin u0, u1, mu, h;
+  stencil rhs (R0, R1, R2, U0, U1, MU, h) {
+    double mux1 = MU[k][j][i-1] + MU[k][j][i+1];
+    double mux2 = MU[k][j-1][i] + MU[k][j+1][i];
+    R0[k][j][i] = h * mux1 * (U0[k][j][i+1] - U0[k][j][i-1]);
+    R1[k][j][i] = h * mux2 * (U1[k][j+1][i] - U1[k][j-1][i]);
+    R2[k][j][i] = h * mux1 * mux2 + U0[k+1][j][i] * U1[k-1][j][i];
+  }
+  rhs (r0, r1, r2, u0, u1, mu, h);
+  copyout r0, r1, r2;
+)";
+
+TEST(Fission, TrivialSplitsPerOutput) {
+  const ir::Program p = parse(kMultiOutputDsl);
+  const ir::Program split = trivial_fission(p, "rhs");
+  ASSERT_EQ(split.stencils.size(), 3u);
+  ASSERT_EQ(split.steps.size(), 3u);
+  // Kernel 0 needs mux1 but not mux2; kernel 2 needs both (replication).
+  const auto& k0 = split.stencils[0];
+  const auto& k2 = split.stencils[2];
+  EXPECT_EQ(k0.stmts.size(), 2u);  // mux1 + R0
+  EXPECT_EQ(k2.stmts.size(), 3u);  // mux1 + mux2 + R2
+  // Kernel params shrink to what is used.
+  EXPECT_EQ(k0.params, (std::vector<std::string>{"R0", "U0", "MU", "h"}));
+}
+
+TEST(Fission, TrivialPreservesSemantics) {
+  const ir::Program p = parse(kMultiOutputDsl);
+  sim::GridSet a = sim::GridSet::from_program(p, 31);
+  sim::GridSet b = a.clone();
+  sim::run_program_reference(p, a);
+  sim::run_program_reference(trivial_fission(p, "rhs"), b);
+  // Boundary guards differ by construction: the monolithic kernel skips a
+  // point when ANY output's reads go out of bounds, each fissioned kernel
+  // only when its own reads do. The interior must agree exactly.
+  for (const auto& out : {"r0", "r1", "r2"}) {
+    EXPECT_LT(max_abs_diff_interior(a.grid(out), b.grid(out), 1), 1e-12)
+        << out;
+  }
+}
+
+TEST(Fission, TrivialRoundTripsThroughDsl) {
+  const ir::Program p = parse(kMultiOutputDsl);
+  const ir::Program split = trivial_fission(p, "rhs");
+  const std::string text = dsl::print_program(split);
+  const ir::Program reparsed = dsl::parse(text);
+  EXPECT_EQ(reparsed.stencils.size(), 3u);
+  EXPECT_EQ(dsl::print_program(reparsed), text);
+}
+
+TEST(Fission, RecomputeWithGenerousBudgetKeepsOneKernel) {
+  const ir::Program p = parse(kMultiOutputDsl);
+  const ir::Program split =
+      recompute_fission(p, "rhs", gpumodel::p100(), 255);
+  EXPECT_EQ(split.stencils.size(), 1u);
+}
+
+TEST(Fission, RecomputeWithTightBudgetSplits) {
+  const ir::Program p = parse(kMultiOutputDsl);
+  const ir::Program split = recompute_fission(p, "rhs", gpumodel::p100(), 23);
+  EXPECT_GT(split.stencils.size(), 1u);
+  sim::GridSet a = sim::GridSet::from_program(p, 8);
+  sim::GridSet b = a.clone();
+  sim::run_program_reference(p, a);
+  sim::run_program_reference(split, b);
+  for (const auto& out : {"r0", "r1", "r2"}) {
+    EXPECT_LT(max_abs_diff_interior(a.grid(out), b.grid(out), 1), 1e-12)
+        << out;
+  }
+}
+
+}  // namespace
+}  // namespace artemis::transform

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "artemis/autotune/tuning_cache.hpp"
+#include "artemis/common/check.hpp"
+
+namespace artemis::autotune {
+namespace {
+
+using codegen::KernelConfig;
+using codegen::Perspective;
+using codegen::TilingScheme;
+using codegen::UnrollStrategy;
+
+KernelConfig fancy_config() {
+  KernelConfig cfg;
+  cfg.block = {64, 8, 1};
+  cfg.unroll = {2, 4, 1};
+  cfg.tiling = TilingScheme::StreamConcurrent;
+  cfg.stream_axis = 2;
+  cfg.stream_chunk = 96;
+  cfg.perspective = Perspective::Mixed;
+  cfg.unroll_strategy = UnrollStrategy::Cyclic;
+  cfg.prefetch = true;
+  cfg.retime = true;
+  cfg.fold = false;
+  cfg.max_registers = 128;
+  cfg.time_tile = 3;
+  cfg.target_occupancy = 0.5;
+  return cfg;
+}
+
+bool config_equal(const KernelConfig& a, const KernelConfig& b) {
+  return a.block == b.block && a.unroll == b.unroll && a.tiling == b.tiling &&
+         a.stream_axis == b.stream_axis && a.stream_chunk == b.stream_chunk &&
+         a.perspective == b.perspective &&
+         a.unroll_strategy == b.unroll_strategy &&
+         a.prefetch == b.prefetch && a.retime == b.retime &&
+         a.fold == b.fold && a.max_registers == b.max_registers &&
+         a.time_tile == b.time_tile &&
+         a.target_occupancy == b.target_occupancy;
+}
+
+TEST(ConfigSerialization, RoundTripsEveryField) {
+  const KernelConfig cfg = fancy_config();
+  const KernelConfig back = parse_config(serialize_config(cfg));
+  EXPECT_TRUE(config_equal(cfg, back));
+}
+
+TEST(ConfigSerialization, DefaultRoundTrips) {
+  const KernelConfig cfg;
+  EXPECT_TRUE(config_equal(cfg, parse_config(serialize_config(cfg))));
+}
+
+TEST(ConfigSerialization, RejectsGarbage) {
+  EXPECT_THROW(parse_config("nonsense"), Error);
+  EXPECT_THROW(parse_config("wibble=3"), Error);
+  EXPECT_THROW(parse_config("tiling=pyramid"), Error);
+}
+
+TEST(TuningCache, PutGetContains) {
+  TuningCache cache;
+  EXPECT_FALSE(cache.contains("k"));
+  cache.put("k", {fancy_config(), 1.5e-3, 0.8});
+  ASSERT_TRUE(cache.contains("k"));
+  const auto e = cache.get("k");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(e->time_s, 1.5e-3);
+  EXPECT_DOUBLE_EQ(e->tflops, 0.8);
+  EXPECT_TRUE(config_equal(e->config, fancy_config()));
+  EXPECT_FALSE(cache.get("other").has_value());
+}
+
+TEST(TuningCache, TextRoundTrip) {
+  TuningCache cache;
+  cache.put("7pt/p100/x1", {KernelConfig{}, 3.1e-3, 0.44});
+  cache.put("7pt/p100/x3", {fancy_config(), 4.0e-3, 1.0});
+  TuningCache loaded;
+  loaded.load_text(cache.save_text());
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_TRUE(config_equal(loaded.get("7pt/p100/x3")->config,
+                           fancy_config()));
+  EXPECT_DOUBLE_EQ(loaded.get("7pt/p100/x1")->time_s, 3.1e-3);
+}
+
+TEST(TuningCache, LoadMergesAndLaterWins) {
+  TuningCache a;
+  a.put("k", {KernelConfig{}, 1.0, 0.1});
+  TuningCache b;
+  KernelConfig other;
+  other.max_registers = 64;
+  b.put("k", {other, 2.0, 0.2});
+  b.put("extra", {KernelConfig{}, 3.0, 0.3});
+  a.load_text(b.save_text());
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.get("k")->config.max_registers, 64);
+}
+
+TEST(TuningCache, MalformedLinesSkipped) {
+  TuningCache cache;
+  cache.load_text("this is not a record\nk\t1.0\tbadfloat\tblock=1,1,1\n"
+                  "ok\t1e-3\t0.5\t" +
+                  serialize_config(KernelConfig{}) + "\n");
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.contains("ok"));
+}
+
+TEST(TuningCache, FileRoundTrip) {
+  const std::string path = "/tmp/artemis_cache_test.txt";
+  TuningCache cache;
+  cache.put("a/b", {fancy_config(), 7e-4, 2.0});
+  ASSERT_TRUE(cache.save_file(path));
+  TuningCache loaded;
+  ASSERT_TRUE(loaded.load_file(path));
+  EXPECT_EQ(loaded.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.get("a/b")->tflops, 2.0);
+  std::remove(path.c_str());
+  TuningCache missing;
+  EXPECT_FALSE(missing.load_file("/tmp/definitely/not/here.txt"));
+}
+
+TEST(TuningCache, RejectsKeysWithSeparators) {
+  TuningCache cache;
+  EXPECT_THROW(cache.put("bad\tkey", {KernelConfig{}, 1, 1}), Error);
+  EXPECT_THROW(cache.put("bad\nkey", {KernelConfig{}, 1, 1}), Error);
+}
+
+}  // namespace
+}  // namespace artemis::autotune

@@ -1,0 +1,278 @@
+// artemisc — the ARTEMIS command-line driver.
+//
+// Reads a stencil DSL file and runs the end-to-end pipeline of Section
+// VII: baseline from the pragmas, bottleneck profiling, hierarchical
+// autotuning, guideline-driven version selection, fusion scheduling for
+// iterate blocks, and fission candidates under register pressure.
+//
+//   artemisc prog.dsl                       optimize and report
+//   artemisc prog.dsl --emit-cuda           print generated CUDA
+//   artemisc prog.dsl --profile             per-kernel profile reports
+//   artemisc prog.dsl --run                 functional run + checksum
+//   artemisc prog.dsl --strategy ppcg       use a baseline generator
+//   artemisc prog.dsl --device v100         target the V100 model
+//   artemisc prog.dsl --emit-candidates     print fission candidate DSL
+//   artemisc prog.dsl --tuning-cache f.db   persist/reuse tuned schedules
+//   artemisc prog.dsl --compare              all five generators (Fig. 5 row)
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "artemis/autotune/tuning_cache.hpp"
+#include "artemis/baselines/baselines.hpp"
+#include "artemis/codegen/cuda_emitter.hpp"
+#include "artemis/codegen/plan_builder.hpp"
+#include "artemis/common/str.hpp"
+#include "artemis/driver/driver.hpp"
+#include "artemis/dsl/parser.hpp"
+#include "artemis/profile/profiler.hpp"
+#include "artemis/sim/executor.hpp"
+#include "artemis/sim/reference.hpp"
+#include "artemis/transform/fusion.hpp"
+
+using namespace artemis;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <file.dsl> [--strategy "
+               "artemis|ppcg|stencilgen|global|global-stream]\n"
+               "       [--device p100|v100] [--emit-cuda] [--profile] "
+               "[--run] [--emit-candidates]\n",
+               argv0);
+  return 2;
+}
+
+driver::Strategy strategy_by_name(const std::string& name) {
+  if (name == "artemis") return driver::artemis_strategy();
+  if (name == "ppcg") return driver::ppcg_strategy();
+  if (name == "stencilgen") return driver::stencilgen_strategy();
+  if (name == "global") return driver::global_strategy(false);
+  if (name == "global-stream") return driver::global_strategy(true);
+  throw Error(str_cat("unknown strategy '", name, "'"));
+}
+
+/// Rebuild the plan a KernelChoice selected (for --emit-cuda/--profile).
+codegen::KernelPlan rebuild(const ir::Program& prog,
+                            const driver::KernelChoice& k,
+                            const gpumodel::DeviceSpec& dev) {
+  // Iterative schedules synthesize their stage lists through
+  // time_tile_iterate; spatial schedules bind the flat call list.
+  if (prog.steps.size() == 1 &&
+      prog.steps[0].kind == ir::Step::Kind::Iterate) {
+    const auto tt = transform::time_tile_iterate(prog, prog.steps[0],
+                                                 k.config.time_tile);
+    codegen::BuildOptions opts;
+    opts.use_shared_memory = true;
+    try {
+      return codegen::build_plan(tt.augmented, tt.stages, k.config, dev,
+                                 opts);
+    } catch (const PlanError&) {
+      opts.use_shared_memory = false;
+      return codegen::build_plan(tt.augmented, tt.stages, k.config, dev,
+                                 opts);
+    }
+  }
+  // Spatial schedules: kernels are contiguous groups of the call chain,
+  // named by the joined callee names ("blurx+blury"). Find the matching
+  // range and rebuild the fused plan.
+  std::vector<ir::BoundStencil> bound;
+  {
+    int idx = 0;
+    for (const auto& step : prog.steps) {
+      if (step.kind != ir::Step::Kind::Call) continue;
+      bound.push_back(
+          ir::bind_call(prog, step.call, str_cat("f", idx++, "_")));
+    }
+  }
+  const int n = static_cast<int>(bound.size());
+  for (int i = 0; i < n; ++i) {
+    std::string joined;
+    for (int j = i; j < n; ++j) {
+      joined += (j > i ? "+" : "") + bound[static_cast<std::size_t>(j)].name;
+      if (joined != k.name) continue;
+      std::vector<ir::BoundStencil> stages(
+          bound.begin() + i, bound.begin() + j + 1);
+      codegen::BuildOptions opts;
+      try {
+        return codegen::build_plan(prog, stages, k.config, dev, opts);
+      } catch (const PlanError&) {
+        opts.use_shared_memory = false;
+        return codegen::build_plan(prog, stages, k.config, dev, opts);
+      }
+    }
+  }
+  throw Error(str_cat("cannot rebuild plan for kernel '", k.name, "'"));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+
+  std::string path;
+  std::string strategy_name = "artemis";
+  std::string device_name = "p100";
+  std::string cache_path;
+  bool emit_cuda = false, profile = false, run = false, candidates = false;
+  bool compare = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--strategy" && i + 1 < argc) {
+      strategy_name = argv[++i];
+    } else if (arg == "--device" && i + 1 < argc) {
+      device_name = argv[++i];
+    } else if (arg == "--emit-cuda") {
+      emit_cuda = true;
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--run") {
+      run = true;
+    } else if (arg == "--emit-candidates") {
+      candidates = true;
+    } else if (arg == "--tuning-cache" && i + 1 < argc) {
+      cache_path = argv[++i];
+    } else if (arg == "--compare") {
+      compare = true;
+    } else if (arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+
+  try {
+    std::ifstream in(path);
+    if (!in) throw Error(str_cat("cannot open '", path, "'"));
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const ir::Program prog = dsl::parse(buf.str());
+
+    const auto dev =
+        device_name == "v100" ? gpumodel::v100() : gpumodel::p100();
+    const gpumodel::ModelParams params;
+    const auto strat = strategy_by_name(strategy_name);
+
+    if (compare) {
+      const auto row =
+          baselines::compare_generators(path, prog, dev, params);
+      std::printf("%-16s %10s %10s\n", "generator", "TFLOPS", "time(ms)");
+      for (const auto& g : row.generators) {
+        if (g.result) {
+          std::printf("%-16s %10.4f %10.4f\n", g.generator.c_str(),
+                      g.tflops(), g.result->time_s * 1e3);
+        } else {
+          std::printf("%-16s %10s  (%s)\n", g.generator.c_str(), "n/a",
+                      g.failure.c_str());
+        }
+      }
+      return 0;
+    }
+
+    std::printf("artemisc: %s, strategy=%s, device=%s\n", path.c_str(),
+                strat.name.c_str(), dev.name.c_str());
+
+    // Tuning cache: keyed by source hash + strategy + device so a cached
+    // schedule is only reused for the exact same input.
+    autotune::TuningCache cache;
+    std::string cache_key;
+    if (!cache_path.empty()) {
+      cache.load_file(cache_path);
+      cache_key = str_cat(std::hash<std::string>{}(buf.str()), "/",
+                          strat.name, "/", dev.name);
+      if (const auto hit = cache.get(cache_key)) {
+        std::printf("tuning cache hit (%s): reusing %s\n",
+                    cache_path.c_str(),
+                    autotune::serialize_config(hit->config).c_str());
+      }
+    }
+
+    const auto r = driver::optimize_program(prog, dev, params, strat);
+
+    if (!cache_path.empty() && !r.kernels.empty()) {
+      cache.put(cache_key, {r.kernels[0].config, r.time_s, r.tflops});
+      if (cache.save_file(cache_path)) {
+        std::printf("tuning cache updated: %s (%zu entries)\n",
+                    cache_path.c_str(), cache.size());
+      }
+    }
+
+    std::printf("\nschedule: %d launch(es), %.4f ms, %.4f TFLOPS\n",
+                r.kernel_launches, r.time_s * 1e3, r.tflops);
+    for (const auto& k : r.kernels) {
+      std::printf("  %-18s x%-3d %9.4f ms  occ %.2f  %s\n", k.name.c_str(),
+                  k.invocations, k.eval.time_s * 1e3,
+                  k.eval.occupancy.fraction, k.config.to_string().c_str());
+    }
+    if (!r.fusion_schedule.empty()) {
+      std::string sched;
+      for (const int x : r.fusion_schedule) sched += str_cat(" ", x);
+      std::printf("fusion schedule:%s\n", sched.c_str());
+    }
+    for (const auto& h : r.hints) std::printf("hint: %s\n", h.c_str());
+
+    if (profile || emit_cuda) {
+      for (const auto& k : r.kernels) {
+        const auto plan = rebuild(prog, k, dev);
+        if (profile) {
+          const auto rep = profile::profile_plan(plan, dev, params);
+          std::printf("\n[%s] %s\n", k.name.c_str(),
+                      rep.summary().c_str());
+        }
+        if (emit_cuda) {
+          std::printf("\n// ==== %s ====\n%s", k.name.c_str(),
+                      codegen::emit_cuda(prog, plan).full().c_str());
+        }
+      }
+    }
+
+    if (candidates) {
+      if (r.candidate_dsl.empty()) {
+        std::printf("\nno fission candidates were generated\n");
+      }
+      for (std::size_t i = 0; i < r.candidate_dsl.size(); ++i) {
+        std::printf("\n// ---- fission candidate %zu ----\n%s", i,
+                    r.candidate_dsl[i].c_str());
+      }
+    }
+
+    if (run) {
+      // Functional run of the best ARTEMIS-planned kernels, checked
+      // against the reference interpreter.
+      sim::GridSet ref = sim::GridSet::from_program(prog, 1);
+      sim::GridSet tiled = ref.clone();
+      sim::run_program_reference(prog, ref);
+      codegen::KernelConfig cfg;
+      cfg.block = {8, 8, 4};
+      codegen::BuildOptions opts;
+      opts.use_shared_memory = false;
+      for (const auto& step : ir::flatten_steps(prog)) {
+        if (step.kind == ir::ExecStep::Kind::Swap) {
+          tiled.swap(step.swap.a, step.swap.b);
+          continue;
+        }
+        const auto plan =
+            codegen::build_plan(prog, {step.stencil}, cfg, dev, opts);
+        sim::execute_plan(plan, tiled);
+      }
+      std::printf("\nfunctional run:\n");
+      for (const auto& out : prog.copyout) {
+        const double diff =
+            Grid3D::max_abs_diff(ref.grid(out), tiled.grid(out));
+        double checksum = 0;
+        for (const double v : tiled.grid(out).raw()) checksum += v;
+        std::printf("  %-10s checksum %.10g  max|diff vs reference| %g\n",
+                    out.c_str(), checksum, diff);
+      }
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "artemisc: error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
