@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_validation.dir/cache_validation.cpp.o"
+  "CMakeFiles/cache_validation.dir/cache_validation.cpp.o.d"
+  "cache_validation"
+  "cache_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_2d_suite.dir/extra_2d_suite.cpp.o"
+  "CMakeFiles/extra_2d_suite.dir/extra_2d_suite.cpp.o.d"
+  "extra_2d_suite"
+  "extra_2d_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_2d_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fission_rhs4sgcurv.dir/fission_rhs4sgcurv.cpp.o"
+  "CMakeFiles/fission_rhs4sgcurv.dir/fission_rhs4sgcurv.cpp.o.d"
+  "fission_rhs4sgcurv"
+  "fission_rhs4sgcurv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fission_rhs4sgcurv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

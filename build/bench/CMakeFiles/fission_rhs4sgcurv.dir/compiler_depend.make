@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fission_rhs4sgcurv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halide_autoscheduler.dir/halide_autoscheduler.cpp.o"
+  "CMakeFiles/halide_autoscheduler.dir/halide_autoscheduler.cpp.o.d"
+  "halide_autoscheduler"
+  "halide_autoscheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halide_autoscheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for halide_autoscheduler.
+# This may be replaced when dependencies are built.

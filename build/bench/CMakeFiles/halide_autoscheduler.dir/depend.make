@@ -1,0 +1,2 @@
+# Empty dependencies file for halide_autoscheduler.
+# This may be replaced when dependencies are built.

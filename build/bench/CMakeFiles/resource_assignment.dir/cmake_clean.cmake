@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_assignment.dir/resource_assignment.cpp.o"
+  "CMakeFiles/resource_assignment.dir/resource_assignment.cpp.o.d"
+  "resource_assignment"
+  "resource_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

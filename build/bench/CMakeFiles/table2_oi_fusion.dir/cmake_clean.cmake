@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_oi_fusion.dir/table2_oi_fusion.cpp.o"
+  "CMakeFiles/table2_oi_fusion.dir/table2_oi_fusion.cpp.o.d"
+  "table2_oi_fusion"
+  "table2_oi_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_oi_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_spatial_oi.dir/table3_spatial_oi.cpp.o"
+  "CMakeFiles/table3_spatial_oi.dir/table3_spatial_oi.cpp.o.d"
+  "table3_spatial_oi"
+  "table3_spatial_oi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_spatial_oi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_cost.dir/tuning_cost.cpp.o"
+  "CMakeFiles/tuning_cost.dir/tuning_cost.cpp.o.d"
+  "tuning_cost"
+  "tuning_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

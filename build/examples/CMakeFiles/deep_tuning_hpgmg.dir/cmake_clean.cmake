@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_tuning_hpgmg.dir/deep_tuning_hpgmg.cpp.o"
+  "CMakeFiles/deep_tuning_hpgmg.dir/deep_tuning_hpgmg.cpp.o.d"
+  "deep_tuning_hpgmg"
+  "deep_tuning_hpgmg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_tuning_hpgmg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

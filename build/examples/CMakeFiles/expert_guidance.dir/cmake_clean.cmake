@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expert_guidance.dir/expert_guidance.cpp.o"
+  "CMakeFiles/expert_guidance.dir/expert_guidance.cpp.o.d"
+  "expert_guidance"
+  "expert_guidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expert_guidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_roundtrip.dir/fuzz_roundtrip.cpp.o"
+  "CMakeFiles/fuzz_roundtrip.dir/fuzz_roundtrip.cpp.o.d"
+  "fuzz_roundtrip"
+  "fuzz_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

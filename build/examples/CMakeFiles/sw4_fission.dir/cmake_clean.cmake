@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw4_fission.dir/sw4_fission.cpp.o"
+  "CMakeFiles/sw4_fission.dir/sw4_fission.cpp.o.d"
+  "sw4_fission"
+  "sw4_fission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw4_fission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

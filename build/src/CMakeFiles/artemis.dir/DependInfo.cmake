@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/artemis/autotune/deep_tuning.cpp" "src/CMakeFiles/artemis.dir/artemis/autotune/deep_tuning.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/autotune/deep_tuning.cpp.o.d"
+  "/root/repo/src/artemis/autotune/search.cpp" "src/CMakeFiles/artemis.dir/artemis/autotune/search.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/autotune/search.cpp.o.d"
+  "/root/repo/src/artemis/autotune/tuning_cache.cpp" "src/CMakeFiles/artemis.dir/artemis/autotune/tuning_cache.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/autotune/tuning_cache.cpp.o.d"
+  "/root/repo/src/artemis/baselines/baselines.cpp" "src/CMakeFiles/artemis.dir/artemis/baselines/baselines.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/baselines/baselines.cpp.o.d"
+  "/root/repo/src/artemis/codegen/cuda_emitter.cpp" "src/CMakeFiles/artemis.dir/artemis/codegen/cuda_emitter.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/codegen/cuda_emitter.cpp.o.d"
+  "/root/repo/src/artemis/codegen/plan.cpp" "src/CMakeFiles/artemis.dir/artemis/codegen/plan.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/codegen/plan.cpp.o.d"
+  "/root/repo/src/artemis/codegen/plan_builder.cpp" "src/CMakeFiles/artemis.dir/artemis/codegen/plan_builder.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/codegen/plan_builder.cpp.o.d"
+  "/root/repo/src/artemis/common/check.cpp" "src/CMakeFiles/artemis.dir/artemis/common/check.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/common/check.cpp.o.d"
+  "/root/repo/src/artemis/common/grid.cpp" "src/CMakeFiles/artemis.dir/artemis/common/grid.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/common/grid.cpp.o.d"
+  "/root/repo/src/artemis/common/parallel.cpp" "src/CMakeFiles/artemis.dir/artemis/common/parallel.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/common/parallel.cpp.o.d"
+  "/root/repo/src/artemis/common/str.cpp" "src/CMakeFiles/artemis.dir/artemis/common/str.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/common/str.cpp.o.d"
+  "/root/repo/src/artemis/common/table.cpp" "src/CMakeFiles/artemis.dir/artemis/common/table.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/common/table.cpp.o.d"
+  "/root/repo/src/artemis/driver/driver.cpp" "src/CMakeFiles/artemis.dir/artemis/driver/driver.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/driver/driver.cpp.o.d"
+  "/root/repo/src/artemis/dsl/lexer.cpp" "src/CMakeFiles/artemis.dir/artemis/dsl/lexer.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/dsl/lexer.cpp.o.d"
+  "/root/repo/src/artemis/dsl/parser.cpp" "src/CMakeFiles/artemis.dir/artemis/dsl/parser.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/dsl/parser.cpp.o.d"
+  "/root/repo/src/artemis/dsl/printer.cpp" "src/CMakeFiles/artemis.dir/artemis/dsl/printer.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/dsl/printer.cpp.o.d"
+  "/root/repo/src/artemis/gpumodel/cache_sim.cpp" "src/CMakeFiles/artemis.dir/artemis/gpumodel/cache_sim.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/gpumodel/cache_sim.cpp.o.d"
+  "/root/repo/src/artemis/gpumodel/device.cpp" "src/CMakeFiles/artemis.dir/artemis/gpumodel/device.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/gpumodel/device.cpp.o.d"
+  "/root/repo/src/artemis/gpumodel/occupancy.cpp" "src/CMakeFiles/artemis.dir/artemis/gpumodel/occupancy.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/gpumodel/occupancy.cpp.o.d"
+  "/root/repo/src/artemis/gpumodel/perf_model.cpp" "src/CMakeFiles/artemis.dir/artemis/gpumodel/perf_model.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/gpumodel/perf_model.cpp.o.d"
+  "/root/repo/src/artemis/gpumodel/registers.cpp" "src/CMakeFiles/artemis.dir/artemis/gpumodel/registers.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/gpumodel/registers.cpp.o.d"
+  "/root/repo/src/artemis/ir/analysis.cpp" "src/CMakeFiles/artemis.dir/artemis/ir/analysis.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/ir/analysis.cpp.o.d"
+  "/root/repo/src/artemis/ir/expr.cpp" "src/CMakeFiles/artemis.dir/artemis/ir/expr.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/ir/expr.cpp.o.d"
+  "/root/repo/src/artemis/ir/program.cpp" "src/CMakeFiles/artemis.dir/artemis/ir/program.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/ir/program.cpp.o.d"
+  "/root/repo/src/artemis/profile/profiler.cpp" "src/CMakeFiles/artemis.dir/artemis/profile/profiler.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/profile/profiler.cpp.o.d"
+  "/root/repo/src/artemis/sim/executor.cpp" "src/CMakeFiles/artemis.dir/artemis/sim/executor.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/sim/executor.cpp.o.d"
+  "/root/repo/src/artemis/sim/gridset.cpp" "src/CMakeFiles/artemis.dir/artemis/sim/gridset.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/sim/gridset.cpp.o.d"
+  "/root/repo/src/artemis/sim/interp.cpp" "src/CMakeFiles/artemis.dir/artemis/sim/interp.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/sim/interp.cpp.o.d"
+  "/root/repo/src/artemis/sim/reference.cpp" "src/CMakeFiles/artemis.dir/artemis/sim/reference.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/sim/reference.cpp.o.d"
+  "/root/repo/src/artemis/stencils/benchmarks.cpp" "src/CMakeFiles/artemis.dir/artemis/stencils/benchmarks.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/stencils/benchmarks.cpp.o.d"
+  "/root/repo/src/artemis/stencils/extra_stencils.cpp" "src/CMakeFiles/artemis.dir/artemis/stencils/extra_stencils.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/stencils/extra_stencils.cpp.o.d"
+  "/root/repo/src/artemis/stencils/random_stencil.cpp" "src/CMakeFiles/artemis.dir/artemis/stencils/random_stencil.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/stencils/random_stencil.cpp.o.d"
+  "/root/repo/src/artemis/transform/fission.cpp" "src/CMakeFiles/artemis.dir/artemis/transform/fission.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/transform/fission.cpp.o.d"
+  "/root/repo/src/artemis/transform/fold.cpp" "src/CMakeFiles/artemis.dir/artemis/transform/fold.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/transform/fold.cpp.o.d"
+  "/root/repo/src/artemis/transform/fusion.cpp" "src/CMakeFiles/artemis.dir/artemis/transform/fusion.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/transform/fusion.cpp.o.d"
+  "/root/repo/src/artemis/transform/retime.cpp" "src/CMakeFiles/artemis.dir/artemis/transform/retime.cpp.o" "gcc" "src/CMakeFiles/artemis.dir/artemis/transform/retime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuda_emitter_test.dir/cuda_emitter_test.cpp.o"
+  "CMakeFiles/cuda_emitter_test.dir/cuda_emitter_test.cpp.o.d"
+  "cuda_emitter_test"
+  "cuda_emitter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuda_emitter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

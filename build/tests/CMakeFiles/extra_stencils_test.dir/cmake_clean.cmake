@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_stencils_test.dir/extra_stencils_test.cpp.o"
+  "CMakeFiles/extra_stencils_test.dir/extra_stencils_test.cpp.o.d"
+  "extra_stencils_test"
+  "extra_stencils_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_stencils_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

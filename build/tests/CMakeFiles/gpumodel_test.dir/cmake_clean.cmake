@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumodel_test.dir/gpumodel_test.cpp.o"
+  "CMakeFiles/gpumodel_test.dir/gpumodel_test.cpp.o.d"
+  "gpumodel_test"
+  "gpumodel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridset_test.dir/gridset_test.cpp.o"
+  "CMakeFiles/gridset_test.dir/gridset_test.cpp.o.d"
+  "gridset_test"
+  "gridset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_cache_test.dir/tuning_cache_test.cpp.o"
+  "CMakeFiles/tuning_cache_test.dir/tuning_cache_test.cpp.o.d"
+  "tuning_cache_test"
+  "tuning_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
