@@ -1,0 +1,20 @@
+// The tutorial kernel (docs/TUTORIAL.md): a 3D order-2 anisotropic
+// diffusion step with 1D coefficient arrays pinned to global memory and a
+// deep-tunable iterate block. Used by the CI smoke run:
+//   artemisc examples/diffuse.dsl --report r.json --trace t.json
+parameter L=320, M=320, N=320;
+iterator k, j, i;
+double u[L,M,N], un[L,M,N], kx[N], ky[M], kz[L], dt;
+copyin u, kx, ky, kz, dt;
+stencil diffuse (UN, U, KX, KY, KZ, dt) {
+  #assign gmem (KX, KY, KZ)
+  UN[k][j][i] = U[k][j][i] + dt*(
+      KX[i]*(U[k][j][i+1] - 2.0*U[k][j][i] + U[k][j][i-1])
+    + KY[j]*(U[k][j+1][i] - 2.0*U[k][j][i] + U[k][j-1][i])
+    + KZ[k]*(U[k+1][j][i] - 2.0*U[k][j][i] + U[k-1][j][i]));
+}
+iterate 16 {
+  diffuse (un, u, kx, ky, kz, dt);
+  swap (un, u);
+}
+copyout u;

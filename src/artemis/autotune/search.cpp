@@ -4,6 +4,7 @@
 
 #include "artemis/common/check.hpp"
 #include "artemis/common/rng.hpp"
+#include "artemis/telemetry/telemetry.hpp"
 
 namespace artemis::autotune {
 
@@ -14,21 +15,77 @@ using codegen::KernelPlan;
 using codegen::Perspective;
 using codegen::TilingScheme;
 
+Json int_triple(const std::array<int, 3>& a) {
+  Json arr = Json::array();
+  for (const int v : a) arr.push_back(v);
+  return arr;
+}
+
+/// One structured telemetry event per considered candidate (Section V
+/// observability): the knob values, the outcome, and how many register
+/// budgets the escalation pruned before evaluation. `reason` is empty for
+/// evaluated candidates.
+void record_candidate(const char* stage, const KernelConfig& cfg,
+                      int spill_pruned, const Candidate* cand,
+                      const char* reason) {
+  if (!telemetry::enabled()) return;
+  std::vector<telemetry::Attr> args;
+  args.push_back({"stage", Json(stage)});
+  args.push_back({"tiling", Json(codegen::tiling_name(cfg.tiling))});
+  args.push_back({"block", int_triple(cfg.block)});
+  args.push_back({"unroll", int_triple(cfg.unroll)});
+  args.push_back({"max_registers", Json(cfg.max_registers)});
+  args.push_back({"prefetch", Json(cfg.prefetch)});
+  args.push_back(
+      {"perspective", Json(codegen::perspective_name(cfg.perspective))});
+  if (spill_pruned > 0) {
+    args.push_back({"spill_pruned_budgets", Json(spill_pruned)});
+  }
+  if (cand != nullptr) {
+    args.push_back({"outcome", Json("evaluated")});
+    args.push_back({"time_ms", Json(cand->time_s * 1e3)});
+    args.push_back({"occupancy", Json(cand->eval.occupancy.fraction)});
+    args.push_back({"registers", Json(cand->eval.regs.total)});
+  } else {
+    args.push_back({"outcome", Json("infeasible")});
+    args.push_back({"reason", Json(reason)});
+  }
+  telemetry::instant("tuner.candidate", "tune", std::move(args));
+}
+
 /// Evaluate one configuration; returns nullopt for infeasible plans.
+/// Every call counts one enumerated candidate towards the telemetry
+/// counters, and evaluated + infeasible partition the enumerated set.
+/// `stage` labels the sweep ("stage1", "stage2", "exhaustive", "random");
+/// `spill_pruned` is how many register budgets escalation skipped while
+/// settling this candidate's budget.
 std::optional<Candidate> try_config(const PlanFactory& factory,
                                     const KernelConfig& cfg,
                                     const gpumodel::DeviceSpec& dev,
-                                    const gpumodel::ModelParams& params) {
+                                    const gpumodel::ModelParams& params,
+                                    const char* stage = "stage1",
+                                    int spill_pruned = 0) {
+  telemetry::counter_add("tuner.enumerated");
+  const auto fail = [&](const char* reason) {
+    telemetry::counter_add("tuner.infeasible");
+    record_candidate(stage, cfg, spill_pruned, nullptr, reason);
+  };
   try {
     const KernelPlan plan = factory(cfg);
     gpumodel::KernelEval ev = gpumodel::evaluate(plan, dev, params);
-    if (!ev.valid) return std::nullopt;
+    if (!ev.valid) {
+      fail("invalid_launch");
+      return std::nullopt;
+    }
     Candidate c;
     c.config = cfg;
     c.time_s = ev.time_s;
     c.eval = std::move(ev);
+    telemetry::counter_add("tuner.evaluated");
+    record_candidate(stage, cfg, spill_pruned, &c, "");
     return c;
   } catch (const PlanError&) {
+    fail("plan_error");
     return std::nullopt;
   }
 }
@@ -59,6 +116,7 @@ std::optional<int> spill_free_budget(const PlanFactory& factory,
       const auto est = gpumodel::estimate_registers(plan);
       if (est.total <= budget) return budget;
       ++*skipped;
+      telemetry::counter_add("tuner.pruned_spill_budgets");
     } catch (const PlanError&) {
       return std::nullopt;
     }
@@ -148,33 +206,40 @@ TuneResult hierarchical_tune(const PlanFactory& factory,
   }
 
   // ---- stage 1: tiling x block shape x unroll factors ----------------------
-  for (const TilingScheme tiling : tilings) {
-    const bool streaming = tiling != TilingScheme::Spatial3D;
-    for (const auto& block : candidate_blocks(dims, streaming, opts)) {
-      for (const auto& unroll : candidate_unrolls(dims, opts)) {
-        KernelConfig cfg = seed;
-        cfg.tiling = tiling;
-        if (streaming) cfg.stream_axis = dims - 1;
-        cfg.block = block;
-        cfg.unroll = unroll;
-        if (streaming) {
-          cfg.block[static_cast<std::size_t>(cfg.stream_axis)] = 1;
+  {
+    const telemetry::Span stage1_span("tune.stage1", "tune");
+    for (const TilingScheme tiling : tilings) {
+      const bool streaming = tiling != TilingScheme::Spatial3D;
+      for (const auto& block : candidate_blocks(dims, streaming, opts)) {
+        for (const auto& unroll : candidate_unrolls(dims, opts)) {
+          KernelConfig cfg = seed;
+          cfg.tiling = tiling;
+          if (streaming) cfg.stream_axis = dims - 1;
+          cfg.block = block;
+          cfg.unroll = unroll;
+          if (streaming) {
+            cfg.block[static_cast<std::size_t>(cfg.stream_axis)] = 1;
+          }
+          const int skipped_before = result.skipped_spilling;
+          const auto budget =
+              spill_free_budget(factory, cfg, opts, &result.skipped_spilling);
+          cfg.max_registers = budget.value_or(opts.register_budgets.back());
+          ++result.evaluated_stage1;
+          auto cand =
+              try_config(factory, cfg, dev, params, "stage1",
+                         result.skipped_spilling - skipped_before);
+          if (!cand) {
+            ++result.infeasible;
+            continue;
+          }
+          insert_leaderboard(board, std::move(*cand), opts.top_k);
         }
-        const auto budget =
-            spill_free_budget(factory, cfg, opts, &result.skipped_spilling);
-        cfg.max_registers = budget.value_or(opts.register_budgets.back());
-        ++result.evaluated_stage1;
-        auto cand = try_config(factory, cfg, dev, params);
-        if (!cand) {
-          ++result.infeasible;
-          continue;
-        }
-        insert_leaderboard(board, std::move(*cand), opts.top_k);
       }
     }
   }
 
   // ---- stage 2: low-impact toggles on the survivors ------------------------
+  const telemetry::Span stage2_span("tune.stage2", "tune");
   const std::vector<Candidate> survivors = board;
   for (const auto& s : survivors) {
     const bool streaming = s.config.tiling != TilingScheme::Spatial3D;
@@ -205,7 +270,7 @@ TuneResult hierarchical_tune(const PlanFactory& factory,
     }
     for (const auto& v : variants) {
       ++result.evaluated_stage2;
-      auto cand = try_config(factory, v, dev, params);
+      auto cand = try_config(factory, v, dev, params, "stage2");
       if (!cand) {
         ++result.infeasible;
         continue;
@@ -264,7 +329,8 @@ TuneResult exhaustive_tune(const PlanFactory& factory,
                 cfg.block[static_cast<std::size_t>(cfg.stream_axis)] = 1;
               }
               ++result.evaluated_stage1;
-              auto cand = try_config(factory, cfg, dev, params);
+              auto cand =
+                  try_config(factory, cfg, dev, params, "exhaustive");
               if (!cand) {
                 ++result.infeasible;
                 continue;
@@ -326,7 +392,7 @@ TuneResult random_tune(const PlanFactory& factory,
     cfg.unroll_strategy = rng.coin() ? codegen::UnrollStrategy::Blocked
                                      : codegen::UnrollStrategy::Cyclic;
     ++result.evaluated_stage1;
-    auto cand = try_config(factory, cfg, dev, params);
+    auto cand = try_config(factory, cfg, dev, params, "random");
     if (!cand) {
       ++result.infeasible;
       continue;

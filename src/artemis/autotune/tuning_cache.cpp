@@ -5,6 +5,7 @@
 
 #include "artemis/common/check.hpp"
 #include "artemis/common/str.hpp"
+#include "artemis/telemetry/telemetry.hpp"
 
 namespace artemis::autotune {
 
@@ -111,7 +112,13 @@ void TuningCache::put(const std::string& key, const CacheEntry& entry) {
 
 std::optional<CacheEntry> TuningCache::get(const std::string& key) const {
   const auto it = entries_.find(key);
-  if (it == entries_.end()) return std::nullopt;
+  const bool hit = it != entries_.end();
+  telemetry::counter_add(hit ? "tuning_cache.hits" : "tuning_cache.misses");
+  if (telemetry::enabled()) {
+    telemetry::instant("tuning_cache.lookup", "cache",
+                       {{"key", Json(key)}, {"hit", Json(hit)}});
+  }
+  if (!hit) return std::nullopt;
   return it->second;
 }
 

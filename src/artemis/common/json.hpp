@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace artemis {
+
+/// A minimal JSON value: enough to build the telemetry trace/report output
+/// and to parse it back (round-trip tests, downstream trajectory tooling).
+/// Not a general-purpose library: no comments, no NaN/Inf (serialized as
+/// null), numbers are double or int64.
+class Json {
+ public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  Json() : kind_(Kind::Null) {}
+  Json(std::nullptr_t) : kind_(Kind::Null) {}
+  Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Json(int v) : kind_(Kind::Int), int_(v) {}
+  Json(std::int64_t v) : kind_(Kind::Int), int_(v) {}
+  Json(double v) : kind_(Kind::Double), double_(v) {}
+  Json(const char* s) : kind_(Kind::String), str_(s) {}
+  Json(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_object() const { return kind_ == Kind::Object; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_number() const {
+    return kind_ == Kind::Int || kind_ == Kind::Double;
+  }
+  bool is_string() const { return kind_ == Kind::String; }
+
+  bool as_bool() const { return bool_; }
+  std::int64_t as_int() const {
+    return kind_ == Kind::Double ? static_cast<std::int64_t>(double_) : int_;
+  }
+  double as_double() const {
+    return kind_ == Kind::Int ? static_cast<double>(int_) : double_;
+  }
+  const std::string& as_string() const { return str_; }
+
+  /// Array access.
+  void push_back(Json v) { arr_.push_back(std::move(v)); }
+  std::size_t size() const {
+    return kind_ == Kind::Object ? obj_.size() : arr_.size();
+  }
+  const Json& at(std::size_t i) const { return arr_[i]; }
+  const std::vector<Json>& items() const { return arr_; }
+
+  /// Object access. set() keeps insertion order (stable, diffable dumps).
+  void set(const std::string& key, Json v);
+  bool contains(const std::string& key) const;
+  /// Lookup; returns a shared Null value for missing keys.
+  const Json& operator[](const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return obj_;
+  }
+
+  /// Serialize. indent < 0 yields the compact single-line form.
+  std::string dump(int indent = -1) const;
+
+  /// Parse a JSON document; throws artemis::Error on malformed input.
+  static Json parse(const std::string& text);
+
+  /// Escape a string for embedding inside a JSON string literal (without
+  /// the surrounding quotes).
+  static std::string escape(const std::string& s);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace artemis

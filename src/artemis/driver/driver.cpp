@@ -8,6 +8,7 @@
 #include "artemis/common/check.hpp"
 #include "artemis/common/str.hpp"
 #include "artemis/dsl/printer.hpp"
+#include "artemis/telemetry/telemetry.hpp"
 #include "artemis/transform/fission.hpp"
 #include "artemis/transform/fusion.hpp"
 
@@ -44,6 +45,13 @@ autotune::TuneResult tune_stages(const ir::Program& prog,
                                  const gpumodel::ModelParams& params,
                                  const Strategy& strategy, bool use_shmem,
                                  std::vector<std::string>* hints) {
+  telemetry::Span span("driver.tune_stages", "pipeline");
+  if (telemetry::enabled()) {
+    std::vector<std::string> names;
+    for (const auto& s : stages) names.push_back(s.name);
+    span.arg("stages", Json(join(names, "+")));
+    span.arg("shared_memory", Json(use_shmem));
+  }
   const BuildOptions opts{.use_shared_memory = use_shmem,
                           .fuse_internal = true};
   const autotune::PlanFactory factory =
@@ -71,6 +79,7 @@ autotune::TuneResult tune_stages(const ir::Program& prog,
   // Profile the pragma-derived baseline to prune the search (Section IV-A
   // / Section VII step 2).
   if (strategy.profile_guided) {
+    const telemetry::Span span("driver.baseline_profile", "pipeline");
     try {
       const KernelPlan baseline = factory(seed);
       const auto report = profile::profile_plan(baseline, dev, params);
@@ -140,6 +149,8 @@ ProgramResult optimize_iterative(const ir::Program& prog,
     // apply (deep_tune's factory uses defaults).
     bool past_cusp = false;
     for (int x = 1; x <= dopts.max_time_tile; ++x) {
+      telemetry::Span span("driver.deep_tune", "pipeline");
+      span.arg("time_tile", Json(x));
       const transform::TimeTiledKernel tt =
           transform::time_tile_iterate(prog, iterate_step, x);
       std::vector<std::string> hints;
@@ -184,7 +195,11 @@ ProgramResult optimize_iterative(const ir::Program& prog,
   }
 
   const int T = static_cast<int>(iterate_step.iterations);
-  result.fusion_schedule = autotune::fusion_schedule(deep, T);
+  {
+    telemetry::Span span("driver.fusion_dp", "pipeline");
+    span.arg("iterations", Json(T));
+    result.fusion_schedule = autotune::fusion_schedule(deep, T);
+  }
 
   // Group the schedule into kernels.
   std::map<int, int> tile_counts;
@@ -206,10 +221,13 @@ ProgramResult optimize_iterative(const ir::Program& prog,
 
   // Useful FLOPs: T applications of the iterate body.
   std::int64_t per_step_flops = 0;
-  for (const auto& step : iterate_step.body) {
-    if (step.kind != ir::Step::Kind::Call) continue;
-    const auto info = ir::analyze(prog, ir::bind_call(prog, step.call));
-    per_step_flops += info.flops_per_point * domain_points(prog, info);
+  {
+    const telemetry::Span span("driver.analysis", "pipeline");
+    for (const auto& step : iterate_step.body) {
+      if (step.kind != ir::Step::Kind::Call) continue;
+      const auto info = ir::analyze(prog, ir::bind_call(prog, step.call));
+      per_step_flops += info.flops_per_point * domain_points(prog, info);
+    }
   }
   result.useful_flops = per_step_flops * T;
   result.deep_tuning = std::move(deep);
@@ -334,6 +352,8 @@ ProgramResult optimize_spatial(const ir::Program& prog,
     // [i..j], then solve best[j] = min_i cost(i,j) + best[i-1]. The chain
     // order is a topological order, so contiguous groups are always legal
     // fusion forests.
+    telemetry::Span span("driver.fusion_dp", "pipeline");
+    span.arg("chain_length", Json(n));
     std::vector<std::vector<std::optional<KernelChoice>>> cost(
         static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
@@ -383,9 +403,12 @@ ProgramResult optimize_spatial(const ir::Program& prog,
     }
   }
 
-  for (const auto& step : prog.steps) {
-    const auto info = ir::analyze(prog, ir::bind_call(prog, step.call));
-    result.useful_flops += info.flops_per_point * domain_points(prog, info);
+  {
+    const telemetry::Span span("driver.analysis", "pipeline");
+    for (const auto& step : prog.steps) {
+      const auto info = ir::analyze(prog, ir::bind_call(prog, step.call));
+      result.useful_flops += info.flops_per_point * domain_points(prog, info);
+    }
   }
   finalize(result, params, strategy);
 
@@ -402,6 +425,7 @@ ProgramResult optimize_spatial(const ir::Program& prog,
         (ev.occupancy.limiter == gpumodel::Occupancy::Limiter::Registers &&
          ev.occupancy.fraction <= 0.25);
     if (pressure) {
+      const telemetry::Span span("driver.fission", "pipeline");
       result.hints.push_back(
           "register pressure on the fused kernel: generating fission "
           "candidates (trivial, recompute)");
@@ -521,6 +545,9 @@ ProgramResult optimize_program(const ir::Program& prog,
                                const gpumodel::DeviceSpec& dev,
                                const gpumodel::ModelParams& params,
                                const Strategy& strategy) {
+  telemetry::Span span("driver.optimize", "pipeline");
+  span.arg("strategy", Json(strategy.name));
+  span.arg("device", Json(dev.name));
   if (strategy.reject_mixed_dims) {
     for (const auto& a : prog.arrays) {
       if (a.dims.size() < prog.iterators.size()) {

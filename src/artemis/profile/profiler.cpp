@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "artemis/common/str.hpp"
+#include "artemis/telemetry/telemetry.hpp"
 
 namespace artemis::profile {
 
@@ -58,6 +59,7 @@ ProfileReport profile_plan(const codegen::KernelPlan& plan,
                            const gpumodel::DeviceSpec& dev,
                            const gpumodel::ModelParams& params,
                            const ProfileOptions& opts) {
+  const telemetry::Span span("profile.plan", "profile");
   ProfileReport rep;
   rep.eval = gpumodel::evaluate(plan, dev, params);
   const auto& c = rep.eval.counters;
@@ -110,6 +112,37 @@ ProfileReport profile_plan(const codegen::KernelPlan& plan,
       (rep.eval.occupancy.limiter ==
            gpumodel::Occupancy::Limiter::Registers &&
        rep.eval.occupancy.fraction <= 0.25);
+
+  // One structured event per profiled kernel: the per-level OI/balance
+  // pairs, the roofline verdicts, and whether code differencing (rather
+  // than the plain thresholds) settled each verdict (Section IV).
+  if (telemetry::enabled()) {
+    const auto differenced_at = [&](Level l) {
+      return std::find(rep.differenced.begin(), rep.differenced.end(), l) !=
+             rep.differenced.end();
+    };
+    std::vector<telemetry::Attr> args;
+    args.push_back({"kernel", Json(plan.name)});
+    const struct {
+      Level level;
+      double oi, balance;
+      LevelVerdict verdict;
+    } rows[] = {{Level::Dram, rep.oi_dram, rep.balance_dram, rep.dram},
+                {Level::Tex, rep.oi_tex, rep.balance_tex, rep.tex},
+                {Level::Shm, rep.oi_shm, rep.balance_shm, rep.shm}};
+    for (const auto& row : rows) {
+      const std::string prefix = level_name(row.level);
+      args.push_back({prefix + "_oi", Json(row.oi)});
+      args.push_back({prefix + "_balance", Json(row.balance)});
+      args.push_back({prefix + "_verdict", Json(level_verdict_name(row.verdict))});
+      args.push_back({prefix + "_differenced", Json(differenced_at(row.level))});
+    }
+    args.push_back({"latency_bound", Json(rep.latency_bound)});
+    args.push_back({"compute_bound", Json(rep.compute_bound)});
+    args.push_back({"register_pressure", Json(rep.register_pressure)});
+    args.push_back({"time_ms", Json(rep.eval.time_s * 1e3)});
+    telemetry::instant("profile.verdict", "profile", std::move(args));
+  }
   return rep;
 }
 

@@ -8,6 +8,7 @@
 #include "artemis/common/parallel.hpp"
 #include "artemis/ir/analysis.hpp"
 #include "artemis/sim/interp.hpp"
+#include "artemis/telemetry/telemetry.hpp"
 
 namespace artemis::sim {
 
@@ -47,6 +48,8 @@ struct Scratch {
 
 ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
                           const ExecOptions& opts) {
+  telemetry::Span span("sim.execute_plan", "sim");
+  span.arg("kernel", Json(plan.name));
   const bool serial = opts.serial || static_cast<bool>(opts.global_hook);
   ExecCounters totals;
   const int dims = plan.dims;

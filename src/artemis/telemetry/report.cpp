@@ -1,0 +1,155 @@
+#include "artemis/telemetry/report.hpp"
+
+#include <cstring>
+
+#include "artemis/autotune/tuning_cache.hpp"
+#include "artemis/gpumodel/occupancy.hpp"
+
+namespace artemis::telemetry {
+
+namespace {
+
+Json triple(const std::array<int, 3>& a) {
+  Json arr = Json::array();
+  for (const int v : a) arr.push_back(v);
+  return arr;
+}
+
+Json event_json(const Event& ev) {
+  Json rec = Json::object();
+  rec.set("ts_ms", static_cast<double>(ev.ts_ns) / 1e6);
+  for (const auto& a : ev.args) rec.set(a.key, a.value);
+  return rec;
+}
+
+/// All instant events with a given name, in time order.
+Json events_named(const std::vector<Event>& events, const char* name) {
+  Json arr = Json::array();
+  for (const Event& ev : events) {
+    if (std::strcmp(ev.name, name) == 0) arr.push_back(event_json(ev));
+  }
+  return arr;
+}
+
+}  // namespace
+
+Json config_json(const codegen::KernelConfig& cfg) {
+  Json j = Json::object();
+  j.set("block", triple(cfg.block));
+  j.set("unroll", triple(cfg.unroll));
+  j.set("tiling", codegen::tiling_name(cfg.tiling));
+  j.set("stream_axis", cfg.stream_axis);
+  j.set("stream_chunk", cfg.stream_chunk);
+  j.set("perspective", codegen::perspective_name(cfg.perspective));
+  j.set("unroll_strategy",
+        codegen::unroll_strategy_name(cfg.unroll_strategy));
+  j.set("prefetch", cfg.prefetch);
+  j.set("retime", cfg.retime);
+  j.set("fold", cfg.fold);
+  j.set("max_registers", cfg.max_registers);
+  j.set("time_tile", cfg.time_tile);
+  if (cfg.target_occupancy) j.set("target_occupancy", *cfg.target_occupancy);
+  // The tuning-cache single-line form, for grep/diff convenience.
+  j.set("line", autotune::serialize_config(cfg));
+  return j;
+}
+
+Json build_run_report(const ReportMeta& meta,
+                      const driver::ProgramResult& result,
+                      const std::vector<Event>& events,
+                      const std::map<std::string, std::int64_t>& counters) {
+  Json report = Json::object();
+  report.set("report_version", kReportVersion);
+  report.set("source", meta.source);
+  report.set("strategy",
+             meta.strategy.empty() ? result.strategy : meta.strategy);
+  report.set("device", meta.device);
+
+  // The chosen schedule.
+  Json schedule = Json::object();
+  schedule.set("time_ms", result.time_s * 1e3);
+  schedule.set("tflops", result.tflops);
+  schedule.set("useful_flops", result.useful_flops);
+  schedule.set("kernel_launches", result.kernel_launches);
+  Json kernels = Json::array();
+  for (const auto& k : result.kernels) {
+    Json kj = Json::object();
+    kj.set("name", k.name);
+    kj.set("invocations", k.invocations);
+    kj.set("time_ms_per_invocation", k.eval.time_s * 1e3);
+    kj.set("time_ms_total", k.time_s() * 1e3);
+    kj.set("occupancy", k.eval.occupancy.fraction);
+    kj.set("occupancy_limiter",
+           gpumodel::limiter_name(k.eval.occupancy.limiter));
+    kj.set("bound", gpumodel::bound_name(k.eval.bound));
+    kj.set("registers_per_thread", k.eval.regs.total);
+    kj.set("config", config_json(k.config));
+    kernels.push_back(std::move(kj));
+  }
+  schedule.set("kernels", std::move(kernels));
+  report.set("schedule", std::move(schedule));
+
+  Json fusion = Json::array();
+  for (const int x : result.fusion_schedule) fusion.push_back(x);
+  report.set("fusion_schedule", std::move(fusion));
+
+  Json hints = Json::array();
+  for (const auto& h : result.hints) hints.push_back(h);
+  report.set("hints", std::move(hints));
+
+  if (result.deep_tuning) {
+    Json deep = Json::object();
+    deep.set("tipping_point", result.deep_tuning->tipping_point);
+    Json entries = Json::array();
+    for (const auto& e : result.deep_tuning->entries) {
+      Json ej = Json::object();
+      ej.set("time_tile", e.time_tile);
+      ej.set("time_ms", e.time_s * 1e3);
+      ej.set("time_ms_per_step", e.time_s / e.time_tile * 1e3);
+      ej.set("tflops", e.tflops);
+      ej.set("configs_evaluated", e.tuned.total_evaluated());
+      entries.push_back(std::move(ej));
+    }
+    deep.set("entries", std::move(entries));
+    report.set("deep_tuning", std::move(deep));
+  }
+
+  // Tuner counters + per-candidate records, straight from telemetry. The
+  // invariant downstream tooling may rely on: enumerated == evaluated +
+  // infeasible (every enumerated configuration is either evaluated on the
+  // model or rejected as infeasible), with pruned_spill_budgets counting
+  // the register-budget escalation steps skipped on top.
+  Json tuner = Json::object();
+  const auto counter = [&](const char* name) -> std::int64_t {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  };
+  tuner.set("enumerated", counter("tuner.enumerated"));
+  tuner.set("evaluated", counter("tuner.evaluated"));
+  tuner.set("infeasible", counter("tuner.infeasible"));
+  tuner.set("pruned_spill_budgets", counter("tuner.pruned_spill_budgets"));
+  tuner.set("cache_hits", counter("tuning_cache.hits"));
+  tuner.set("cache_misses", counter("tuning_cache.misses"));
+  tuner.set("candidates", events_named(events, "tuner.candidate"));
+  report.set("tuner", std::move(tuner));
+
+  report.set("profile", events_named(events, "profile.verdict"));
+
+  // Pipeline phase durations (top-level spans), for trajectory tracking.
+  Json phases = Json::array();
+  for (const Event& ev : events) {
+    if (ev.phase != Event::Phase::Complete) continue;
+    if (std::strcmp(ev.cat, "pipeline") != 0) continue;
+    Json pj = Json::object();
+    pj.set("name", ev.name);
+    pj.set("ts_ms", static_cast<double>(ev.ts_ns) / 1e6);
+    pj.set("dur_ms", static_cast<double>(ev.dur_ns) / 1e6);
+    for (const auto& a : ev.args) pj.set(a.key, a.value);
+    phases.push_back(std::move(pj));
+  }
+  report.set("phases", std::move(phases));
+
+  return report;
+}
+
+}  // namespace artemis::telemetry

@@ -1,0 +1,116 @@
+#include "artemis/telemetry/trace_sink.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "artemis/common/str.hpp"
+
+namespace artemis::telemetry {
+
+namespace {
+
+Json args_object(const std::vector<Attr>& attrs) {
+  Json obj = Json::object();
+  for (const auto& a : attrs) obj.set(a.key, a.value);
+  return obj;
+}
+
+std::string format_ns(std::int64_t ns) {
+  if (ns >= 1'000'000'000) {
+    return str_cat(format_double(static_cast<double>(ns) / 1e9, 4), " s");
+  }
+  if (ns >= 1'000'000) {
+    return str_cat(format_double(static_cast<double>(ns) / 1e6, 4), " ms");
+  }
+  return str_cat(format_double(static_cast<double>(ns) / 1e3, 4), " us");
+}
+
+}  // namespace
+
+Json chrome_trace(const std::vector<Event>& events,
+                  const std::map<std::string, std::int64_t>& counters) {
+  Json arr = Json::array();
+  std::int64_t last_ts_ns = 0;
+  for (const Event& ev : events) {
+    Json rec = Json::object();
+    rec.set("name", ev.name);
+    rec.set("cat", ev.cat);
+    rec.set("ph", ev.phase == Event::Phase::Complete ? "X" : "i");
+    rec.set("ts", static_cast<double>(ev.ts_ns) / 1e3);
+    if (ev.phase == Event::Phase::Complete) {
+      rec.set("dur", static_cast<double>(ev.dur_ns) / 1e3);
+    } else {
+      rec.set("s", "t");  // instant scope: thread
+    }
+    rec.set("pid", 1);
+    rec.set("tid", ev.tid);
+    if (!ev.args.empty()) rec.set("args", args_object(ev.args));
+    arr.push_back(std::move(rec));
+    last_ts_ns = std::max(last_ts_ns, ev.ts_ns + ev.dur_ns);
+  }
+  for (const auto& [name, value] : counters) {
+    Json rec = Json::object();
+    rec.set("name", name);
+    rec.set("cat", "counter");
+    rec.set("ph", "C");
+    rec.set("ts", static_cast<double>(last_ts_ns) / 1e3);
+    rec.set("pid", 1);
+    rec.set("tid", 0);
+    Json args = Json::object();
+    args.set("value", value);
+    rec.set("args", std::move(args));
+    arr.push_back(std::move(rec));
+  }
+  return arr;
+}
+
+std::string summary_text(const std::vector<Event>& events,
+                         const std::map<std::string, std::int64_t>& counters) {
+  std::string out = "telemetry summary\n";
+
+  // Group by thread, preserving the time-sorted order within each.
+  std::vector<int> tids;
+  for (const Event& ev : events) {
+    if (std::find(tids.begin(), tids.end(), ev.tid) == tids.end()) {
+      tids.push_back(ev.tid);
+    }
+  }
+  for (const int tid : tids) {
+    out += str_cat("thread ", tid, ":\n");
+    // Nesting depth from an explicit stack of span end times.
+    std::vector<std::int64_t> ends;
+    for (const Event& ev : events) {
+      if (ev.tid != tid) continue;
+      while (!ends.empty() && ev.ts_ns >= ends.back()) ends.pop_back();
+      std::string line(2 * (ends.size() + 1), ' ');
+      line += ev.name;
+      if (ev.phase == Event::Phase::Complete) {
+        line += str_cat("  ", format_ns(ev.dur_ns));
+        ends.push_back(ev.ts_ns + ev.dur_ns);
+      } else {
+        line += "  (instant)";
+      }
+      for (const auto& a : ev.args) {
+        line += str_cat("  ", a.key, "=", a.value.dump());
+      }
+      out += line + "\n";
+    }
+  }
+
+  if (!counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, value] : counters) {
+      out += str_cat("  ", name, " = ", value, "\n");
+    }
+  }
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace artemis::telemetry

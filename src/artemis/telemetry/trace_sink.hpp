@@ -1,0 +1,28 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "artemis/telemetry/telemetry.hpp"
+
+namespace artemis::telemetry {
+
+/// Render events as a Chrome trace-event JSON array (the format consumed
+/// by chrome://tracing and Perfetto): spans become "X" complete events,
+/// instants become "i", and every counter is appended as one "C" sample.
+/// Timestamps are microseconds (Chrome's unit); attrs become "args".
+Json chrome_trace(const std::vector<Event>& events,
+                  const std::map<std::string, std::int64_t>& counters);
+
+/// The human-readable sink: an indented span tree per thread with
+/// durations and a counter table, for terminal inspection without a trace
+/// viewer.
+std::string summary_text(const std::vector<Event>& events,
+                         const std::map<std::string, std::int64_t>& counters);
+
+/// Write `content` to `path`; returns false (without throwing) when the
+/// file cannot be opened.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace artemis::telemetry

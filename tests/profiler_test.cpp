@@ -175,6 +175,51 @@ TEST_F(ProfilerTest, HintsRegisterPressureTriggersFission) {
   EXPECT_TRUE(h.disable_unroll);
 }
 
+TEST_F(ProfilerTest, HintsLatencyBoundWithRegisterPressure) {
+  // A latency-bound kernel with spills: the pressure hints fire (fission
+  // candidates, no unrolling) but none of the bandwidth-driven hints do --
+  // latency-boundedness on its own carries no rewrite recipe.
+  ProfileReport rep;
+  rep.latency_bound = true;
+  rep.register_pressure = true;
+  rep.dram = LevelVerdict::Inconclusive;
+  rep.tex = LevelVerdict::Inconclusive;
+  const auto h = derive_hints(rep, /*iterative=*/true, /*uses_shmem=*/true);
+  EXPECT_TRUE(h.generate_fission_candidates);
+  EXPECT_TRUE(h.disable_unroll);
+  EXPECT_FALSE(h.try_higher_fusion);
+  EXPECT_FALSE(h.enable_shmem);
+  EXPECT_FALSE(h.prefer_global_version);
+  EXPECT_FALSE(h.enable_register_opts);
+  EXPECT_FALSE(h.apply_flop_reduction);
+  EXPECT_EQ(h.text.size(), 1u);
+}
+
+TEST_F(ProfilerTest, HintsNoTrafficAtAllLevelsYieldsNoHints) {
+  // A default-constructed report (NoTraffic everywhere, no pressure, not
+  // compute-bound) must produce no hints at all: derive_hints may never
+  // invent advice when the profiler saw nothing actionable.
+  ProfileReport rep;
+  ASSERT_EQ(rep.dram, LevelVerdict::NoTraffic);
+  ASSERT_EQ(rep.tex, LevelVerdict::NoTraffic);
+  ASSERT_EQ(rep.shm, LevelVerdict::NoTraffic);
+  ASSERT_FALSE(rep.bandwidth_bound_anywhere());
+  for (const bool iterative : {false, true}) {
+    for (const bool uses_shmem : {false, true}) {
+      const auto h = derive_hints(rep, iterative, uses_shmem);
+      EXPECT_FALSE(h.disable_unroll);
+      EXPECT_FALSE(h.disable_shmem_opts);
+      EXPECT_FALSE(h.apply_flop_reduction);
+      EXPECT_FALSE(h.try_higher_fusion);
+      EXPECT_FALSE(h.enable_shmem);
+      EXPECT_FALSE(h.prefer_global_version);
+      EXPECT_FALSE(h.enable_register_opts);
+      EXPECT_FALSE(h.generate_fission_candidates);
+      EXPECT_TRUE(h.text.empty());
+    }
+  }
+}
+
 TEST_F(ProfilerTest, SummaryMentionsVerdicts) {
   const auto prog = stencils::benchmark_program("7pt-smoother", 512);
   const auto& call = prog.steps[0].body[0].call;

@@ -13,7 +13,10 @@
 //   artemisc prog.dsl --device v100         target the V100 model
 //   artemisc prog.dsl --emit-candidates     print fission candidate DSL
 //   artemisc prog.dsl --tuning-cache f.db   persist/reuse tuned schedules
-//   artemisc prog.dsl --compare              all five generators (Fig. 5 row)
+//   artemisc prog.dsl --compare             all five generators (Fig. 5 row)
+//   artemisc prog.dsl --trace t.json        Chrome/Perfetto trace of the run
+//   artemisc prog.dsl --report r.json       machine-readable run report
+//   artemisc prog.dsl --summary             human-readable telemetry summary
 
 #include <cstdio>
 #include <cstring>
@@ -30,6 +33,9 @@
 #include "artemis/profile/profiler.hpp"
 #include "artemis/sim/executor.hpp"
 #include "artemis/sim/reference.hpp"
+#include "artemis/telemetry/report.hpp"
+#include "artemis/telemetry/telemetry.hpp"
+#include "artemis/telemetry/trace_sink.hpp"
 #include "artemis/transform/fusion.hpp"
 
 using namespace artemis;
@@ -38,10 +44,22 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <file.dsl> [--strategy "
-               "artemis|ppcg|stencilgen|global|global-stream]\n"
-               "       [--device p100|v100] [--emit-cuda] [--profile] "
-               "[--run] [--emit-candidates]\n",
+               "usage: %s <file.dsl>\n"
+               "       [--strategy artemis|ppcg|stencilgen|global|"
+               "global-stream]\n"
+               "       [--device p100|v100]\n"
+               "       [--emit-cuda]          print the generated CUDA\n"
+               "       [--profile]            per-kernel OI/roofline report\n"
+               "       [--run]                functional run + checksum\n"
+               "       [--emit-candidates]    print fission candidate DSL\n"
+               "       [--compare]            all five generators (Fig. 5 "
+               "row)\n"
+               "       [--tuning-cache file]  persist/reuse tuned schedules\n"
+               "       [--trace out.json]     Chrome/Perfetto trace-event "
+               "file\n"
+               "       [--report out.json]    machine-readable run report\n"
+               "       [--summary]            human-readable telemetry "
+               "summary\n",
                argv0);
   return 2;
 }
@@ -117,8 +135,9 @@ int main(int argc, char** argv) {
   std::string strategy_name = "artemis";
   std::string device_name = "p100";
   std::string cache_path;
+  std::string trace_path, report_path;
   bool emit_cuda = false, profile = false, run = false, candidates = false;
-  bool compare = false;
+  bool compare = false, summary = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -138,6 +157,12 @@ int main(int argc, char** argv) {
       cache_path = argv[++i];
     } else if (arg == "--compare") {
       compare = true;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (arg == "--summary") {
+      summary = true;
     } else if (arg[0] == '-') {
       return usage(argv[0]);
     } else {
@@ -146,12 +171,23 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) return usage(argv[0]);
 
+  // Telemetry stays fully disabled (zero-overhead) unless a sink asked
+  // for it.
+  const bool telemetry_on =
+      !trace_path.empty() || !report_path.empty() || summary;
+  if (telemetry_on) telemetry::Collector::global().enable();
+
   try {
     std::ifstream in(path);
     if (!in) throw Error(str_cat("cannot open '", path, "'"));
     std::ostringstream buf;
     buf << in.rdbuf();
-    const ir::Program prog = dsl::parse(buf.str());
+    ir::Program prog;
+    {
+      telemetry::Span span("parse", "pipeline");
+      span.arg("source", Json(path));
+      prog = dsl::parse(buf.str());
+    }
 
     const auto dev =
         device_name == "v100" ? gpumodel::v100() : gpumodel::p100();
@@ -268,6 +304,36 @@ int main(int argc, char** argv) {
         for (const double v : tiled.grid(out).raw()) checksum += v;
         std::printf("  %-10s checksum %.10g  max|diff vs reference| %g\n",
                     out.c_str(), checksum, diff);
+      }
+    }
+
+    if (telemetry_on) {
+      auto& collector = telemetry::Collector::global();
+      const auto events = collector.snapshot();
+      const auto counters = collector.counters();
+      if (!trace_path.empty()) {
+        const Json trace = telemetry::chrome_trace(events, counters);
+        if (!telemetry::write_file(trace_path, trace.dump(1) + "\n")) {
+          std::fprintf(stderr, "artemisc: cannot write trace '%s'\n",
+                       trace_path.c_str());
+          return 1;
+        }
+        std::printf("trace written: %s (%zu events)\n", trace_path.c_str(),
+                    events.size());
+      }
+      if (!report_path.empty()) {
+        const telemetry::ReportMeta meta{path, strat.name, dev.name};
+        const Json report =
+            telemetry::build_run_report(meta, r, events, counters);
+        if (!telemetry::write_file(report_path, report.dump(2) + "\n")) {
+          std::fprintf(stderr, "artemisc: cannot write report '%s'\n",
+                       report_path.c_str());
+          return 1;
+        }
+        std::printf("report written: %s\n", report_path.c_str());
+      }
+      if (summary) {
+        std::printf("\n%s", telemetry::summary_text(events, counters).c_str());
       }
     }
   } catch (const Error& e) {
