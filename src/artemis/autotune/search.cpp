@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include "artemis/autotune/tuning_cache.hpp"
 #include "artemis/common/check.hpp"
 #include "artemis/common/rng.hpp"
+#include "artemis/common/str.hpp"
+#include "artemis/robust/fault_injection.hpp"
 #include "artemis/telemetry/telemetry.hpp"
 
 namespace artemis::autotune {
@@ -24,10 +27,10 @@ Json int_triple(const std::array<int, 3>& a) {
 /// One structured telemetry event per considered candidate (Section V
 /// observability): the knob values, the outcome, and how many register
 /// budgets the escalation pruned before evaluation. `reason` is empty for
-/// evaluated candidates.
+/// evaluated candidates; `replayed` marks journal replays.
 void record_candidate(const char* stage, const KernelConfig& cfg,
                       int spill_pruned, const Candidate* cand,
-                      const char* reason) {
+                      const char* reason, bool replayed = false) {
   if (!telemetry::enabled()) return;
   std::vector<telemetry::Attr> args;
   args.push_back({"stage", Json(stage)});
@@ -50,43 +53,199 @@ void record_candidate(const char* stage, const KernelConfig& cfg,
     args.push_back({"outcome", Json("infeasible")});
     args.push_back({"reason", Json(reason)});
   }
+  if (replayed) args.push_back({"replayed", Json(true)});
   telemetry::instant("tuner.candidate", "tune", std::move(args));
 }
 
+/// Shared state of one tuning search: the evaluation inputs plus the
+/// resilience machinery (runner, journal) that every candidate flows
+/// through.
+struct EvalContext {
+  const PlanFactory& factory;
+  const gpumodel::DeviceSpec& dev;
+  const gpumodel::ModelParams& params;
+  const TuneOptions& opts;
+  robust::CandidateRunner runner;
+  TuneResult* result;
+
+  EvalContext(const PlanFactory& f, const gpumodel::DeviceSpec& d,
+              const gpumodel::ModelParams& p, const TuneOptions& o,
+              TuneResult* r)
+      : factory(f), dev(d), params(p), opts(o), runner(o.runner),
+        result(r) {}
+
+  std::string candidate_key(const KernelConfig& cfg) const {
+    return opts.journal_scope.empty()
+               ? serialize_config(cfg)
+               : str_cat(opts.journal_scope, "|", serialize_config(cfg));
+  }
+
+  /// Candidate keys (config serialization) are only materialized when
+  /// something consumes them — the journal, the fault harness, or a
+  /// non-default runner policy — so the disabled path never pays for
+  /// string building.
+  bool needs_key() const {
+    return opts.journal != nullptr || robust::fault_injection_enabled() ||
+           opts.runner.trials > 1 || opts.runner.deadline_ms > 0;
+  }
+};
+
 /// Evaluate one configuration; returns nullopt for infeasible plans.
 /// Every call counts one enumerated candidate towards the telemetry
-/// counters, and evaluated + infeasible partition the enumerated set.
+/// counters, and evaluated + infeasible partition the enumerated set
+/// (candidates lost to crashes/timeouts/quarantine after retries count
+/// as infeasible, with the failure class as the recorded reason).
 /// `stage` labels the sweep ("stage1", "stage2", "exhaustive", "random");
 /// `spill_pruned` is how many register budgets escalation skipped while
 /// settling this candidate's budget.
-std::optional<Candidate> try_config(const PlanFactory& factory,
-                                    const KernelConfig& cfg,
-                                    const gpumodel::DeviceSpec& dev,
-                                    const gpumodel::ModelParams& params,
+std::optional<Candidate> try_config(EvalContext& ctx, const KernelConfig& cfg,
                                     const char* stage = "stage1",
                                     int spill_pruned = 0) {
   telemetry::counter_add("tuner.enumerated");
-  const auto fail = [&](const char* reason) {
+  const auto fail = [&](const char* reason, bool replayed = false) {
     telemetry::counter_add("tuner.infeasible");
-    record_candidate(stage, cfg, spill_pruned, nullptr, reason);
+    record_candidate(stage, cfg, spill_pruned, nullptr, reason, replayed);
   };
-  try {
-    const KernelPlan plan = factory(cfg);
-    gpumodel::KernelEval ev = gpumodel::evaluate(plan, dev, params);
-    if (!ev.valid) {
-      fail("invalid_launch");
+
+  robust::TuningJournal* journal = ctx.opts.journal;
+  const std::string key =
+      ctx.needs_key() ? ctx.candidate_key(cfg) : std::string();
+
+  // Replay: a resumed journal already holds this candidate's outcome, so
+  // the (expensive, possibly faulty) measurement is skipped. The cheap
+  // analytic evaluation is re-derived for the leaderboard metadata; the
+  // journaled median timing stays authoritative.
+  if (journal != nullptr) {
+    if (const auto rec = journal->lookup(key)) {
+      ++ctx.result->journal_hits;
+      telemetry::counter_add("tuner.journal_hits");
+      if (rec->status == "ok") {
+        try {
+          const KernelPlan plan = ctx.factory(cfg);
+          gpumodel::KernelEval ev =
+              gpumodel::evaluate(plan, ctx.dev, ctx.params);
+          if (ev.valid) {
+            Candidate c;
+            c.config = cfg;
+            c.time_s = rec->time_s;
+            c.eval = std::move(ev);
+            telemetry::counter_add("tuner.evaluated");
+            record_candidate(stage, cfg, spill_pruned, &c, "",
+                             /*replayed=*/true);
+            return c;
+          }
+        } catch (const PlanError&) {
+        }
+        fail("journal_replay_invalid", /*replayed=*/true);
+        return std::nullopt;
+      }
+      fail(rec->status.c_str(), /*replayed=*/true);
       return std::nullopt;
     }
+  }
+
+  const robust::RunOutcome outcome =
+      ctx.runner.run("tuner.eval", key, [&]() {
+        const KernelPlan plan = ctx.factory(cfg);
+        return gpumodel::evaluate(plan, ctx.dev, ctx.params);
+      });
+  if (outcome.retries > 0) {
+    telemetry::counter_add("tuner.eval_retries", outcome.retries);
+  }
+  if (outcome.quarantined_now) {
+    // TuneResult::quarantined is settled from the runner at the end of
+    // the search; here only the process-wide counter and event fire.
+    telemetry::counter_add("tuner.quarantined");
+    if (telemetry::enabled()) {
+      telemetry::instant("tuner.quarantine", "tune",
+                         {{"key", Json(key)},
+                          {"reason", Json(outcome.reason)}});
+    }
+  }
+
+  const auto journal_record = [&](const char* status, double time_s,
+                                  double tflops) {
+    if (journal != nullptr) journal->record(key, status, time_s, tflops);
+  };
+
+  switch (outcome.status) {
+    case robust::RunStatus::Ok: {
+      if (!outcome.eval.valid) {
+        journal_record("infeasible", 0, 0);
+        fail("invalid_launch");
+        return std::nullopt;
+      }
+      Candidate c;
+      c.config = cfg;
+      c.time_s = outcome.time_s;
+      c.eval = outcome.eval;
+      // Write-ahead: journal the measurement before it is consumed.
+      journal_record("ok", c.time_s, c.eval.tflops());
+      telemetry::counter_add("tuner.evaluated");
+      record_candidate(stage, cfg, spill_pruned, &c, "");
+      return c;
+    }
+    case robust::RunStatus::Infeasible:
+      journal_record("infeasible", 0, 0);
+      fail("plan_error");
+      return std::nullopt;
+    case robust::RunStatus::Crash:
+      ++ctx.result->crashed;
+      telemetry::counter_add("tuner.eval_crashes");
+      journal_record("crash", 0, 0);
+      fail("eval_crash");
+      return std::nullopt;
+    case robust::RunStatus::Timeout:
+      ++ctx.result->timed_out;
+      telemetry::counter_add("tuner.eval_timeouts");
+      journal_record("timeout", 0, 0);
+      fail("eval_timeout");
+      return std::nullopt;
+    case robust::RunStatus::Unstable:
+      ++ctx.result->unstable;
+      telemetry::counter_add("tuner.eval_unstable");
+      journal_record("unstable", 0, 0);
+      fail("measurement_unstable");
+      return std::nullopt;
+    case robust::RunStatus::Quarantined:
+      telemetry::counter_add("tuner.quarantine_skips");
+      fail("quarantined");
+      return std::nullopt;
+  }
+  fail("unknown");
+  return std::nullopt;
+}
+
+/// Graceful degradation: when the whole search came up empty (everything
+/// infeasible, crashed, or quarantined), fall back to the baseline seed
+/// configuration — evaluated directly, outside the fault/retry path — and
+/// emit a telemetry warning instead of aborting the pipeline. Returns
+/// false when even the baseline cannot run; the caller then throws the
+/// historical PlanError.
+bool degrade_to_seed(EvalContext& ctx, const KernelConfig& seed,
+                     std::vector<Candidate>& board) {
+  try {
+    const KernelPlan plan = ctx.factory(seed);
+    gpumodel::KernelEval ev = gpumodel::evaluate(plan, ctx.dev, ctx.params);
+    if (!ev.valid) return false;
     Candidate c;
-    c.config = cfg;
+    c.config = seed;
     c.time_s = ev.time_s;
     c.eval = std::move(ev);
-    telemetry::counter_add("tuner.evaluated");
-    record_candidate(stage, cfg, spill_pruned, &c, "");
-    return c;
+    ctx.result->degraded = true;
+    telemetry::counter_add("tuner.degraded");
+    if (telemetry::enabled()) {
+      telemetry::instant(
+          "tuner.degraded", "tune",
+          {{"reason",
+            Json("search found no feasible configuration; degrading to "
+                 "the baseline config")},
+           {"config", Json(serialize_config(seed))}});
+    }
+    board.push_back(std::move(c));  // the board is empty by construction
+    return true;
   } catch (const PlanError&) {
-    fail("plan_error");
-    return std::nullopt;
+    return false;
   }
 }
 
@@ -191,6 +350,7 @@ TuneResult hierarchical_tune(const PlanFactory& factory,
                              const TuneOptions& opts) {
   TuneResult result;
   std::vector<Candidate> board;
+  EvalContext ctx(factory, dev, params, opts, &result);
 
   // Infer dimensionality from the seed plan.
   int dims = 3;
@@ -225,9 +385,8 @@ TuneResult hierarchical_tune(const PlanFactory& factory,
               spill_free_budget(factory, cfg, opts, &result.skipped_spilling);
           cfg.max_registers = budget.value_or(opts.register_budgets.back());
           ++result.evaluated_stage1;
-          auto cand =
-              try_config(factory, cfg, dev, params, "stage1",
-                         result.skipped_spilling - skipped_before);
+          auto cand = try_config(ctx, cfg, "stage1",
+                                 result.skipped_spilling - skipped_before);
           if (!cand) {
             ++result.infeasible;
             continue;
@@ -270,7 +429,7 @@ TuneResult hierarchical_tune(const PlanFactory& factory,
     }
     for (const auto& v : variants) {
       ++result.evaluated_stage2;
-      auto cand = try_config(factory, v, dev, params, "stage2");
+      auto cand = try_config(ctx, v, "stage2");
       if (!cand) {
         ++result.infeasible;
         continue;
@@ -279,9 +438,10 @@ TuneResult hierarchical_tune(const PlanFactory& factory,
     }
   }
 
-  if (board.empty()) {
+  if (board.empty() && !degrade_to_seed(ctx, seed, board)) {
     throw PlanError("autotuner found no feasible configuration");
   }
+  result.quarantined = ctx.runner.quarantined_count();
   result.best = board.front();
   result.leaderboard = std::move(board);
   return result;
@@ -294,6 +454,7 @@ TuneResult exhaustive_tune(const PlanFactory& factory,
                            const TuneOptions& opts) {
   TuneResult result;
   std::vector<Candidate> board;
+  EvalContext ctx(factory, dev, params, opts, &result);
 
   int dims = 3;
   try {
@@ -329,8 +490,7 @@ TuneResult exhaustive_tune(const PlanFactory& factory,
                 cfg.block[static_cast<std::size_t>(cfg.stream_axis)] = 1;
               }
               ++result.evaluated_stage1;
-              auto cand =
-                  try_config(factory, cfg, dev, params, "exhaustive");
+              auto cand = try_config(ctx, cfg, "exhaustive");
               if (!cand) {
                 ++result.infeasible;
                 continue;
@@ -343,9 +503,10 @@ TuneResult exhaustive_tune(const PlanFactory& factory,
     }
   }
 
-  if (board.empty()) {
+  if (board.empty() && !degrade_to_seed(ctx, seed, board)) {
     throw PlanError("exhaustive tuner found no feasible configuration");
   }
+  result.quarantined = ctx.runner.quarantined_count();
   result.best = board.front();
   result.leaderboard = std::move(board);
   return result;
@@ -359,6 +520,7 @@ TuneResult random_tune(const PlanFactory& factory,
                        std::uint64_t rng_seed) {
   TuneResult result;
   std::vector<Candidate> board;
+  EvalContext ctx(factory, dev, params, opts, &result);
   Rng rng(rng_seed);
 
   int dims = 3;
@@ -392,16 +554,17 @@ TuneResult random_tune(const PlanFactory& factory,
     cfg.unroll_strategy = rng.coin() ? codegen::UnrollStrategy::Blocked
                                      : codegen::UnrollStrategy::Cyclic;
     ++result.evaluated_stage1;
-    auto cand = try_config(factory, cfg, dev, params, "random");
+    auto cand = try_config(ctx, cfg, "random");
     if (!cand) {
       ++result.infeasible;
       continue;
     }
     insert_leaderboard(board, std::move(*cand), opts.top_k);
   }
-  if (board.empty()) {
+  if (board.empty() && !degrade_to_seed(ctx, seed, board)) {
     throw PlanError("random tuner found no feasible configuration");
   }
+  result.quarantined = ctx.runner.quarantined_count();
   result.best = board.front();
   result.leaderboard = std::move(board);
   return result;

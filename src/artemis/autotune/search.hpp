@@ -8,6 +8,8 @@
 #include "artemis/codegen/plan_builder.hpp"
 #include "artemis/gpumodel/perf_model.hpp"
 #include "artemis/profile/profiler.hpp"
+#include "artemis/robust/candidate_runner.hpp"
+#include "artemis/robust/journal.hpp"
 
 namespace artemis::autotune {
 
@@ -43,6 +45,19 @@ struct TuneOptions {
   /// Theoretical machine-balance classification of the kernel, used to
   /// bound unroll factors. True = bandwidth-bound.
   bool theoretically_bandwidth_bound = true;
+  /// Resilient-evaluation policy: deadlines, retries, timing trials with
+  /// median/MAD rejection, and quarantine (docs/ROBUSTNESS.md). The
+  /// defaults are the zero-cost configuration — with fault injection off
+  /// the evaluation path is identical to the pre-resilience tuner.
+  robust::RunnerOptions runner;
+  /// Optional crash-safe evaluation journal (non-owning). When set,
+  /// every evaluated candidate is write-ahead recorded, and records
+  /// loaded from a resumed journal are replayed instead of re-evaluated.
+  robust::TuningJournal* journal = nullptr;
+  /// Namespace prefixed to candidate journal/quarantine keys so
+  /// identical configs tuned for different stage lists, memory versions
+  /// or fusion degrees never collide.
+  std::string journal_scope;
 };
 
 /// One evaluated configuration.
@@ -60,6 +75,16 @@ struct TuneResult {
   int evaluated_stage2 = 0;            ///< configs tried in stage 2
   int skipped_spilling = 0;            ///< pruned by register escalation
   int infeasible = 0;                  ///< PlanError / invalid launches
+  // Resilience accounting (counts are per tuning run; the matching
+  // process-wide telemetry counters are listed in docs/ROBUSTNESS.md).
+  int crashed = 0;        ///< candidates lost to EvalCrash after retries
+  int timed_out = 0;      ///< candidates lost to EvalTimeout after retries
+  int unstable = 0;       ///< candidates lost to MeasurementUnstable
+  int quarantined = 0;    ///< keys quarantined during this run
+  int journal_hits = 0;   ///< candidates replayed from a resumed journal
+  /// The search came up empty and fell back to the baseline seed config
+  /// instead of throwing (a telemetry warning was emitted).
+  bool degraded = false;
   int total_evaluated() const { return evaluated_stage1 + evaluated_stage2; }
 };
 

@@ -1,7 +1,9 @@
 #include "artemis/autotune/tuning_cache.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "artemis/common/check.hpp"
 #include "artemis/common/str.hpp"
@@ -136,21 +138,51 @@ std::string TuningCache::save_text() const {
   return os.str();
 }
 
-void TuningCache::load_text(const std::string& text) {
+namespace {
+
+/// Count a malformed row: keep loading around it, but make the skip
+/// visible in counters and (when tracing) the event stream.
+void record_parse_error(CacheLoadReport& report, const std::string& line,
+                        const char* why) {
+  ++report.skipped;
+  telemetry::counter_add("tuning_cache.parse_errors");
+  if (telemetry::enabled()) {
+    telemetry::instant(
+        "tuning_cache.parse_error", "cache",
+        {{"why", Json(why)},
+         {"line", Json(line.substr(0, 120))}});
+  }
+}
+
+}  // namespace
+
+CacheLoadReport TuningCache::load_text(const std::string& text) {
+  CacheLoadReport report;
   for (const auto& line : split(text, '\n')) {
     if (trim(line).empty()) continue;
     const auto cols = split(line, '\t');
-    if (cols.size() != 4) continue;  // skip malformed rows
+    if (cols.size() != 4) {
+      record_parse_error(report, line, "column_count");
+      continue;
+    }
     try {
       CacheEntry e;
       e.time_s = std::stod(cols[1]);
       e.tflops = std::stod(cols[2]);
       e.config = parse_config(cols[3]);
       entries_[cols[0]] = e;
-    } catch (const std::exception&) {
-      // Forward compatibility: ignore rows we cannot parse.
+      ++report.loaded;
+    } catch (const Error&) {
+      // parse_config rejected the row (unknown key, bad tiling, ...).
+      record_parse_error(report, line, "bad_config");
+    } catch (const std::logic_error&) {
+      // std::stod / std::stoi rejected a numeric column. Anything else
+      // (bad_alloc, EvalError, ...) is not a parse failure and must
+      // propagate.
+      record_parse_error(report, line, "bad_number");
     }
   }
+  return report;
 }
 
 bool TuningCache::save_file(const std::string& path) const {
@@ -160,13 +192,31 @@ bool TuningCache::save_file(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
-bool TuningCache::load_file(const std::string& path) {
+CacheLoadReport TuningCache::load_file(const std::string& path) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    // ifstream on a directory can open and silently read as empty on
+    // some platforms; classify it as an I/O error, not an empty cache.
+    CacheLoadReport report;
+    report.status = CacheLoadReport::Status::IoError;
+    return report;
+  }
   std::ifstream in(path);
-  if (!in) return false;
+  if (!in) {
+    CacheLoadReport report;
+    report.status = std::filesystem::exists(path, ec)
+                        ? CacheLoadReport::Status::IoError
+                        : CacheLoadReport::Status::Missing;
+    return report;
+  }
   std::ostringstream buf;
   buf << in.rdbuf();
-  load_text(buf.str());
-  return true;
+  if (in.bad()) {
+    CacheLoadReport report;
+    report.status = CacheLoadReport::Status::IoError;
+    return report;
+  }
+  return load_text(buf.str());
 }
 
 }  // namespace artemis::autotune

@@ -20,6 +20,22 @@ struct CacheEntry {
   double tflops = 0;
 };
 
+/// Outcome of loading a cache file or text blob. Distinguishes a missing
+/// file (normal on the first run) from an unreadable one (permissions,
+/// I/O failure), and counts the records merged vs. the malformed rows
+/// skipped so partial corruption is visible instead of silent.
+struct CacheLoadReport {
+  enum class Status {
+    Ok,       ///< read completed (possibly with skipped rows)
+    Missing,  ///< file does not exist — expected on a cold start
+    IoError,  ///< file exists but could not be opened or read
+  };
+  Status status = Status::Ok;
+  int loaded = 0;   ///< records merged into the cache
+  int skipped = 0;  ///< malformed rows ignored (tuning_cache.parse_errors)
+  bool ok() const { return status == Status::Ok; }
+};
+
 /// A persistent store of tuning results, keyed by a caller-chosen string
 /// (e.g. "<benchmark>/<device>/<version>/x<tile>"). Section VI-A: "the
 /// deep tuning is done only once. For most applications, its cost will be
@@ -38,15 +54,18 @@ class TuningCache {
   bool contains(const std::string& key) const;
   std::size_t size() const { return entries_.size(); }
 
-  /// Serialize all entries / load entries from text. load() merges into
-  /// the current contents (later keys win).
+  /// Serialize all entries / load entries from text. load_text merges
+  /// into the current contents (later keys win) and tolerates partially
+  /// corrupt input: malformed rows are counted and skipped, intact rows
+  /// around them still load.
   std::string save_text() const;
-  void load_text(const std::string& text);
+  CacheLoadReport load_text(const std::string& text);
 
-  /// File convenience wrappers. save_file overwrites; load_file merges.
-  /// Returns false (without throwing) when the file cannot be opened.
+  /// File convenience wrappers. save_file overwrites; load_file merges
+  /// and reports (without throwing) whether the file was missing,
+  /// unreadable, or loaded — and how many rows were skipped.
   bool save_file(const std::string& path) const;
-  bool load_file(const std::string& path);
+  CacheLoadReport load_file(const std::string& path);
 
  private:
   std::map<std::string, CacheEntry> entries_;

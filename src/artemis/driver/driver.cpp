@@ -8,6 +8,7 @@
 #include "artemis/common/check.hpp"
 #include "artemis/common/str.hpp"
 #include "artemis/dsl/printer.hpp"
+#include "artemis/robust/errors.hpp"
 #include "artemis/telemetry/telemetry.hpp"
 #include "artemis/transform/fission.hpp"
 #include "artemis/transform/fusion.hpp"
@@ -20,6 +21,24 @@ using codegen::BuildOptions;
 using codegen::KernelConfig;
 using codegen::KernelPlan;
 using codegen::TilingScheme;
+
+/// Structured record of a candidate (a stage group, a fusion degree, a
+/// memory version) the driver dropped on an exception: which derive
+/// stage dropped it, what it was, and the error taxonomy class. Keeps
+/// every dropped candidate visible in traces and the run report instead
+/// of silently vanishing into a catch block. The tuner-level
+/// `enumerated == evaluated + infeasible` invariant is untouched: these
+/// drops happen above the candidate evaluator.
+void record_dropped(const char* stage, const std::string& detail,
+                    const std::exception& e) {
+  telemetry::counter_add("driver.dropped_candidates");
+  if (!telemetry::enabled()) return;
+  telemetry::instant("driver.candidate_dropped", "pipeline",
+                     {{"stage", Json(stage)},
+                      {"detail", Json(detail)},
+                      {"error_class", Json(robust::error_class(e))},
+                      {"what", Json(std::string(e.what()))}});
+}
 
 /// Theoretical operational intensity (Table III "OI_T"): FLOPs per point
 /// over one compulsory 8-byte access per touched array.
@@ -44,11 +63,15 @@ autotune::TuneResult tune_stages(const ir::Program& prog,
                                  const gpumodel::DeviceSpec& dev,
                                  const gpumodel::ModelParams& params,
                                  const Strategy& strategy, bool use_shmem,
-                                 std::vector<std::string>* hints) {
+                                 std::vector<std::string>* hints,
+                                 const std::string& scope_suffix = "") {
   telemetry::Span span("driver.tune_stages", "pipeline");
+  std::vector<std::string> names;
+  for (const auto& s : stages) names.push_back(s.name);
+  const std::string label =
+      str_cat(join(names, "+"), use_shmem ? "/shm" : "/gbl",
+              scope_suffix.empty() ? "" : "/", scope_suffix);
   if (telemetry::enabled()) {
-    std::vector<std::string> names;
-    for (const auto& s : stages) names.push_back(s.name);
     span.arg("stages", Json(join(names, "+")));
     span.arg("shared_memory", Json(use_shmem));
   }
@@ -75,6 +98,10 @@ autotune::TuneResult tune_stages(const ir::Program& prog,
   seed.fold = strategy.allow_fold;
 
   autotune::TuneOptions topts = strategy.tune;
+  // Scope the journal/quarantine keys to this stage list + memory
+  // version (+ caller-provided suffix, e.g. the fusion degree), so the
+  // same knob vector tuned in different contexts never collides.
+  if (topts.journal != nullptr) topts.journal_scope = label;
 
   // Profile the pragma-derived baseline to prune the search (Section IV-A
   // / Section VII step 2).
@@ -91,8 +118,12 @@ autotune::TuneResult tune_stages(const ir::Program& prog,
       }
       topts.theoretically_bandwidth_bound =
           theoretical_oi(baseline.info) < dev.balance_dram();
-    } catch (const PlanError&) {
+    } catch (const robust::EvalError& e) {
+      // The baseline measurement failed transiently; tune unguided.
+      record_dropped("baseline_profile", label, e);
+    } catch (const PlanError& e) {
       // Baseline infeasible; the tuner will search from scratch.
+      record_dropped("baseline_profile", label, e);
     }
   }
 
@@ -159,23 +190,29 @@ ProgramResult optimize_iterative(const ir::Program& prog,
       try {
         entry.tuned = tune_stages(tt.augmented, tt.stages, dev, params,
                                   strategy, strategy.use_shared_memory,
-                                  &hints);
-      } catch (const PlanError&) {
+                                  &hints, str_cat("x", x));
+      } catch (const PlanError& e) {
         // Resource constraints leave no feasible configuration at this
         // fusion degree; deeper fusion cannot become feasible again.
+        record_dropped("deep_tune", str_cat("x", x), e);
         break;
       }
       entry.time_s = entry.tuned.best.time_s;
       entry.tflops = entry.tuned.best.eval.tflops();
-      {
+      // Assume bandwidth-bound (keep fusing) if the profile itself fails
+      // transiently; the per-step DP still sees the tuned timings.
+      bool still_bw = true;
+      try {
         const BuildOptions opts{.use_shared_memory =
                                     strategy.use_shared_memory,
                                 .fuse_internal = true};
         const KernelPlan best_plan = codegen::build_plan(
             tt.augmented, tt.stages, entry.tuned.best.config, dev, opts);
         entry.report = profile::profile_plan(best_plan, dev, params);
+        still_bw = entry.report.bandwidth_bound_anywhere();
+      } catch (const robust::EvalError& e) {
+        record_dropped("deep_profile", str_cat("x", x), e);
       }
-      const bool still_bw = entry.report.bandwidth_bound_anywhere();
       deep.entries.push_back(std::move(entry));
       if (x == 1) result.hints = hints;
       if (!still_bw) {
@@ -266,9 +303,10 @@ KernelChoice choose_version(const ir::Program& prog,
   autotune::TuneResult shm;
   try {
     shm = tune_stages(prog, stages, dev, params, strategy, true, hints);
-  } catch (const PlanError&) {
+  } catch (const PlanError& e) {
     // No feasible shared-memory mapping at any block shape (e.g. too many
     // staged arrays at this order): fall back to the global version.
+    record_dropped("choose_version", str_cat(kc.name, "/shm"), e);
     if (hints) {
       hints->push_back(
           "no feasible shared-memory mapping: tuning the global version");
@@ -283,29 +321,36 @@ KernelChoice choose_version(const ir::Program& prog,
   kc.eval = shm.best.eval;
 
   if (strategy.profile_guided) {
-    const BuildOptions opts{.use_shared_memory = true, .fuse_internal = true};
-    const KernelPlan plan =
-        codegen::build_plan(prog, stages, shm.best.config, dev, opts);
-    const auto report = profile::profile_plan(plan, dev, params);
-    const auto h =
-        profile::derive_hints(report, /*iterative=*/false, true);
-    if (hints) hints->insert(hints->end(), h.text.begin(), h.text.end());
-    // ARTEMIS always materializes the global version as well (it is one
-    // of the versions it emits, Section VIII-F); when the shared-memory
-    // winner is still bandwidth-bound at DRAM — or merely slower — the
-    // global version is kept instead.
-    if (h.prefer_global_version || report.bandwidth_bound_anywhere()) {
-      auto gbl =
-          tune_stages(prog, stages, dev, params, strategy, false, nullptr);
-      if (gbl.best.time_s < kc.eval.time_s) {
-        kc.config = gbl.best.config;
-        kc.eval = gbl.best.eval;
-        if (hints) {
-          hints->push_back(
-              "tuned global-memory version outperformed the shared-memory "
-              "version; keeping it");
+    try {
+      const BuildOptions opts{.use_shared_memory = true,
+                              .fuse_internal = true};
+      const KernelPlan plan =
+          codegen::build_plan(prog, stages, shm.best.config, dev, opts);
+      const auto report = profile::profile_plan(plan, dev, params);
+      const auto h =
+          profile::derive_hints(report, /*iterative=*/false, true);
+      if (hints) hints->insert(hints->end(), h.text.begin(), h.text.end());
+      // ARTEMIS always materializes the global version as well (it is one
+      // of the versions it emits, Section VIII-F); when the shared-memory
+      // winner is still bandwidth-bound at DRAM — or merely slower — the
+      // global version is kept instead.
+      if (h.prefer_global_version || report.bandwidth_bound_anywhere()) {
+        auto gbl =
+            tune_stages(prog, stages, dev, params, strategy, false, nullptr);
+        if (gbl.best.time_s < kc.eval.time_s) {
+          kc.config = gbl.best.config;
+          kc.eval = gbl.best.eval;
+          if (hints) {
+            hints->push_back(
+                "tuned global-memory version outperformed the shared-memory "
+                "version; keeping it");
+          }
         }
       }
+    } catch (const robust::EvalError& e) {
+      // The comparison profile failed transiently: keep the tuned
+      // shared-memory winner instead of aborting the whole program.
+      record_dropped("version_select", kc.name, e);
     }
   }
   return kc;
@@ -363,8 +408,9 @@ ProgramResult optimize_spatial(const ir::Program& prog,
           cost[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
               choose_version(prog, group_stages(i, j), dev, params, strategy,
                              i == 0 && j == 0 ? &result.hints : nullptr);
-        } catch (const PlanError&) {
+        } catch (const PlanError& e) {
           // No feasible version for this group in any memory space.
+          record_dropped("fusion_partition", str_cat(i, "..", j), e);
         }
       }
     }

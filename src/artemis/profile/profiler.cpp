@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "artemis/common/str.hpp"
+#include "artemis/robust/fault_injection.hpp"
 #include "artemis/telemetry/telemetry.hpp"
 
 namespace artemis::profile {
@@ -60,6 +61,7 @@ ProfileReport profile_plan(const codegen::KernelPlan& plan,
                            const gpumodel::ModelParams& params,
                            const ProfileOptions& opts) {
   const telemetry::Span span("profile.plan", "profile");
+  robust::fault_point("profile.plan", plan.name);
   ProfileReport rep;
   rep.eval = gpumodel::evaluate(plan, dev, params);
   const auto& c = rep.eval.counters;

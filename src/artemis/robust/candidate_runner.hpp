@@ -1,0 +1,100 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "artemis/gpumodel/perf_model.hpp"
+#include "artemis/robust/errors.hpp"
+
+namespace artemis::robust {
+
+/// Retry / deadline / trial / quarantine policy for candidate evaluation.
+/// The defaults are the zero-cost configuration: one attempt-set of one
+/// trial, no deadline, no backoff — with fault injection off, run() is a
+/// single try/catch around the evaluation, byte-for-byte the behavior the
+/// tuner had before the resilience layer existed.
+struct RunnerOptions {
+  /// Evaluation attempts per candidate before giving up (1 = no retry).
+  int max_attempts = 3;
+  /// Timing trials per attempt; the median is kept. 1 = trust one trial.
+  int trials = 1;
+  /// Relative median-absolute-deviation above which an attempt's trials
+  /// are rejected as MeasurementUnstable (and the attempt retried).
+  double mad_tolerance = 0.2;
+  /// Wall-clock deadline per attempt, in milliseconds. 0 disables the
+  /// check; when fault injection is stalling evaluations and no explicit
+  /// deadline is set, half the injected stall time is used so stalls are
+  /// always classified as timeouts.
+  double deadline_ms = 0;
+  /// Backoff slept between attempts: backoff_ms * 2^attempt. 0 = none.
+  double backoff_ms = 0;
+  /// Consecutive failed attempts (across run() calls) after which a
+  /// candidate key is quarantined and never evaluated again.
+  int quarantine_threshold = 3;
+};
+
+/// Why one run() call ended the way it did.
+enum class RunStatus {
+  Ok,           ///< eval holds a valid measurement
+  Infeasible,   ///< PlanError: the configuration can never run
+  Crash,        ///< attempts exhausted on EvalCrash
+  Timeout,      ///< attempts exhausted on wall-clock deadline
+  Unstable,     ///< attempts exhausted on trial dispersion
+  Quarantined,  ///< key was quarantined; evaluation skipped
+};
+const char* run_status_name(RunStatus s);
+
+/// Everything one evaluation produced, success or not.
+struct RunOutcome {
+  RunStatus status = RunStatus::Ok;
+  gpumodel::KernelEval eval;  ///< valid only when status == Ok
+  double time_s = 0;          ///< median measured time (Ok only)
+  int attempts = 0;           ///< attempts consumed by this call
+  int retries = 0;            ///< attempts beyond the first
+  bool quarantined_now = false;  ///< this call pushed the key into quarantine
+  std::string reason;         ///< last failure message (non-Ok)
+
+  bool ok() const { return status == RunStatus::Ok; }
+};
+
+/// Runs candidate evaluations with wall-clock deadlines, bounded retries
+/// with exponential backoff, repeated timing trials with median/MAD
+/// outlier rejection, and per-key quarantine after K consecutive
+/// failures. One runner instance spans one tuning search so quarantine
+/// state persists across stages; it is not thread-safe (the search
+/// enumerates candidates serially).
+class CandidateRunner {
+ public:
+  using EvalFn = std::function<gpumodel::KernelEval()>;
+
+  explicit CandidateRunner(const RunnerOptions& opts = {});
+
+  /// Evaluate one candidate identified by `key` (the journal/quarantine
+  /// identity, e.g. the serialized config). `site` names the injection
+  /// site consulted by the fault harness.
+  RunOutcome run(const char* site, const std::string& key,
+                 const EvalFn& eval);
+
+  bool is_quarantined(const std::string& key) const {
+    return quarantined_.count(key) > 0;
+  }
+  int quarantined_count() const {
+    return static_cast<int>(quarantined_.size());
+  }
+
+  const RunnerOptions& options() const { return opts_; }
+
+ private:
+  /// True when any resilience machinery is live; false selects the
+  /// single-attempt fast path.
+  bool armed() const;
+  double effective_deadline_ms() const;
+
+  RunnerOptions opts_;
+  std::map<std::string, int> consecutive_failures_;
+  std::set<std::string> quarantined_;
+};
+
+}  // namespace artemis::robust

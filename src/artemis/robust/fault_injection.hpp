@@ -1,0 +1,106 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace artemis::robust {
+
+/// Configuration of the deterministic fault-injection harness. Parsed
+/// from the `--fault-spec` command-line flag or the ARTEMIS_FAULT_SPEC
+/// environment variable; see docs/ROBUSTNESS.md for the grammar:
+///
+///   crash=0.2,timeout=0.05,perturb=0.1,jitter=0.3,stall_ms=4,seed=42,site=tuner
+///
+/// All probabilities are per evaluation attempt. Faults are a pure hash
+/// of (seed, site, key, attempt): the same candidate fails the same way
+/// in every run with the same seed, regardless of enumeration order, so
+/// fault-injected searches stay reproducible and resumable.
+struct FaultSpec {
+  double crash_p = 0;      ///< probability of an injected EvalCrash
+  double timeout_p = 0;    ///< probability of an injected stall
+  double perturb_p = 0;    ///< probability a timing trial is perturbed
+  double jitter = 0.3;     ///< relative magnitude of a perturbed timing
+  double stall_ms = 4;     ///< how long an injected stall sleeps
+  std::uint64_t seed = 0;  ///< hash seed; same seed => same faults
+  std::string site = "";   ///< substring filter on site names ("" = all)
+
+  bool any_faults() const {
+    return crash_p > 0 || timeout_p > 0 || perturb_p > 0;
+  }
+};
+
+/// Parse the fault-spec grammar above. Throws artemis::Error (with the
+/// offending token in the message) on unknown keys or malformed values.
+FaultSpec parse_fault_spec(const std::string& text);
+
+/// What the harness decided for one (site, key, attempt) evaluation.
+enum class FaultAction { None, Crash, Stall };
+
+/// A deterministic, seeded fault plan. Decisions depend only on the
+/// spec's seed and the (site, key, attempt) coordinates, never on call
+/// order or wall clock.
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultSpec spec) : spec_(std::move(spec)) {}
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Does the site-name filter select this site?
+  bool site_enabled(const char* site) const;
+
+  FaultAction decide(const char* site, const std::string& key,
+                     int attempt) const;
+
+  /// Possibly-perturbed timing for one trial of one attempt.
+  double perturb_time(const char* site, const std::string& key, int attempt,
+                      int trial, double time_s) const;
+
+ private:
+  FaultSpec spec_;
+};
+
+/// --- process-global installation ------------------------------------------
+///
+/// Disabled by default and free when off: every fault point first checks
+/// one relaxed atomic flag and does nothing else, mirroring the telemetry
+/// collector's zero-cost-when-off contract.
+
+void install_fault_plan(const FaultSpec& spec);
+void clear_fault_plan();
+
+/// True when a fault plan with any non-zero probability is installed.
+/// One relaxed atomic load.
+bool fault_injection_enabled();
+
+/// The installed plan, or nullptr. Only meaningful after
+/// fault_injection_enabled() returned true.
+const FaultPlan* current_fault_plan();
+
+/// Install from ARTEMIS_FAULT_SPEC if set; returns whether a plan with
+/// faults was installed. Called once automatically at process start so
+/// `ARTEMIS_FAULT_SPEC=... ctest` exercises the whole suite under faults.
+bool install_fault_plan_from_env();
+
+void fault_point_slow(const char* site, const std::string& key, int attempt);
+
+/// An injection site. When fault injection is off this is one relaxed
+/// atomic load. When on, it may throw EvalCrash or sleep past the
+/// caller's deadline, according to the installed plan.
+inline void fault_point(const char* site, const std::string& key,
+                        int attempt = 0) {
+  if (!fault_injection_enabled()) return;
+  fault_point_slow(site, key, attempt);
+}
+
+/// Timing perturbation hook: identity when injection is off.
+inline double perturbed_time(const char* site, const std::string& key,
+                             int attempt, int trial, double time_s) {
+  if (!fault_injection_enabled()) return time_s;
+  const FaultPlan* plan = current_fault_plan();
+  return plan ? plan->perturb_time(site, key, attempt, trial, time_s)
+              : time_s;
+}
+
+}  // namespace artemis::robust

@@ -1,0 +1,172 @@
+#include "artemis/robust/journal.hpp"
+
+#include <sstream>
+
+#include "artemis/common/check.hpp"
+#include "artemis/common/str.hpp"
+#include "artemis/telemetry/telemetry.hpp"
+
+namespace artemis::robust {
+
+namespace {
+
+constexpr const char* kHeaderPrefix = "#artemis-tuning-journal v";
+
+std::string header_line(const std::string& run_key) {
+  return str_cat(kHeaderPrefix, TuningJournal::kVersion, " key=", run_key);
+}
+
+}  // namespace
+
+JournalLoadResult parse_journal_text(
+    const std::string& text, const std::string& run_key,
+    std::map<std::string, JournalRecord>* out) {
+  JournalLoadResult res;
+  if (text.empty()) {
+    res.status = JournalLoadResult::Status::Missing;
+    res.message = "journal is empty";
+    return res;
+  }
+
+  // A crash can tear the final record mid-write: only lines terminated by
+  // a newline are trusted; an unterminated tail is dropped and reported.
+  std::string body = text;
+  if (body.back() != '\n') {
+    const auto last_nl = body.rfind('\n');
+    body = last_nl == std::string::npos ? "" : body.substr(0, last_nl + 1);
+    res.torn_tail = true;
+  }
+
+  const auto lines = split(body, '\n');
+  if (lines.empty() || !starts_with(lines[0], kHeaderPrefix)) {
+    res.status = JournalLoadResult::Status::VersionMismatch;
+    res.message = "missing or unrecognized journal header";
+    return res;
+  }
+  const std::string after = lines[0].substr(std::string(kHeaderPrefix).size());
+  const auto key_at = after.find(" key=");
+  int version = -1;
+  try {
+    version = std::stoi(after.substr(0, key_at));
+  } catch (const std::exception&) {
+  }
+  if (version != TuningJournal::kVersion) {
+    res.status = JournalLoadResult::Status::VersionMismatch;
+    res.message = str_cat("journal version ",
+                          key_at == std::string::npos
+                              ? after
+                              : after.substr(0, key_at),
+                          " != supported v", TuningJournal::kVersion);
+    return res;
+  }
+  const std::string file_key =
+      key_at == std::string::npos ? "" : after.substr(key_at + 5);
+  if (file_key != run_key) {
+    res.status = JournalLoadResult::Status::KeyMismatch;
+    res.message = str_cat("journal belongs to run '", file_key,
+                          "', expected '", run_key, "'");
+    return res;
+  }
+
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    if (trim(lines[i]).empty()) continue;
+    const auto cols = split(lines[i], '\t');
+    if (cols.size() != 4) {
+      ++res.skipped;
+      telemetry::counter_add("journal.parse_errors");
+      continue;
+    }
+    try {
+      JournalRecord rec;
+      rec.status = cols[0];
+      rec.time_s = std::stod(cols[1]);
+      rec.tflops = std::stod(cols[2]);
+      if (out != nullptr) (*out)[cols[3]] = rec;  // duplicates: later wins
+      ++res.replayed;
+    } catch (const std::exception&) {
+      ++res.skipped;
+      telemetry::counter_add("journal.parse_errors");
+    }
+  }
+  res.status = JournalLoadResult::Status::Replayed;
+  return res;
+}
+
+JournalLoadResult TuningJournal::open(const std::string& path,
+                                      const std::string& run_key,
+                                      bool resume) {
+  entries_.clear();
+  recorded_ = 0;
+  out_.close();
+
+  JournalLoadResult res;
+  std::string text;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      text = buf.str();
+    }
+  }
+
+  if (resume) {
+    res = parse_journal_text(text, run_key, &entries_);
+    if (res.status != JournalLoadResult::Status::Replayed) entries_.clear();
+  } else {
+    res.status = JournalLoadResult::Status::Fresh;
+  }
+
+  if (res.status == JournalLoadResult::Status::Replayed) {
+    // Heal a torn tail before appending: rewrite the clean prefix so the
+    // next record starts on its own line.
+    if (res.torn_tail) {
+      const auto last_nl = text.rfind('\n');
+      std::ofstream rewrite(path, std::ios::trunc);
+      if (!rewrite) {
+        res.status = JournalLoadResult::Status::IoError;
+        res.message = str_cat("cannot rewrite journal '", path, "'");
+        entries_.clear();
+        return res;
+      }
+      rewrite << text.substr(0, last_nl + 1);
+    }
+    out_.open(path, std::ios::app);
+  } else {
+    // Fresh start (explicitly requested, missing file, or an
+    // incompatible journal being replaced).
+    out_.open(path, std::ios::trunc);
+    if (out_) out_ << header_line(run_key) << '\n' << std::flush;
+  }
+  if (!out_) {
+    res.status = JournalLoadResult::Status::IoError;
+    res.message = str_cat("cannot open journal '", path, "' for append");
+    entries_.clear();
+  }
+  return res;
+}
+
+std::optional<JournalRecord> TuningJournal::lookup(
+    const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void TuningJournal::record(const std::string& key, const std::string& status,
+                           double time_s, double tflops) {
+  if (!out_.is_open()) return;
+  ARTEMIS_CHECK_MSG(key.find('\t') == std::string::npos &&
+                        key.find('\n') == std::string::npos,
+                    "journal keys must not contain tabs or newlines");
+  std::ostringstream os;
+  os.precision(17);
+  os << status << '\t' << time_s << '\t' << tflops << '\t' << key << '\n';
+  // Write-ahead: the record reaches the OS before its result is used, so
+  // a kill at any later instant cannot lose this evaluation.
+  out_ << os.str() << std::flush;
+  ++recorded_;
+  telemetry::counter_add("journal.records");
+}
+
+}  // namespace artemis::robust

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace artemis::robust {
+
+/// One journaled evaluation outcome. `status` is a RunStatus name ("ok",
+/// "infeasible", "crash", "timeout", "unstable", "quarantined"); timing
+/// fields are meaningful for "ok" records only.
+struct JournalRecord {
+  std::string status;
+  double time_s = 0;
+  double tflops = 0;
+};
+
+/// How loading an existing journal went.
+struct JournalLoadResult {
+  enum class Status {
+    Fresh,            ///< no usable prior journal; starting a new one
+    Replayed,         ///< prior records loaded and available for replay
+    Missing,          ///< no file at the path (fresh start)
+    VersionMismatch,  ///< header from an incompatible journal version
+    KeyMismatch,      ///< journal belongs to a different run key
+    IoError,          ///< file exists but cannot be read/written
+  };
+  Status status = Status::Fresh;
+  std::size_t replayed = 0;  ///< records available for replay
+  std::size_t skipped = 0;   ///< malformed lines dropped (reported)
+  bool torn_tail = false;    ///< final line was torn by a crash and dropped
+  std::string message;       ///< human-readable detail for non-Ok statuses
+};
+
+/// A crash-safe, append-only write-ahead journal of candidate
+/// evaluations, layered beside the tuning cache (same tab-separated
+/// one-line-per-record shape, see docs/ROBUSTNESS.md):
+///
+///   #artemis-tuning-journal v1 key=<run key>
+///   <status> \t <time_s> \t <tflops> \t <candidate key>
+///
+/// Every record is flushed before its result is consumed, so a run
+/// killed at any instant loses at most the record being written; the
+/// loader tolerates that torn final line (and any malformed interior
+/// lines) by dropping and reporting them instead of rejecting the file.
+/// Duplicate candidate keys are legal; the later record wins.
+class TuningJournal {
+ public:
+  static constexpr int kVersion = 1;
+
+  TuningJournal() = default;
+
+  /// Open the journal for appending. With `resume` set, records from a
+  /// compatible existing journal (same version and run key) are loaded
+  /// first and become visible through lookup(); a missing or
+  /// incompatible journal is reported and replaced by a fresh one. A
+  /// torn tail is healed: the file is truncated back to its last intact
+  /// record before appending continues.
+  JournalLoadResult open(const std::string& path,
+                         const std::string& run_key, bool resume);
+
+  /// True once open() succeeded and records can be appended.
+  bool active() const { return out_.is_open(); }
+
+  /// Replayable record for a candidate key, if a prior run evaluated it.
+  std::optional<JournalRecord> lookup(const std::string& key) const;
+
+  /// Write-ahead one evaluation outcome: appended and flushed
+  /// immediately. Keys must not contain tabs or newlines. No-op when the
+  /// journal is not active.
+  void record(const std::string& key, const std::string& status,
+              double time_s, double tflops);
+
+  std::size_t replay_size() const { return entries_.size(); }
+  std::size_t recorded() const { return recorded_; }
+
+ private:
+  std::map<std::string, JournalRecord> entries_;  ///< loaded for replay
+  std::ofstream out_;
+  std::size_t recorded_ = 0;
+};
+
+/// Parse journal text (without touching the filesystem): fills `out` with
+/// the replayable records and returns the same diagnostics open() would.
+/// Exposed for tests and tooling.
+JournalLoadResult parse_journal_text(const std::string& text,
+                                     const std::string& run_key,
+                                     std::map<std::string, JournalRecord>* out);
+
+}  // namespace artemis::robust

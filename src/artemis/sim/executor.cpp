@@ -7,6 +7,7 @@
 #include "artemis/common/check.hpp"
 #include "artemis/common/parallel.hpp"
 #include "artemis/ir/analysis.hpp"
+#include "artemis/robust/fault_injection.hpp"
 #include "artemis/sim/interp.hpp"
 #include "artemis/telemetry/telemetry.hpp"
 
@@ -50,6 +51,7 @@ ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
                           const ExecOptions& opts) {
   telemetry::Span span("sim.execute_plan", "sim");
   span.arg("kernel", Json(plan.name));
+  robust::fault_point("sim.execute", plan.name);
   const bool serial = opts.serial || static_cast<bool>(opts.global_hook);
   ExecCounters totals;
   const int dims = plan.dims;

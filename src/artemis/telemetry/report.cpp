@@ -130,8 +130,31 @@ Json build_run_report(const ReportMeta& meta,
   tuner.set("pruned_spill_budgets", counter("tuner.pruned_spill_budgets"));
   tuner.set("cache_hits", counter("tuning_cache.hits"));
   tuner.set("cache_misses", counter("tuning_cache.misses"));
+  tuner.set("journal_hits", counter("tuner.journal_hits"));
   tuner.set("candidates", events_named(events, "tuner.candidate"));
   report.set("tuner", std::move(tuner));
+
+  // Resilience accounting (docs/ROBUSTNESS.md): what fault injection,
+  // retries, quarantine, and the tuning journal did during this run.
+  // Crashed / timed-out / unstable / quarantined candidates are already
+  // inside tuner.infeasible above; these break the losses down.
+  Json resilience = Json::object();
+  resilience.set("eval_crashes", counter("tuner.eval_crashes"));
+  resilience.set("eval_timeouts", counter("tuner.eval_timeouts"));
+  resilience.set("eval_unstable", counter("tuner.eval_unstable"));
+  resilience.set("eval_retries", counter("tuner.eval_retries"));
+  resilience.set("quarantined", counter("tuner.quarantined"));
+  resilience.set("quarantine_skips", counter("tuner.quarantine_skips"));
+  resilience.set("degraded", counter("tuner.degraded"));
+  resilience.set("journal_records", counter("journal.records"));
+  resilience.set("journal_replayed", counter("journal.replayed"));
+  resilience.set("journal_parse_errors", counter("journal.parse_errors"));
+  resilience.set("cache_parse_errors",
+                 counter("tuning_cache.parse_errors"));
+  resilience.set("dropped_candidates",
+                 counter("driver.dropped_candidates"));
+  resilience.set("dropped", events_named(events, "driver.candidate_dropped"));
+  report.set("resilience", std::move(resilience));
 
   report.set("profile", events_named(events, "profile.verdict"));
 

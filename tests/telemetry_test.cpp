@@ -211,7 +211,7 @@ TEST_F(TelemetryTest, RunReportRoundTripsAndCountersSumConsistently) {
   const std::vector<std::string> expected_keys = {
       "report_version", "source",          "strategy", "device",
       "schedule",       "fusion_schedule", "hints",    "deep_tuning",
-      "tuner",          "profile",         "phases"};
+      "tuner",          "resilience",      "profile",  "phases"};
   ASSERT_EQ(back.members().size(), expected_keys.size());
   for (std::size_t i = 0; i < expected_keys.size(); ++i) {
     EXPECT_EQ(back.members()[i].first, expected_keys[i]) << i;
@@ -252,6 +252,16 @@ TEST_F(TelemetryTest, RunReportRoundTripsAndCountersSumConsistently) {
     if (outcome == "evaluated") ++evaluated_events;
   }
   EXPECT_EQ(evaluated_events, evaluated);
+
+  // A fault-free run reports no injected-failure activity. (The
+  // "dropped" list may still hold deterministic PlanError drops, e.g. an
+  // infeasible fusion degree, so it is not asserted empty.)
+  const Json& resilience = back["resilience"];
+  EXPECT_EQ(resilience["eval_crashes"].as_int(), 0);
+  EXPECT_EQ(resilience["eval_timeouts"].as_int(), 0);
+  EXPECT_EQ(resilience["eval_unstable"].as_int(), 0);
+  EXPECT_EQ(resilience["degraded"].as_int(), 0);
+  EXPECT_EQ(resilience["journal_records"].as_int(), 0);
 
   // Deep tuning appears for iterative programs and profiling fired.
   EXPECT_TRUE(back["deep_tuning"].is_object());

@@ -97,13 +97,38 @@ TEST(TuningCache, LoadMergesAndLaterWins) {
   EXPECT_EQ(a.get("k")->config.max_registers, 64);
 }
 
-TEST(TuningCache, MalformedLinesSkipped) {
+TEST(TuningCache, MalformedLinesSkippedAndCounted) {
   TuningCache cache;
-  cache.load_text("this is not a record\nk\t1.0\tbadfloat\tblock=1,1,1\n"
-                  "ok\t1e-3\t0.5\t" +
-                  serialize_config(KernelConfig{}) + "\n");
+  const auto report =
+      cache.load_text("this is not a record\nk\t1.0\tbadfloat\tblock=1,1,1\n"
+                      "ok\t1e-3\t0.5\t" +
+                      serialize_config(KernelConfig{}) + "\n");
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_TRUE(cache.contains("ok"));
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.loaded, 1);
+  EXPECT_EQ(report.skipped, 2);
+}
+
+TEST(TuningCache, PartiallyCorruptFileLoadsIntactRows) {
+  // A corrupt row sandwiched between two good ones: both good rows load,
+  // the corruption is reported, and nothing throws.
+  TuningCache good;
+  good.put("first", {KernelConfig{}, 1e-3, 0.5});
+  good.put("second", {fancy_config(), 2e-3, 0.6});
+  const std::string text = good.save_text();
+  const auto mid = text.find('\n') + 1;
+  const std::string corrupt = text.substr(0, mid) +
+                              "second\t2e-3\t0.6\ttiling=pyramid axis=9\n" +
+                              text.substr(mid);
+  TuningCache cache;
+  const auto report = cache.load_text(corrupt);
+  EXPECT_EQ(report.loaded, 2);
+  EXPECT_EQ(report.skipped, 1);
+  EXPECT_TRUE(cache.contains("first"));
+  // Later rows win: the intact "second" record overwrote nothing (the
+  // corrupt one never loaded) and is present.
+  EXPECT_TRUE(config_equal(cache.get("second")->config, fancy_config()));
 }
 
 TEST(TuningCache, FileRoundTrip) {
@@ -112,12 +137,25 @@ TEST(TuningCache, FileRoundTrip) {
   cache.put("a/b", {fancy_config(), 7e-4, 2.0});
   ASSERT_TRUE(cache.save_file(path));
   TuningCache loaded;
-  ASSERT_TRUE(loaded.load_file(path));
+  const auto report = loaded.load_file(path);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.loaded, 1);
+  EXPECT_EQ(report.skipped, 0);
   EXPECT_EQ(loaded.size(), 1u);
   EXPECT_DOUBLE_EQ(loaded.get("a/b")->tflops, 2.0);
   std::remove(path.c_str());
-  TuningCache missing;
-  EXPECT_FALSE(missing.load_file("/tmp/definitely/not/here.txt"));
+}
+
+TEST(TuningCache, MissingFileDistinctFromUnreadable) {
+  TuningCache cache;
+  const auto missing = cache.load_file("/tmp/definitely/not/here.txt");
+  EXPECT_EQ(missing.status, CacheLoadReport::Status::Missing);
+  EXPECT_FALSE(missing.ok());
+  // A directory exists but cannot be read as a cache file.
+  const auto unreadable = cache.load_file("/tmp");
+  EXPECT_EQ(unreadable.status, CacheLoadReport::Status::IoError);
+  EXPECT_FALSE(unreadable.ok());
+  EXPECT_EQ(cache.size(), 0u);
 }
 
 TEST(TuningCache, RejectsKeysWithSeparators) {

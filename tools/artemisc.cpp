@@ -31,6 +31,8 @@
 #include "artemis/driver/driver.hpp"
 #include "artemis/dsl/parser.hpp"
 #include "artemis/profile/profiler.hpp"
+#include "artemis/robust/fault_injection.hpp"
+#include "artemis/robust/journal.hpp"
 #include "artemis/sim/executor.hpp"
 #include "artemis/sim/reference.hpp"
 #include "artemis/telemetry/report.hpp"
@@ -55,6 +57,12 @@ int usage(const char* argv0) {
                "       [--compare]            all five generators (Fig. 5 "
                "row)\n"
                "       [--tuning-cache file]  persist/reuse tuned schedules\n"
+               "       [--journal file]       crash-safe tuning journal "
+               "(WAL)\n"
+               "       [--resume]             replay a prior journal before "
+               "tuning\n"
+               "       [--fault-spec spec]    inject faults, e.g. "
+               "crash=0.2,timeout=0.05,seed=42\n"
                "       [--trace out.json]     Chrome/Perfetto trace-event "
                "file\n"
                "       [--report out.json]    machine-readable run report\n"
@@ -135,9 +143,10 @@ int main(int argc, char** argv) {
   std::string strategy_name = "artemis";
   std::string device_name = "p100";
   std::string cache_path;
+  std::string journal_path, fault_spec;
   std::string trace_path, report_path;
   bool emit_cuda = false, profile = false, run = false, candidates = false;
-  bool compare = false, summary = false;
+  bool compare = false, summary = false, resume = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -155,6 +164,12 @@ int main(int argc, char** argv) {
       candidates = true;
     } else if (arg == "--tuning-cache" && i + 1 < argc) {
       cache_path = argv[++i];
+    } else if (arg == "--journal" && i + 1 < argc) {
+      journal_path = argv[++i];
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--fault-spec" && i + 1 < argc) {
+      fault_spec = argv[++i];
     } else if (arg == "--compare") {
       compare = true;
     } else if (arg == "--trace" && i + 1 < argc) {
@@ -170,6 +185,10 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) return usage(argv[0]);
+  if (resume && journal_path.empty()) {
+    std::fprintf(stderr, "artemisc: --resume requires --journal <file>\n");
+    return 2;
+  }
 
   // Telemetry stays fully disabled (zero-overhead) unless a sink asked
   // for it.
@@ -192,7 +211,41 @@ int main(int argc, char** argv) {
     const auto dev =
         device_name == "v100" ? gpumodel::v100() : gpumodel::p100();
     const gpumodel::ModelParams params;
-    const auto strat = strategy_by_name(strategy_name);
+    auto strat = strategy_by_name(strategy_name);
+
+    // Fault injection: the CLI flag overrides any ARTEMIS_FAULT_SPEC the
+    // environment installed at process start.
+    if (!fault_spec.empty()) {
+      robust::install_fault_plan(robust::parse_fault_spec(fault_spec));
+      std::printf("fault injection armed: %s\n", fault_spec.c_str());
+    }
+
+    // Crash-safe tuning journal, keyed like the tuning cache (source
+    // hash + strategy + device) so --resume never replays records from a
+    // different input.
+    robust::TuningJournal journal;
+    if (!journal_path.empty()) {
+      const std::string run_key =
+          str_cat(std::hash<std::string>{}(buf.str()), "/", strat.name, "/",
+                  dev.name);
+      const auto jl = journal.open(journal_path, run_key, resume);
+      using JStatus = robust::JournalLoadResult::Status;
+      if (jl.status == JStatus::IoError) {
+        throw Error(str_cat("cannot open journal '", journal_path, "': ",
+                            jl.message));
+      }
+      if (jl.status == JStatus::Replayed) {
+        std::printf("journal: replaying %zu record(s) from %s%s%s\n",
+                    jl.replayed, journal_path.c_str(),
+                    jl.torn_tail ? ", healed a torn final line" : "",
+                    jl.skipped > 0 ? ", skipped malformed lines" : "");
+      } else if (!jl.message.empty()) {
+        std::printf("journal: %s; starting fresh\n", jl.message.c_str());
+      }
+      telemetry::counter_add("journal.replayed",
+                             static_cast<std::int64_t>(jl.replayed));
+      strat.tune.journal = &journal;
+    }
 
     if (compare) {
       const auto row =
@@ -218,7 +271,18 @@ int main(int argc, char** argv) {
     autotune::TuningCache cache;
     std::string cache_key;
     if (!cache_path.empty()) {
-      cache.load_file(cache_path);
+      const auto cl = cache.load_file(cache_path);
+      if (cl.status == autotune::CacheLoadReport::Status::IoError) {
+        std::fprintf(stderr,
+                     "artemisc: warning: tuning cache '%s' is unreadable; "
+                     "continuing without cached schedules\n",
+                     cache_path.c_str());
+      } else if (cl.skipped > 0) {
+        std::fprintf(stderr,
+                     "artemisc: warning: tuning cache '%s': skipped %d "
+                     "corrupt row(s), loaded %d\n",
+                     cache_path.c_str(), cl.skipped, cl.loaded);
+      }
       cache_key = str_cat(std::hash<std::string>{}(buf.str()), "/",
                           strat.name, "/", dev.name);
       if (const auto hit = cache.get(cache_key)) {
@@ -229,6 +293,11 @@ int main(int argc, char** argv) {
     }
 
     const auto r = driver::optimize_program(prog, dev, params, strat);
+
+    if (journal.active()) {
+      std::printf("journal: %zu record(s) appended, %zu replayed\n",
+                  journal.recorded(), journal.replay_size());
+    }
 
     if (!cache_path.empty() && !r.kernels.empty()) {
       cache.put(cache_key, {r.kernels[0].config, r.time_s, r.tflops});
