@@ -1,9 +1,12 @@
 #include "artemis/autotune/search.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <set>
 
 #include "artemis/autotune/tuning_cache.hpp"
 #include "artemis/common/check.hpp"
+#include "artemis/common/parallel.hpp"
 #include "artemis/common/rng.hpp"
 #include "artemis/common/str.hpp"
 #include "artemis/robust/fault_injection.hpp"
@@ -90,35 +93,35 @@ struct EvalContext {
   }
 };
 
-/// Evaluate one configuration; returns nullopt for infeasible plans.
-/// Every call counts one enumerated candidate towards the telemetry
-/// counters, and evaluated + infeasible partition the enumerated set
-/// (candidates lost to crashes/timeouts/quarantine after retries count
-/// as infeasible, with the failure class as the recorded reason).
-/// `stage` labels the sweep ("stage1", "stage2", "exhaustive", "random");
-/// `spill_pruned` is how many register budgets escalation skipped while
-/// settling this candidate's budget.
-std::optional<Candidate> try_config(EvalContext& ctx, const KernelConfig& cfg,
-                                    const char* stage = "stage1",
-                                    int spill_pruned = 0) {
-  telemetry::counter_add("tuner.enumerated");
-  const auto fail = [&](const char* reason, bool replayed = false) {
-    telemetry::counter_add("tuner.infeasible");
-    record_candidate(stage, cfg, spill_pruned, nullptr, reason, replayed);
-  };
+/// What the thread-safe half of one candidate evaluation produced. The
+/// serial commit half (commit_candidate) turns it into telemetry
+/// counters, journal records, and leaderboard entries — always in
+/// enumeration order, so a parallel sweep is indistinguishable from the
+/// serial one.
+struct EvalOutcome {
+  std::string key;  ///< journal/quarantine key ("" when nothing needs it)
+  bool replayed = false;                        ///< journal replay hit
+  std::optional<robust::JournalRecord> replay;  ///< the replayed record
+  robust::RunOutcome outcome;  ///< live measurement (replayed == false)
+  std::optional<Candidate> candidate;  ///< success, either path
+};
 
-  robust::TuningJournal* journal = ctx.opts.journal;
-  const std::string key =
-      ctx.needs_key() ? ctx.candidate_key(cfg) : std::string();
+/// The thread-safe half of try-one-configuration: journal lookup (the
+/// replay map is immutable during a run), plan construction, and the
+/// measurement through the resilient runner. No telemetry counters, no
+/// journal writes, no TuneResult mutation — commit_candidate does those.
+EvalOutcome evaluate_candidate(EvalContext& ctx, const KernelConfig& cfg) {
+  EvalOutcome eo;
+  if (ctx.needs_key()) eo.key = ctx.candidate_key(cfg);
 
   // Replay: a resumed journal already holds this candidate's outcome, so
   // the (expensive, possibly faulty) measurement is skipped. The cheap
   // analytic evaluation is re-derived for the leaderboard metadata; the
   // journaled median timing stays authoritative.
-  if (journal != nullptr) {
-    if (const auto rec = journal->lookup(key)) {
-      ++ctx.result->journal_hits;
-      telemetry::counter_add("tuner.journal_hits");
+  if (ctx.opts.journal != nullptr) {
+    if (const auto rec = ctx.opts.journal->lookup(eo.key)) {
+      eo.replayed = true;
+      eo.replay = rec;
       if (rec->status == "ok") {
         try {
           const KernelPlan plan = ctx.factory(cfg);
@@ -129,26 +132,63 @@ std::optional<Candidate> try_config(EvalContext& ctx, const KernelConfig& cfg,
             c.config = cfg;
             c.time_s = rec->time_s;
             c.eval = std::move(ev);
-            telemetry::counter_add("tuner.evaluated");
-            record_candidate(stage, cfg, spill_pruned, &c, "",
-                             /*replayed=*/true);
-            return c;
+            eo.candidate = std::move(c);
           }
         } catch (const PlanError&) {
         }
-        fail("journal_replay_invalid", /*replayed=*/true);
-        return std::nullopt;
       }
-      fail(rec->status.c_str(), /*replayed=*/true);
-      return std::nullopt;
+      return eo;
     }
   }
 
-  const robust::RunOutcome outcome =
-      ctx.runner.run("tuner.eval", key, [&]() {
-        const KernelPlan plan = ctx.factory(cfg);
-        return gpumodel::evaluate(plan, ctx.dev, ctx.params);
-      });
+  eo.outcome = ctx.runner.run("tuner.eval", eo.key, [&]() {
+    const KernelPlan plan = ctx.factory(cfg);
+    return gpumodel::evaluate(plan, ctx.dev, ctx.params);
+  });
+  if (eo.outcome.status == robust::RunStatus::Ok && eo.outcome.eval.valid) {
+    Candidate c;
+    c.config = cfg;
+    c.time_s = eo.outcome.time_s;
+    c.eval = eo.outcome.eval;
+    eo.candidate = std::move(c);
+  }
+  return eo;
+}
+
+/// The serial half: fold one evaluation outcome into the counters, the
+/// journal, and the result bookkeeping. Returns nullopt for infeasible
+/// candidates. Every call counts one enumerated candidate, and
+/// evaluated + infeasible partition the enumerated set (candidates lost
+/// to crashes/timeouts/quarantine after retries count as infeasible,
+/// with the failure class as the recorded reason). `stage` labels the
+/// sweep ("stage1", "stage2", "exhaustive", "random"); `spill_pruned` is
+/// how many register budgets escalation skipped for this candidate.
+std::optional<Candidate> commit_candidate(EvalContext& ctx,
+                                          const KernelConfig& cfg,
+                                          EvalOutcome& eo, const char* stage,
+                                          int spill_pruned = 0) {
+  telemetry::counter_add("tuner.enumerated");
+  const auto fail = [&](const char* reason, bool replayed = false) {
+    telemetry::counter_add("tuner.infeasible");
+    record_candidate(stage, cfg, spill_pruned, nullptr, reason, replayed);
+  };
+
+  if (eo.replayed) {
+    ++ctx.result->journal_hits;
+    telemetry::counter_add("tuner.journal_hits");
+    if (eo.candidate) {
+      telemetry::counter_add("tuner.evaluated");
+      record_candidate(stage, cfg, spill_pruned, &*eo.candidate, "",
+                       /*replayed=*/true);
+      return std::move(eo.candidate);
+    }
+    fail(eo.replay->status == "ok" ? "journal_replay_invalid"
+                                   : eo.replay->status.c_str(),
+         /*replayed=*/true);
+    return std::nullopt;
+  }
+
+  const robust::RunOutcome& outcome = eo.outcome;
   if (outcome.retries > 0) {
     telemetry::counter_add("tuner.eval_retries", outcome.retries);
   }
@@ -158,32 +198,30 @@ std::optional<Candidate> try_config(EvalContext& ctx, const KernelConfig& cfg,
     telemetry::counter_add("tuner.quarantined");
     if (telemetry::enabled()) {
       telemetry::instant("tuner.quarantine", "tune",
-                         {{"key", Json(key)},
+                         {{"key", Json(eo.key)},
                           {"reason", Json(outcome.reason)}});
     }
   }
 
+  robust::TuningJournal* journal = ctx.opts.journal;
   const auto journal_record = [&](const char* status, double time_s,
                                   double tflops) {
-    if (journal != nullptr) journal->record(key, status, time_s, tflops);
+    if (journal != nullptr) journal->record(eo.key, status, time_s, tflops);
   };
 
   switch (outcome.status) {
     case robust::RunStatus::Ok: {
-      if (!outcome.eval.valid) {
+      if (!eo.candidate) {
         journal_record("infeasible", 0, 0);
         fail("invalid_launch");
         return std::nullopt;
       }
-      Candidate c;
-      c.config = cfg;
-      c.time_s = outcome.time_s;
-      c.eval = outcome.eval;
       // Write-ahead: journal the measurement before it is consumed.
-      journal_record("ok", c.time_s, c.eval.tflops());
+      journal_record("ok", eo.candidate->time_s,
+                     eo.candidate->eval.tflops());
       telemetry::counter_add("tuner.evaluated");
-      record_candidate(stage, cfg, spill_pruned, &c, "");
-      return c;
+      record_candidate(stage, cfg, spill_pruned, &*eo.candidate, "");
+      return std::move(eo.candidate);
     }
     case robust::RunStatus::Infeasible:
       journal_record("infeasible", 0, 0);
@@ -252,9 +290,14 @@ bool degrade_to_seed(EvalContext& ctx, const KernelConfig& seed,
 void insert_leaderboard(std::vector<Candidate>& board, Candidate c,
                         int top_k) {
   board.push_back(std::move(c));
+  // Ties on time are broken by the canonical config serialization: a
+  // total order, so the board never depends on insertion history and the
+  // parallel tuner's plan matches the serial one even among equal-cost
+  // candidates.
   std::sort(board.begin(), board.end(),
             [](const Candidate& a, const Candidate& b) {
-              return a.time_s < b.time_s;
+              if (a.time_s != b.time_s) return a.time_s < b.time_s;
+              return serialize_config(a.config) < serialize_config(b.config);
             });
   if (board.size() > static_cast<std::size_t>(top_k)) {
     board.resize(static_cast<std::size_t>(top_k));
@@ -283,7 +326,114 @@ std::optional<int> spill_free_budget(const PlanFactory& factory,
   return std::nullopt;
 }
 
+
+/// Drive one sweep: evaluate `raw` configurations (optionally settling
+/// each one's register budget first) and fold them into the board and
+/// the counters with results identical to the serial loop for any pool.
+///
+/// The parallel path works in chunks of ~8 tasks per shard: a chunk is
+/// evaluated across the pool (the thread-safe half only), then committed
+/// in enumeration order (counters, journal, leaderboard). Chunking keeps
+/// the write-ahead journal growing incrementally, so a run killed
+/// mid-sweep still resumes from everything committed so far.
+///
+/// Duplicate candidate keys (possible in the random sweep and among
+/// stage-2 variants) are the one place evaluation order touches shared
+/// state: the retry/quarantine ledger couples a key's later evaluations
+/// to its earlier ones. Such repeats are deferred and evaluated at their
+/// commit slot — after every earlier duplicate has fully committed —
+/// which is exactly the serial schedule for them.
+void run_candidates(EvalContext& ctx, TaskPool* pool, const char* stage,
+                    std::vector<KernelConfig> raw, bool escalate_budget,
+                    int& evaluated_counter, std::vector<Candidate>& board) {
+  const std::int64_t n = static_cast<std::int64_t>(raw.size());
+  if (n == 0) return;
+
+  struct Prepared {
+    KernelConfig cfg;
+    int spill_pruned = 0;
+    bool deferred = false;
+    EvalOutcome eo;
+  };
+
+  const auto prepare = [&](KernelConfig cfg, Prepared& p) {
+    if (escalate_budget) {
+      const auto budget =
+          spill_free_budget(ctx.factory, cfg, ctx.opts, &p.spill_pruned);
+      cfg.max_registers = budget.value_or(ctx.opts.register_budgets.back());
+    }
+    p.eo = evaluate_candidate(ctx, cfg);
+    p.cfg = std::move(cfg);
+  };
+
+  const auto commit = [&](Prepared& p) {
+    ctx.result->skipped_spilling += p.spill_pruned;
+    ++evaluated_counter;
+    auto cand = commit_candidate(ctx, p.cfg, p.eo, stage, p.spill_pruned);
+    if (!cand) {
+      ++ctx.result->infeasible;
+      return;
+    }
+    insert_leaderboard(board, std::move(*cand), ctx.opts.top_k);
+  };
+
+  if (pool == nullptr || pool->parallelism() < 2) {
+    for (auto& cfg : raw) {
+      Prepared p;
+      prepare(std::move(cfg), p);
+      commit(p);
+    }
+    return;
+  }
+
+  // Mark key repeats for deferred (in-order) evaluation. Budget
+  // escalation never produces repeats — the pre-budget knobs already
+  // differ — and keys only exist when the resilience machinery needs
+  // them, so this pass is free on the default path.
+  std::vector<bool> deferred(static_cast<std::size_t>(n), false);
+  if (!escalate_budget && ctx.needs_key()) {
+    std::set<std::string> seen;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      deferred[idx] = !seen.insert(ctx.candidate_key(raw[idx])).second;
+    }
+  }
+
+  const std::int64_t chunk = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(pool->parallelism()) * 8);
+  std::vector<Prepared> prepared;
+  for (std::int64_t lo = 0; lo < n; lo += chunk) {
+    const std::int64_t count = std::min(chunk, n - lo);
+    prepared.assign(static_cast<std::size_t>(count), Prepared{});
+    for (std::int64_t i = 0; i < count; ++i) {
+      prepared[static_cast<std::size_t>(i)].deferred =
+          deferred[static_cast<std::size_t>(lo + i)];
+    }
+    pool->for_each(count, [&](std::int64_t i) {
+      Prepared& p = prepared[static_cast<std::size_t>(i)];
+      if (p.deferred) return;
+      prepare(std::move(raw[static_cast<std::size_t>(lo + i)]), p);
+    });
+    for (std::int64_t i = 0; i < count; ++i) {
+      Prepared& p = prepared[static_cast<std::size_t>(i)];
+      if (p.deferred) {
+        prepare(std::move(raw[static_cast<std::size_t>(lo + i)]), p);
+      }
+      commit(p);
+    }
+  }
+}
+
 }  // namespace
+
+int resolve_tune_jobs(const TuneOptions& opts) {
+  // Nested searches (inner sweeps already running on a pool worker) drop
+  // to 1 — one level of parallelism wins, and the inner serial path
+  // keeps determinism trivially.
+  if (TaskPool::inside_worker()) return 1;
+  if (opts.jobs == 0) return default_jobs();
+  return std::max(1, opts.jobs);
+}
 
 std::vector<std::array<int, 3>> candidate_blocks(int dims, bool streaming,
                                                  const TuneOptions& opts) {
@@ -351,6 +501,10 @@ TuneResult hierarchical_tune(const PlanFactory& factory,
   TuneResult result;
   std::vector<Candidate> board;
   EvalContext ctx(factory, dev, params, opts, &result);
+  const int jobs = resolve_tune_jobs(opts);
+  std::optional<TaskPool> pool_storage;
+  if (jobs > 1) pool_storage.emplace(jobs);
+  TaskPool* pool = pool_storage ? &*pool_storage : nullptr;
 
   // Infer dimensionality from the seed plan.
   int dims = 3;
@@ -368,6 +522,7 @@ TuneResult hierarchical_tune(const PlanFactory& factory,
   // ---- stage 1: tiling x block shape x unroll factors ----------------------
   {
     const telemetry::Span stage1_span("tune.stage1", "tune");
+    std::vector<KernelConfig> raw;
     for (const TilingScheme tiling : tilings) {
       const bool streaming = tiling != TilingScheme::Spatial3D;
       for (const auto& block : candidate_blocks(dims, streaming, opts)) {
@@ -380,29 +535,20 @@ TuneResult hierarchical_tune(const PlanFactory& factory,
           if (streaming) {
             cfg.block[static_cast<std::size_t>(cfg.stream_axis)] = 1;
           }
-          const int skipped_before = result.skipped_spilling;
-          const auto budget =
-              spill_free_budget(factory, cfg, opts, &result.skipped_spilling);
-          cfg.max_registers = budget.value_or(opts.register_budgets.back());
-          ++result.evaluated_stage1;
-          auto cand = try_config(ctx, cfg, "stage1",
-                                 result.skipped_spilling - skipped_before);
-          if (!cand) {
-            ++result.infeasible;
-            continue;
-          }
-          insert_leaderboard(board, std::move(*cand), opts.top_k);
+          raw.push_back(cfg);
         }
       }
     }
+    run_candidates(ctx, pool, "stage1", std::move(raw),
+                   /*escalate_budget=*/true, result.evaluated_stage1, board);
   }
 
   // ---- stage 2: low-impact toggles on the survivors ------------------------
   const telemetry::Span stage2_span("tune.stage2", "tune");
   const std::vector<Candidate> survivors = board;
+  std::vector<KernelConfig> variants;
   for (const auto& s : survivors) {
     const bool streaming = s.config.tiling != TilingScheme::Spatial3D;
-    std::vector<KernelConfig> variants;
     if (opts.tune_prefetch && streaming) {
       KernelConfig v = s.config;
       v.prefetch = true;
@@ -427,16 +573,9 @@ TuneResult hierarchical_tune(const PlanFactory& factory,
         variants.push_back(v);
       }
     }
-    for (const auto& v : variants) {
-      ++result.evaluated_stage2;
-      auto cand = try_config(ctx, v, "stage2");
-      if (!cand) {
-        ++result.infeasible;
-        continue;
-      }
-      insert_leaderboard(board, std::move(*cand), opts.top_k);
-    }
   }
+  run_candidates(ctx, pool, "stage2", std::move(variants),
+                 /*escalate_budget=*/false, result.evaluated_stage2, board);
 
   if (board.empty() && !degrade_to_seed(ctx, seed, board)) {
     throw PlanError("autotuner found no feasible configuration");
@@ -455,6 +594,10 @@ TuneResult exhaustive_tune(const PlanFactory& factory,
   TuneResult result;
   std::vector<Candidate> board;
   EvalContext ctx(factory, dev, params, opts, &result);
+  const int jobs = resolve_tune_jobs(opts);
+  std::optional<TaskPool> pool_storage;
+  if (jobs > 1) pool_storage.emplace(jobs);
+  TaskPool* pool = pool_storage ? &*pool_storage : nullptr;
 
   int dims = 3;
   try {
@@ -467,6 +610,7 @@ TuneResult exhaustive_tune(const PlanFactory& factory,
     tilings = {TilingScheme::Spatial3D, TilingScheme::StreamSerial};
   }
 
+  std::vector<KernelConfig> raw;
   for (const TilingScheme tiling : tilings) {
     const bool streaming = tiling != TilingScheme::Spatial3D;
     for (const auto& block : candidate_blocks(dims, streaming, opts)) {
@@ -489,19 +633,15 @@ TuneResult exhaustive_tune(const PlanFactory& factory,
               if (streaming) {
                 cfg.block[static_cast<std::size_t>(cfg.stream_axis)] = 1;
               }
-              ++result.evaluated_stage1;
-              auto cand = try_config(ctx, cfg, "exhaustive");
-              if (!cand) {
-                ++result.infeasible;
-                continue;
-              }
-              insert_leaderboard(board, std::move(*cand), opts.top_k);
+              raw.push_back(cfg);
             }
           }
         }
       }
     }
   }
+  run_candidates(ctx, pool, "exhaustive", std::move(raw),
+                 /*escalate_budget=*/false, result.evaluated_stage1, board);
 
   if (board.empty() && !degrade_to_seed(ctx, seed, board)) {
     throw PlanError("exhaustive tuner found no feasible configuration");
@@ -521,6 +661,10 @@ TuneResult random_tune(const PlanFactory& factory,
   TuneResult result;
   std::vector<Candidate> board;
   EvalContext ctx(factory, dev, params, opts, &result);
+  const int jobs = resolve_tune_jobs(opts);
+  std::optional<TaskPool> pool_storage;
+  if (jobs > 1) pool_storage.emplace(jobs);
+  TaskPool* pool = pool_storage ? &*pool_storage : nullptr;
   Rng rng(rng_seed);
 
   int dims = 3;
@@ -533,6 +677,10 @@ TuneResult random_tune(const PlanFactory& factory,
     return 1 << rng.uniform_int(lo_exp, hi_exp);
   };
 
+  // Draw the whole sample serially first: the RNG stream, and therefore
+  // the candidate list, is identical for any jobs value.
+  std::vector<KernelConfig> raw;
+  raw.reserve(static_cast<std::size_t>(std::max(0, budget)));
   for (int i = 0; i < budget; ++i) {
     KernelConfig cfg = seed;
     const bool streaming = dims >= 2 && rng.coin();
@@ -553,14 +701,10 @@ TuneResult random_tune(const PlanFactory& factory,
     cfg.perspective = static_cast<Perspective>(rng.uniform_int(0, 2));
     cfg.unroll_strategy = rng.coin() ? codegen::UnrollStrategy::Blocked
                                      : codegen::UnrollStrategy::Cyclic;
-    ++result.evaluated_stage1;
-    auto cand = try_config(ctx, cfg, "random");
-    if (!cand) {
-      ++result.infeasible;
-      continue;
-    }
-    insert_leaderboard(board, std::move(*cand), opts.top_k);
+    raw.push_back(cfg);
   }
+  run_candidates(ctx, pool, "random", std::move(raw),
+                 /*escalate_budget=*/false, result.evaluated_stage1, board);
   if (board.empty() && !degrade_to_seed(ctx, seed, board)) {
     throw PlanError("random tuner found no feasible configuration");
   }

@@ -58,6 +58,16 @@ struct TuneOptions {
   /// identical configs tuned for different stage lists, memory versions
   /// or fusion degrees never collide.
   std::string journal_scope;
+  /// Evaluation parallelism: how many work-stealing shards candidate
+  /// evaluations are spread across. 1 = the serial path (library
+  /// default); 0 = the process default (set_default_jobs / hardware
+  /// concurrency). Any value returns byte-identical results to jobs=1:
+  /// candidates are evaluated in parallel but committed — telemetry,
+  /// journal records, leaderboard insertion — serially in enumeration
+  /// order, with leaderboard ties broken by the canonical config
+  /// serialization. Nested searches (e.g. deep tuning's inner sweeps
+  /// running on pool workers) automatically drop to jobs=1.
+  int jobs = 1;
 };
 
 /// One evaluated configuration.
@@ -121,6 +131,11 @@ TuneResult random_tune(const PlanFactory& factory,
                        const gpumodel::ModelParams& params,
                        const TuneOptions& opts, int budget,
                        std::uint64_t rng_seed = 0x7777);
+
+/// The evaluation parallelism a search with these options actually runs
+/// at: opts.jobs, with 0 resolved to the process default and nested
+/// searches (already on a pool worker) forced to 1.
+int resolve_tune_jobs(const TuneOptions& opts);
 
 /// Enumerate the pruned block shapes for a given dimensionality.
 std::vector<std::array<int, 3>> candidate_blocks(int dims, bool streaming,

@@ -109,28 +109,35 @@ void TuningCache::put(const std::string& key, const CacheEntry& entry) {
   ARTEMIS_CHECK_MSG(key.find('\t') == std::string::npos &&
                         key.find('\n') == std::string::npos,
                     "cache keys must not contain tabs or newlines");
+  const std::lock_guard<std::mutex> lock(mu_);
   entries_[key] = entry;
 }
 
 std::optional<CacheEntry> TuningCache::get(const std::string& key) const {
-  const auto it = entries_.find(key);
-  const bool hit = it != entries_.end();
+  std::optional<CacheEntry> found;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) found = it->second;
+  }
+  const bool hit = found.has_value();
   telemetry::counter_add(hit ? "tuning_cache.hits" : "tuning_cache.misses");
   if (telemetry::enabled()) {
     telemetry::instant("tuning_cache.lookup", "cache",
                        {{"key", Json(key)}, {"hit", Json(hit)}});
   }
-  if (!hit) return std::nullopt;
-  return it->second;
+  return found;
 }
 
 bool TuningCache::contains(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   return entries_.count(key) > 0;
 }
 
 std::string TuningCache::save_text() const {
   std::ostringstream os;
   os.precision(17);
+  const std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [key, e] : entries_) {
     os << key << '\t' << e.time_s << '\t' << e.tflops << '\t'
        << serialize_config(e.config) << '\n';
@@ -170,7 +177,10 @@ CacheLoadReport TuningCache::load_text(const std::string& text) {
       e.time_s = std::stod(cols[1]);
       e.tflops = std::stod(cols[2]);
       e.config = parse_config(cols[3]);
-      entries_[cols[0]] = e;
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        entries_[cols[0]] = e;
+      }
       ++report.loaded;
     } catch (const Error&) {
       // parse_config rejected the row (unknown key, bad tiling, ...).

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -45,6 +46,9 @@ struct CacheLoadReport {
 /// File format: one entry per line,
 ///   <key> \t <time_s> \t <tflops> \t <serialized config>
 /// Unknown or malformed lines are skipped on load (forward compatibility).
+///
+/// All member functions are thread-safe: parallel tuning shards may
+/// get()/put() concurrently while another thread saves a snapshot.
 class TuningCache {
  public:
   TuningCache() = default;
@@ -52,7 +56,10 @@ class TuningCache {
   void put(const std::string& key, const CacheEntry& entry);
   std::optional<CacheEntry> get(const std::string& key) const;
   bool contains(const std::string& key) const;
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
 
   /// Serialize all entries / load entries from text. load_text merges
   /// into the current contents (later keys win) and tolerates partially
@@ -68,6 +75,7 @@ class TuningCache {
   CacheLoadReport load_file(const std::string& path);
 
  private:
+  mutable std::mutex mu_;  ///< guards entries_
   std::map<std::string, CacheEntry> entries_;
 };
 

@@ -127,7 +127,10 @@ RunOutcome CandidateRunner::run(const char* site, const std::string& key,
       out.status = RunStatus::Ok;
       out.eval = std::move(ev);
       out.time_s = med;
-      consecutive_failures_.erase(key);
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        consecutive_failures_.erase(key);
+      }
       return out;
     } catch (const PlanError& e) {
       // Infeasibility is deterministic: no retry, no quarantine debit.
@@ -144,10 +147,14 @@ RunOutcome CandidateRunner::run(const char* site, const std::string& key,
       last_failure = RunStatus::Unstable;
       out.reason = e.what();
     }
-    if (++consecutive_failures_[key] >= opts_.quarantine_threshold) {
-      quarantined_.insert(key);
-      out.quarantined_now = true;
-      break;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (++consecutive_failures_[key] >= opts_.quarantine_threshold) {
+        // insert() returns false for a key another shard already
+        // quarantined; only the inserting call reports quarantined_now.
+        out.quarantined_now = quarantined_.insert(key).second;
+        break;
+      }
     }
   }
   out.status = last_failure;

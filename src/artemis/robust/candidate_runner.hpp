@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -63,8 +64,11 @@ struct RunOutcome {
 /// with exponential backoff, repeated timing trials with median/MAD
 /// outlier rejection, and per-key quarantine after K consecutive
 /// failures. One runner instance spans one tuning search so quarantine
-/// state persists across stages; it is not thread-safe (the search
-/// enumerates candidates serially).
+/// state persists across stages. run() may be called concurrently from
+/// the tuner's work-stealing shards: the failure/quarantine maps are
+/// mutex-protected, and because fault decisions are a pure hash of
+/// (seed, site, key, attempt), a key fails the same way on every thread
+/// — quarantine membership is independent of evaluation order.
 class CandidateRunner {
  public:
   using EvalFn = std::function<gpumodel::KernelEval()>;
@@ -73,14 +77,16 @@ class CandidateRunner {
 
   /// Evaluate one candidate identified by `key` (the journal/quarantine
   /// identity, e.g. the serialized config). `site` names the injection
-  /// site consulted by the fault harness.
+  /// site consulted by the fault harness. Thread-safe.
   RunOutcome run(const char* site, const std::string& key,
                  const EvalFn& eval);
 
   bool is_quarantined(const std::string& key) const {
+    const std::lock_guard<std::mutex> lock(mu_);
     return quarantined_.count(key) > 0;
   }
   int quarantined_count() const {
+    const std::lock_guard<std::mutex> lock(mu_);
     return static_cast<int>(quarantined_.size());
   }
 
@@ -93,6 +99,7 @@ class CandidateRunner {
   double effective_deadline_ms() const;
 
   RunnerOptions opts_;
+  mutable std::mutex mu_;  ///< guards the two maps below
   std::map<std::string, int> consecutive_failures_;
   std::set<std::string> quarantined_;
 };

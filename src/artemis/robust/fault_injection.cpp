@@ -13,6 +13,7 @@ namespace artemis::robust {
 namespace {
 
 std::atomic<bool> g_enabled{false};
+FaultCounters g_counters;
 /// Owned plan; replaced under no lock. Installation happens at process
 /// start or test SetUp, never concurrently with evaluations.
 std::unique_ptr<FaultPlan> g_plan;
@@ -130,11 +131,17 @@ double FaultPlan::perturb_time(const char* site, const std::string& key,
     return time_s;
   }
   const double u = uniform_at(spec_, site, key, attempt, lane + 1);
+  g_counters.perturbs.fetch_add(1, std::memory_order_relaxed);
   return time_s * (1.0 + spec_.jitter * (2.0 * u - 1.0));
 }
 
+const FaultCounters& fault_counters() { return g_counters; }
+
 void install_fault_plan(const FaultSpec& spec) {
   g_plan = std::make_unique<FaultPlan>(spec);
+  g_counters.crashes.store(0, std::memory_order_relaxed);
+  g_counters.stalls.store(0, std::memory_order_relaxed);
+  g_counters.perturbs.store(0, std::memory_order_relaxed);
   g_enabled.store(spec.any_faults(), std::memory_order_relaxed);
 }
 
@@ -164,8 +171,10 @@ void fault_point_slow(const char* site, const std::string& key,
     case FaultAction::None:
       return;
     case FaultAction::Crash:
+      g_counters.crashes.fetch_add(1, std::memory_order_relaxed);
       throw EvalCrash(str_cat("injected crash at ", site, " [", key, "]"));
     case FaultAction::Stall:
+      g_counters.stalls.fetch_add(1, std::memory_order_relaxed);
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
           plan->spec().stall_ms));
       return;

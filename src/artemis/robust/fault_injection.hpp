@@ -35,6 +35,21 @@ struct FaultSpec {
 /// offending token in the message) on unknown keys or malformed values.
 FaultSpec parse_fault_spec(const std::string& text);
 
+/// Running totals of the decisions the installed plan has made. The
+/// counters are relaxed atomics so concurrent tuning shards can hit
+/// fault points without a data race; install_fault_plan() resets them.
+/// Because decisions are a pure hash of the coordinates, the totals for
+/// a fixed candidate set are independent of thread interleaving.
+struct FaultCounters {
+  std::atomic<std::uint64_t> crashes{0};   ///< injected EvalCrash throws
+  std::atomic<std::uint64_t> stalls{0};    ///< injected stalls slept
+  std::atomic<std::uint64_t> perturbs{0};  ///< timing trials perturbed
+};
+
+/// The process-global decision counters (valid even with no plan
+/// installed; all zero then).
+const FaultCounters& fault_counters();
+
 /// What the harness decided for one (site, key, attempt) evaluation.
 enum class FaultAction { None, Crash, Stall };
 

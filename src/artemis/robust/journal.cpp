@@ -163,9 +163,13 @@ void TuningJournal::record(const std::string& key, const std::string& status,
   os.precision(17);
   os << status << '\t' << time_s << '\t' << tflops << '\t' << key << '\n';
   // Write-ahead: the record reaches the OS before its result is used, so
-  // a kill at any later instant cannot lose this evaluation.
-  out_ << os.str() << std::flush;
-  ++recorded_;
+  // a kill at any later instant cannot lose this evaluation. The lock
+  // keeps concurrent appends whole-line atomic.
+  {
+    const std::lock_guard<std::mutex> lock(write_mu_);
+    out_ << os.str() << std::flush;
+    ++recorded_;
+  }
   telemetry::counter_add("journal.records");
 }
 

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -45,6 +46,13 @@ struct JournalLoadResult {
 /// loader tolerates that torn final line (and any malformed interior
 /// lines) by dropping and reporting them instead of rejecting the file.
 /// Duplicate candidate keys are legal; the later record wins.
+///
+/// Concurrency: open() is single-threaded setup; after it, lookup() is
+/// lock-free (the replay map is immutable for the life of the run) and
+/// record() serializes appends behind a mutex. The parallel tuner keeps
+/// the journal's byte layout deterministic on top of that by committing
+/// records from its ordered reduction only — one writer, enumeration
+/// order — never directly from evaluation shards.
 class TuningJournal {
  public:
   static constexpr int kVersion = 1;
@@ -68,15 +76,19 @@ class TuningJournal {
 
   /// Write-ahead one evaluation outcome: appended and flushed
   /// immediately. Keys must not contain tabs or newlines. No-op when the
-  /// journal is not active.
+  /// journal is not active. Thread-safe.
   void record(const std::string& key, const std::string& status,
               double time_s, double tflops);
 
   std::size_t replay_size() const { return entries_.size(); }
-  std::size_t recorded() const { return recorded_; }
+  std::size_t recorded() const {
+    const std::lock_guard<std::mutex> lock(write_mu_);
+    return recorded_;
+  }
 
  private:
   std::map<std::string, JournalRecord> entries_;  ///< loaded for replay
+  mutable std::mutex write_mu_;  ///< guards out_ and recorded_
   std::ofstream out_;
   std::size_t recorded_ = 0;
 };

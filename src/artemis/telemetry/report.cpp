@@ -156,6 +156,17 @@ Json build_run_report(const ReportMeta& meta,
   resilience.set("dropped", events_named(events, "driver.candidate_dropped"));
   report.set("resilience", std::move(resilience));
 
+  // Parallel-tuning accounting: the shard count the driver requested and
+  // what the work-stealing pools actually did. The tuning outcome is
+  // independent of these numbers by construction (ordered commit); they
+  // exist to watch utilization, not correctness.
+  Json parallel = Json::object();
+  parallel.set("jobs", meta.jobs);
+  parallel.set("pools", counter("parallel.pools"));
+  parallel.set("tasks", counter("parallel.tasks"));
+  parallel.set("steals", counter("parallel.steals"));
+  report.set("parallel", std::move(parallel));
+
   report.set("profile", events_named(events, "profile.verdict"));
 
   // Pipeline phase durations (top-level spans), for trajectory tracking.

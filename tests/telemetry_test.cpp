@@ -211,7 +211,8 @@ TEST_F(TelemetryTest, RunReportRoundTripsAndCountersSumConsistently) {
   const std::vector<std::string> expected_keys = {
       "report_version", "source",          "strategy", "device",
       "schedule",       "fusion_schedule", "hints",    "deep_tuning",
-      "tuner",          "resilience",      "profile",  "phases"};
+      "tuner",          "resilience",      "parallel", "profile",
+      "phases"};
   ASSERT_EQ(back.members().size(), expected_keys.size());
   for (std::size_t i = 0; i < expected_keys.size(); ++i) {
     EXPECT_EQ(back.members()[i].first, expected_keys[i]) << i;
@@ -262,6 +263,14 @@ TEST_F(TelemetryTest, RunReportRoundTripsAndCountersSumConsistently) {
   EXPECT_EQ(resilience["eval_unstable"].as_int(), 0);
   EXPECT_EQ(resilience["degraded"].as_int(), 0);
   EXPECT_EQ(resilience["journal_records"].as_int(), 0);
+
+  // The parallel section reports the requested jobs (defaulted to 1 in
+  // ReportMeta) and non-negative pool accounting.
+  const Json& parallel = back["parallel"];
+  EXPECT_EQ(parallel["jobs"].as_int(), 1);
+  EXPECT_GE(parallel["pools"].as_int(), 0);
+  EXPECT_GE(parallel["tasks"].as_int(), 0);
+  EXPECT_GE(parallel["steals"].as_int(), 0);
 
   // Deep tuning appears for iterative programs and profiling fired.
   EXPECT_TRUE(back["deep_tuning"].is_object());

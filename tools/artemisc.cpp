@@ -27,6 +27,7 @@
 #include "artemis/baselines/baselines.hpp"
 #include "artemis/codegen/cuda_emitter.hpp"
 #include "artemis/codegen/plan_builder.hpp"
+#include "artemis/common/parallel.hpp"
 #include "artemis/common/str.hpp"
 #include "artemis/driver/driver.hpp"
 #include "artemis/dsl/parser.hpp"
@@ -63,6 +64,10 @@ int usage(const char* argv0) {
                "tuning\n"
                "       [--fault-spec spec]    inject faults, e.g. "
                "crash=0.2,timeout=0.05,seed=42\n"
+               "       [--jobs N]             tuning parallelism (default: "
+               "hardware threads;\n"
+               "                              same plan as --jobs 1 for "
+               "any N)\n"
                "       [--trace out.json]     Chrome/Perfetto trace-event "
                "file\n"
                "       [--report out.json]    machine-readable run report\n"
@@ -147,6 +152,7 @@ int main(int argc, char** argv) {
   std::string trace_path, report_path;
   bool emit_cuda = false, profile = false, run = false, candidates = false;
   bool compare = false, summary = false, resume = false;
+  int jobs = 0;  // 0 = hardware concurrency; the plan is jobs-invariant
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -170,6 +176,16 @@ int main(int argc, char** argv) {
       resume = true;
     } else if (arg == "--fault-spec" && i + 1 < argc) {
       fault_spec = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      try {
+        jobs = std::stoi(argv[++i]);
+      } catch (const std::exception&) {
+        jobs = -1;
+      }
+      if (jobs < 1) {
+        std::fprintf(stderr, "artemisc: --jobs expects an integer >= 1\n");
+        return 2;
+      }
     } else if (arg == "--compare") {
       compare = true;
     } else if (arg == "--trace" && i + 1 < argc) {
@@ -212,6 +228,13 @@ int main(int argc, char** argv) {
         device_name == "v100" ? gpumodel::v100() : gpumodel::p100();
     const gpumodel::ModelParams params;
     auto strat = strategy_by_name(strategy_name);
+
+    // Tuning parallelism. 0 resolves to hardware concurrency; the chosen
+    // plan is identical for every value (deterministic ordered commit),
+    // so --jobs only changes wall-clock time.
+    set_default_jobs(jobs);
+    strat.tune.jobs = jobs;
+    const int resolved_jobs = jobs > 0 ? jobs : default_jobs();
 
     // Fault injection: the CLI flag overrides any ARTEMIS_FAULT_SPEC the
     // environment installed at process start.
@@ -263,8 +286,9 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    std::printf("artemisc: %s, strategy=%s, device=%s\n", path.c_str(),
-                strat.name.c_str(), dev.name.c_str());
+    std::printf("artemisc: %s, strategy=%s, device=%s, jobs=%d\n",
+                path.c_str(), strat.name.c_str(), dev.name.c_str(),
+                resolved_jobs);
 
     // Tuning cache: keyed by source hash + strategy + device so a cached
     // schedule is only reused for the exact same input.
@@ -391,7 +415,8 @@ int main(int argc, char** argv) {
                     events.size());
       }
       if (!report_path.empty()) {
-        const telemetry::ReportMeta meta{path, strat.name, dev.name};
+        const telemetry::ReportMeta meta{path, strat.name, dev.name,
+                                         resolved_jobs};
         const Json report =
             telemetry::build_run_report(meta, r, events, counters);
         if (!telemetry::write_file(report_path, report.dump(2) + "\n")) {
