@@ -164,6 +164,12 @@ KernelPlan build_plan(const ir::Program& prog,
               dst.read_offsets.push_back(off);
             }
           }
+          for (const auto& off : ai.write_offsets) {
+            if (std::find(dst.write_offsets.begin(), dst.write_offsets.end(),
+                          off) == dst.write_offsets.end()) {
+              dst.write_offsets.push_back(off);
+            }
+          }
           for (std::size_t d = 0; d < 3; ++d) {
             dst.radius[d] = std::max(dst.radius[d], ai.radius[d]);
           }

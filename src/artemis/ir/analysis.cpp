@@ -124,6 +124,10 @@ StencilInfo analyze(const Program& prog, const BoundStencil& bound) {
     if (!st.declares_local) {
       auto& ai = array_info(st.lhs_name);
       ai.written = true;
+      if (std::find(ai.write_offsets.begin(), ai.write_offsets.end(),
+                    st.lhs_indices) == ai.write_offsets.end()) {
+        ai.write_offsets.push_back(st.lhs_indices);
+      }
     }
     visit(*st.rhs, [&](const Expr& e) {
       if (e.kind == ExprKind::ArrayRef) {

@@ -47,6 +47,10 @@ struct ArrayAccessInfo {
   /// Distinct read index vectors (one entry per syntactically distinct
   /// access, e.g. A[k][j][i+1] and A[k][j][i-1] are two entries).
   std::vector<std::vector<IndexExpr>> read_offsets;
+  /// Distinct write (LHS) index vectors. Together with read_offsets this
+  /// decides whether kernel-style execution must snapshot a read-written
+  /// array (see sim::needs_snapshot).
+  std::vector<std::vector<IndexExpr>> write_offsets;
   /// Per-program-iterator read radius: max |offset| over read accesses
   /// whose index uses that iterator. Indexed by iterator position.
   std::array<int, 3> radius = {0, 0, 0};

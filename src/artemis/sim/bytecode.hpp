@@ -1,0 +1,197 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "artemis/ir/analysis.hpp"
+
+namespace artemis::sim {
+
+/// --- compiled stencil execution ---------------------------------------------
+///
+/// The tree-walking interpreter (interp.hpp) re-resolves every name at every
+/// grid point: string-keyed maps for scalars and locals, std::function
+/// readers for arrays, a fresh write buffer per point. This module compiles
+/// a statement list ONCE into a flat postfix bytecode program with every
+/// name resolved to an integer slot — arrays to view ids with precomputed
+/// strides, scalars and locals to dense slot vectors, iterator offsets
+/// folded into per-access coordinate selectors — and then executes it with
+/// a tight switch loop. The instruction stream is emitted in the exact
+/// post-order the tree walk evaluates, so results, veto behaviour, element
+/// counters and global-access hook traces are bit-identical to
+/// apply_stmts_at_point, which remains the semantics oracle.
+
+enum class BcOp : std::uint8_t {
+  PushConst,   ///< push consts[a]
+  PushScalar,  ///< push scalars[a]
+  PushLocal,   ///< push locals[a]
+  Load,        ///< push array element via accesses[a]; out of bounds vetoes
+  Neg,
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Sqrt,
+  Fabs,
+  Exp,
+  Log,
+  Min,
+  Max,
+  Pow,
+  StoreLocal,  ///< pop into locals[a]
+  Store,       ///< pop into the pending-write buffer via accesses[a]
+  StoreAccum,  ///< like Store, but adds the current value (`+=` read-through)
+};
+
+struct BcInstr {
+  BcOp op;
+  std::int32_t a = 0;  ///< const index / slot / access id
+};
+
+/// One resolved array access. Global coordinates at point (z, y, x) are
+/// c[d] = {z, y, x, 0}[sel[d]] + off[d]; sel 3 encodes a constant index
+/// (lower-dimensional arrays map to trailing axes exactly as
+/// access_coords does).
+struct BcAccess {
+  std::int32_t array = 0;                       ///< ArrayView slot
+  std::array<std::uint8_t, 3> sel = {3, 3, 3};  ///< z, y, x selectors
+  std::array<std::int64_t, 3> off = {0, 0, 0};
+  /// An earlier statement stores to the same array: reads must scan the
+  /// pending-write buffer first (same-point read-after-write semantics).
+  bool scan_pending = false;
+};
+
+/// Dense name -> slot table built once per (plan, run).
+class SlotMap {
+ public:
+  /// Idempotent: returns the existing slot on re-insertion.
+  int add(const std::string& name);
+  /// -1 when absent.
+  int slot(const std::string& name) const;
+  int size() const { return static_cast<int>(names_.size()); }
+  /// Stable storage: view name pointers stay valid for the SlotMap's life.
+  const std::string& name(int slot) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::map<std::string, int> index_;
+};
+
+/// A statement list compiled against slot tables. Immutable after
+/// compilation; safe to execute from many threads concurrently.
+struct CompiledStencil {
+  std::vector<BcInstr> code;
+  std::vector<double> consts;
+  std::vector<BcAccess> accesses;
+  int dims = 3;        ///< program iterator count (1..3)
+  int n_locals = 0;    ///< dense local-slot count
+  int max_stack = 0;   ///< value-stack high-water mark
+  int n_stores = 0;    ///< pending-write buffer capacity per point
+};
+
+/// Compile `stmts` (iterator count `dims`) against the given array and
+/// scalar slot tables. Throws artemis::Error on unbound scalars or unknown
+/// intrinsics — the same inputs the tree walk rejects at evaluation time.
+CompiledStencil compile_stmts(const std::vector<ir::Stmt>& stmts, int dims,
+                              const SlotMap& arrays, const SlotMap& scalars);
+
+/// Where one array slot's storage lives during a run (or one block of a
+/// run). For globals the window equals the logical grid; for block-local
+/// scratch it is the tile expanded by the plan halo, positioned at `lo`.
+struct ArrayView {
+  const double* read = nullptr;  ///< snapshot, grid, or scratch storage
+  double* write = nullptr;       ///< grid or scratch storage
+  /// Logical grid extents: reads outside veto the point (the CUDA guard).
+  std::int64_t ez = 1, ey = 1, ex = 1;
+  /// Storage window: global lo corner and extents (row-major strides).
+  std::int64_t lo_z = 0, lo_y = 0, lo_x = 0;
+  std::int64_t wz = 1, wy = 1, wx = 1;
+  std::uint8_t* written = nullptr;  ///< scratch guard-passed flags, or null
+  bool scratch = false;             ///< counts as scratch (not global) traffic
+  const std::string* name = nullptr;  ///< for the hook and diagnostics
+};
+
+/// Half-open zyx box.
+struct BcRegion {
+  std::array<std::int64_t, 3> lo = {0, 0, 0};
+  std::array<std::int64_t, 3> hi = {1, 1, 1};
+
+  bool empty() const {
+    return lo[0] >= hi[0] || lo[1] >= hi[1] || lo[2] >= hi[2];
+  }
+  std::int64_t volume() const {
+    return empty() ? 0
+                   : (hi[0] - lo[0]) * (hi[1] - lo[1]) * (hi[2] - lo[2]);
+  }
+};
+
+/// Element counters gathered by the compiled engine (mirrors ExecCounters'
+/// element fields; plain integers so per-block totals reduce
+/// deterministically in block order, without atomics).
+struct BcCounters {
+  std::int64_t computed = 0;
+  std::int64_t skipped = 0;
+  std::int64_t greads = 0;
+  std::int64_t gwrites = 0;
+  std::int64_t sreads = 0;
+  std::int64_t swrites = 0;
+
+  BcCounters& operator+=(const BcCounters& o) {
+    computed += o.computed;
+    skipped += o.skipped;
+    greads += o.greads;
+    gwrites += o.gwrites;
+    sreads += o.sreads;
+    swrites += o.swrites;
+    return *this;
+  }
+};
+
+/// (array, z, y, x, is_write) for each global-space element access.
+using GlobalAccessHook = std::function<void(
+    const std::string&, std::int64_t, std::int64_t, std::int64_t, bool)>;
+
+/// The sub-box of `region` on which every read (and every scratch write)
+/// is provably inside both its logical grid and its storage window — the
+/// guard-free fast path. Exposed for tests; run_compiled_region computes
+/// it internally.
+BcRegion interior_region(const CompiledStencil& cs,
+                         const std::vector<ArrayView>& views,
+                         const BcRegion& region, bool drop_outside_commit,
+                         const BcRegion& commit);
+
+/// Execute the compiled stencil over every point of `region` (row-major
+/// z, y, x order — the tree walk's order, so hook traces match).
+///
+/// `drop_outside_commit` selects the write-commit semantics:
+///  - true (the tiled executor): external writes outside the `commit` box
+///    are dropped silently (overlapped-tiling recompute regions);
+///  - false (the reference interpreter): external writes always commit and
+///    must land inside the storage window (checked).
+///
+/// The domain is split into an interior (bounds checks provably satisfied,
+/// no per-element hook test) and a boundary rim with the fully checked
+/// semantics; when `hook` is non-null everything runs checked + hooked.
+void run_compiled_region(const CompiledStencil& cs,
+                         const std::vector<ArrayView>& views,
+                         const double* scalars, const BcRegion& region,
+                         const BcRegion& commit, bool drop_outside_commit,
+                         BcCounters& counters,
+                         const GlobalAccessHook* hook = nullptr);
+
+/// Shared snapshot policy for kernel-style execution: must `ai` be copied
+/// before the sweep so every point observes pre-kernel values? True when
+/// the array is both read and written, some read is off-center (or uses a
+/// constant index), and a read could observe another point's write. The
+/// aliasing-free special case — every read and write resolves to the same
+/// canonical per-point coordinate (index d = iterator d, identical
+/// offsets) and no overlapped-tiling recompute is in play — skips the
+/// copy; results are identical because writes commit only after the
+/// owning point's reads completed.
+bool needs_snapshot(const ir::ArrayAccessInfo& ai, int dims, bool recompute);
+
+}  // namespace artemis::sim

@@ -1,7 +1,6 @@
 #include "artemis/sim/executor.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <set>
 
 #include "artemis/common/check.hpp"
@@ -51,8 +50,11 @@ ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
                           const ExecOptions& opts) {
   telemetry::Span span("sim.execute_plan", "sim");
   span.arg("kernel", Json(plan.name));
+  span.arg("engine",
+           Json(opts.engine == SimEngine::Bytecode ? "bytecode" : "treewalk"));
   robust::fault_point("sim.execute", plan.name);
-  const bool serial = opts.serial || static_cast<bool>(opts.global_hook);
+  const bool hooked = static_cast<bool>(opts.global_hook);
+  const bool serial = opts.serial || hooked;
   ExecCounters totals;
   const int dims = plan.dims;
 
@@ -82,27 +84,6 @@ ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
   const std::int64_t total_blocks = nblocks[0] * nblocks[1] * nblocks[2];
   totals.blocks = total_blocks;
 
-  // --- arrays read-and-written with neighbor offsets: snapshot -------------
-  const std::set<std::string> internals(plan.internal_arrays.begin(),
-                                        plan.internal_arrays.end());
-  std::map<std::string, Grid3D> snapshots;
-  for (const auto& [name, ai] : plan.info.arrays) {
-    if (!ai.read || !ai.written || internals.count(name)) continue;
-    bool non_center = false;
-    for (const auto& off : ai.read_offsets) {
-      for (const auto& ix : off) {
-        if (ix.is_const() || ix.offset != 0) non_center = true;
-      }
-    }
-    if (non_center) snapshots.emplace(name, gs.grid(name));
-  }
-
-  // Scalar environment shared by all stages.
-  std::map<std::string, double> env;
-  for (const auto& name : plan.info.scalars_read) {
-    env[name] = gs.scalar(name);
-  }
-
   // The streamed axis of serial streaming carries no recompute expansion
   // (Fig. 1c); spatial tiling expands every axis.
   auto expansion = [&](std::size_t stage, int axis) -> std::int64_t {
@@ -112,27 +93,86 @@ ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
     }
     return plan.stage_expand[stage][static_cast<std::size_t>(axis)];
   };
+  bool recompute = false;
+  for (std::size_t s = 0; s < plan.stages.size(); ++s) {
+    for (int a = 0; a < dims; ++a) {
+      if (expansion(s, a) != 0) recompute = true;
+    }
+  }
 
-  std::atomic<std::int64_t> computed{0}, skipped{0}, greads{0}, gwrites{0},
-      sreads{0}, swrites{0};
+  // --- arrays whose reads could observe another point's write: snapshot ----
+  const std::set<std::string> internals(plan.internal_arrays.begin(),
+                                        plan.internal_arrays.end());
+  std::map<std::string, Grid3D> snapshots;
+  for (const auto& [name, ai] : plan.info.arrays) {
+    if (internals.count(name)) continue;
+    if (needs_snapshot(ai, dims, recompute)) snapshots.emplace(name, gs.grid(name));
+  }
 
-  const auto run_block = [&](std::int64_t block_id) {
-    // Decode block coordinates (x fastest).
-    std::array<std::int64_t, 3> bc;
+  // --- slot resolution: names bind once per plan, not once per point ------
+  SlotMap arrays;
+  for (const auto& [name, ai] : plan.info.arrays) arrays.add(name);
+  SlotMap scalar_slots;
+  std::vector<double> scalar_vals;
+  std::map<std::string, double> env;  // tree-walk engine's environment
+  for (const auto& name : plan.info.scalars_read) {
+    scalar_slots.add(name);
+    scalar_vals.push_back(gs.scalar(name));
+    env[name] = gs.scalar(name);
+  }
+
+  std::vector<CompiledStencil> compiled;
+  if (opts.engine == SimEngine::Bytecode) {
+    compiled.reserve(plan.stages.size());
+    for (const auto& stage : plan.stages) {
+      compiled.push_back(
+          compile_stmts(stage.stmts, dims, arrays, scalar_slots));
+    }
+  }
+
+  // External arrays look the same from every block; internal slots are
+  // patched per block with that block's scratch window.
+  std::vector<ArrayView> base_views(static_cast<std::size_t>(arrays.size()));
+  for (int slot = 0; slot < arrays.size(); ++slot) {
+    const std::string& name = arrays.name(slot);
+    ArrayView& v = base_views[static_cast<std::size_t>(slot)];
+    v.name = &arrays.name(slot);
+    Grid3D& g = gs.grid(name);
+    const Extents e = g.extents();
+    v.ez = e.z;
+    v.ey = e.y;
+    v.ex = e.x;
+    v.wz = e.z;
+    v.wy = e.y;
+    v.wx = e.x;
+    v.write = g.data();
+    const auto snap = snapshots.find(name);
+    v.read = snap != snapshots.end() ? snap->second.data() : g.data();
+  }
+
+  // --- one block of the sweep ----------------------------------------------
+  // Counters accumulate into a per-block slot so totals reduce in block
+  // order, independent of worker scheduling.
+  const auto block_geometry = [&](std::int64_t block_id,
+                                  std::array<std::int64_t, 3>& own_lo,
+                                  std::array<std::int64_t, 3>& own_hi) {
+    std::array<std::int64_t, 3> bc;  // block coords, x fastest
     bc[0] = block_id % nblocks[0];
     bc[1] = (block_id / nblocks[0]) % nblocks[1];
     bc[2] = block_id / (nblocks[0] * nblocks[1]);
-
-    std::array<std::int64_t, 3> own_lo = {0, 0, 0};
-    std::array<std::int64_t, 3> own_hi = {1, 1, 1};  // exclusive
+    own_lo = {0, 0, 0};
+    own_hi = {1, 1, 1};  // exclusive; x, y, z ordered
     for (int a = 0; a < dims; ++a) {
       const auto idx = static_cast<std::size_t>(a);
       own_lo[idx] = bc[idx] * tile[idx];
       own_hi[idx] = std::min(own_lo[idx] + tile[idx], domain[idx]);
     }
+  };
 
-    // Scratch for internal arrays: tile expanded by the total plan halo
-    // (a superset of any stage's requirement).
+  const auto make_scratch = [&](const std::array<std::int64_t, 3>& own_lo,
+                                const std::array<std::int64_t, 3>& own_hi) {
+    // Tile expanded by the total plan halo (a superset of any stage's
+    // requirement).
     std::map<std::string, Scratch> scratch;
     for (const auto& name : plan.internal_arrays) {
       Scratch s;
@@ -152,6 +192,93 @@ ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
       s.written.assign(static_cast<std::size_t>(s.ext.volume()), 0);
       scratch.emplace(name, std::move(s));
     }
+    return scratch;
+  };
+
+  // Stage compute region (zyx, clamped to the domain) for a block.
+  const auto stage_region = [&](std::size_t s,
+                                const std::array<std::int64_t, 3>& own_lo,
+                                const std::array<std::int64_t, 3>& own_hi) {
+    std::array<std::int64_t, 3> lo = own_lo, hi = own_hi;
+    for (int a = 0; a < dims; ++a) {
+      const auto idx = static_cast<std::size_t>(a);
+      const std::int64_t e = expansion(s, a);
+      lo[idx] = std::max<std::int64_t>(lo[idx] - e, 0);
+      hi[idx] = std::min(hi[idx] + e, domain[idx]);
+    }
+    BcRegion r;
+    r.lo = {dims >= 3 ? lo[2] : 0, dims >= 2 ? lo[1] : 0, lo[0]};
+    r.hi = {dims >= 3 ? hi[2] : 1, dims >= 2 ? hi[1] : 1, hi[0]};
+    return r;
+  };
+
+  const auto commit_box = [&](const std::array<std::int64_t, 3>& own_lo,
+                              const std::array<std::int64_t, 3>& own_hi) {
+    BcRegion r;
+    r.lo = {dims >= 3 ? own_lo[2] : 0, dims >= 2 ? own_lo[1] : 0, own_lo[0]};
+    r.hi = {dims >= 3 ? own_hi[2] : 1, dims >= 2 ? own_hi[1] : 1, own_hi[0]};
+    return r;
+  };
+
+  // Write back internal arrays that are also program outputs: the owned
+  // tile of their scratch commits to global memory.
+  const auto materialize = [&](std::map<std::string, Scratch>& scratch,
+                               const BcRegion& own, BcCounters& c) {
+    for (const auto& name : plan.materialized_internals) {
+      auto& s = scratch.at(name);
+      Grid3D& g = gs.grid(name);
+      for (std::int64_t z = own.lo[0]; z < own.hi[0]; ++z) {
+        for (std::int64_t y = own.lo[1]; y < own.hi[1]; ++y) {
+          for (std::int64_t x = own.lo[2]; x < own.hi[2]; ++x) {
+            if (!g.in_bounds(z, y, x)) continue;
+            if (!s.written[s.index(z, y, x)]) continue;
+            g.at(z, y, x) = s.at(z, y, x);
+            ++c.gwrites;
+            if (hooked) opts.global_hook(name, z, y, x, true);
+          }
+        }
+      }
+    }
+  };
+
+  const auto run_block_bytecode = [&](std::int64_t block_id, BcCounters& c) {
+    std::array<std::int64_t, 3> own_lo, own_hi;
+    block_geometry(block_id, own_lo, own_hi);
+    auto scratch = make_scratch(own_lo, own_hi);
+
+    std::vector<ArrayView> views = base_views;
+    for (auto& [name, s] : scratch) {
+      const int slot = arrays.slot(name);
+      ARTEMIS_CHECK(slot >= 0);
+      ArrayView& v = views[static_cast<std::size_t>(slot)];
+      v.read = s.data.data();
+      v.write = s.data.data();
+      v.written = s.written.data();
+      v.scratch = true;
+      v.lo_z = s.lo[0];
+      v.lo_y = s.lo[1];
+      v.lo_x = s.lo[2];
+      v.wz = s.ext.z;
+      v.wy = s.ext.y;
+      v.wx = s.ext.x;
+    }
+
+    const BcRegion own = commit_box(own_lo, own_hi);
+    const GlobalAccessHook* hook = hooked ? &opts.global_hook : nullptr;
+    for (std::size_t s = 0; s < plan.stages.size(); ++s) {
+      run_compiled_region(compiled[s], views, scalar_vals.data(),
+                          stage_region(s, own_lo, own_hi), own,
+                          /*drop_outside_commit=*/true, c, hook);
+    }
+    materialize(scratch, own, c);
+  };
+
+  // The tree-walking oracle: identical semantics, one recursive evaluation
+  // per point (kept for differential testing of the compiled engine).
+  const auto run_block_treewalk = [&](std::int64_t block_id, BcCounters& c) {
+    std::array<std::int64_t, 3> own_lo, own_hi;
+    block_geometry(block_id, own_lo, own_hi);
+    auto scratch = make_scratch(own_lo, own_hi);
 
     const ArrayReader reader = [&](const std::string& name, std::int64_t z,
                                    std::int64_t y,
@@ -166,29 +293,19 @@ ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
                               << name << "' at (" << z << "," << y << "," << x
                               << ") escapes its scratch region: plan halo "
                                  "geometry is wrong");
-        sreads.fetch_add(1, std::memory_order_relaxed);
+        ++c.sreads;
         return it->second.at(z, y, x);
       }
       const auto snap = snapshots.find(name);
       const Grid3D& g =
           snap != snapshots.end() ? snap->second : gs.grid(name);
       if (!g.in_bounds(z, y, x)) return std::nullopt;
-      greads.fetch_add(1, std::memory_order_relaxed);
-      if (opts.global_hook) opts.global_hook(name, z, y, x, false);
+      ++c.greads;
+      if (hooked) opts.global_hook(name, z, y, x, false);
       return g.at(z, y, x);
     };
 
     for (std::size_t s = 0; s < plan.stages.size(); ++s) {
-      const bool final_stage = (s + 1 == plan.stages.size());
-      // Region this stage computes: owned tile expanded by stage_expand.
-      std::array<std::int64_t, 3> lo = own_lo, hi = own_hi;
-      for (int a = 0; a < dims; ++a) {
-        const auto idx = static_cast<std::size_t>(a);
-        const std::int64_t e = expansion(s, a);
-        lo[idx] = std::max<std::int64_t>(lo[idx] - e, 0);
-        hi[idx] = std::min(hi[idx] + e, domain[idx]);
-      }
-
       const ArrayWriter writer = [&](const std::string& name, std::int64_t z,
                                      std::int64_t y, std::int64_t x,
                                      double v) {
@@ -198,7 +315,7 @@ ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
                                                   << "' escapes scratch");
           it->second.at(z, y, x) = v;
           it->second.written[it->second.index(z, y, x)] = 1;
-          swrites.fetch_add(1, std::memory_order_relaxed);
+          ++c.swrites;
           return;
         }
         // External arrays commit only inside the owned tile to avoid
@@ -210,19 +327,15 @@ ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
                            x >= own_lo[0] && x < own_hi[0];
         if (!owned) return;
         gs.grid(name).at(z, y, x) = v;
-        gwrites.fetch_add(1, std::memory_order_relaxed);
-        if (opts.global_hook) opts.global_hook(name, z, y, x, true);
+        ++c.gwrites;
+        if (hooked) opts.global_hook(name, z, y, x, true);
       };
 
-      (void)final_stage;
+      const BcRegion reg = stage_region(s, own_lo, own_hi);
       std::vector<std::int64_t> itv(static_cast<std::size_t>(dims), 0);
-      const std::int64_t z_lo = dims >= 3 ? lo[2] : 0;
-      const std::int64_t z_hi = dims >= 3 ? hi[2] : 1;
-      const std::int64_t y_lo = dims >= 2 ? lo[1] : 0;
-      const std::int64_t y_hi = dims >= 2 ? hi[1] : 1;
-      for (std::int64_t z = z_lo; z < z_hi; ++z) {
-        for (std::int64_t y = y_lo; y < y_hi; ++y) {
-          for (std::int64_t x = lo[0]; x < hi[0]; ++x) {
+      for (std::int64_t z = reg.lo[0]; z < reg.hi[0]; ++z) {
+        for (std::int64_t y = reg.lo[1]; y < reg.hi[1]; ++y) {
+          for (std::int64_t x = reg.lo[2]; x < reg.hi[2]; ++x) {
             if (dims == 3) {
               itv = {z, y, x};
             } else if (dims == 2) {
@@ -232,49 +345,53 @@ ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
             }
             if (apply_stmts_at_point(plan.stages[s].stmts, env, itv, reader,
                                      writer)) {
-              computed.fetch_add(1, std::memory_order_relaxed);
+              ++c.computed;
             } else {
-              skipped.fetch_add(1, std::memory_order_relaxed);
+              ++c.skipped;
             }
           }
         }
       }
     }
 
-    // Materialize internal arrays that are also program outputs: commit
-    // the owned-tile region of their scratch to global memory.
-    for (const auto& name : plan.materialized_internals) {
-      auto& s = scratch.at(name);
-      Grid3D& g = gs.grid(name);
-      const std::int64_t z_lo = dims >= 3 ? own_lo[2] : 0;
-      const std::int64_t z_hi = dims >= 3 ? own_hi[2] : 1;
-      const std::int64_t y_lo = dims >= 2 ? own_lo[1] : 0;
-      const std::int64_t y_hi = dims >= 2 ? own_hi[1] : 1;
-      for (std::int64_t z = z_lo; z < z_hi; ++z) {
-        for (std::int64_t y = y_lo; y < y_hi; ++y) {
-          for (std::int64_t x = own_lo[0]; x < own_hi[0]; ++x) {
-            if (!g.in_bounds(z, y, x)) continue;
-            if (!s.written[s.index(z, y, x)]) continue;
-            g.at(z, y, x) = s.at(z, y, x);
-            gwrites.fetch_add(1, std::memory_order_relaxed);
-            if (opts.global_hook) opts.global_hook(name, z, y, x, true);
-          }
-        }
-      }
-    }
+    materialize(scratch, commit_box(own_lo, own_hi), c);
   };
-  if (serial) {
+
+  std::vector<BcCounters> block_counters(
+      static_cast<std::size_t>(total_blocks));
+  const auto run_block = [&](std::int64_t b) {
+    BcCounters c;
+    if (opts.engine == SimEngine::Bytecode) {
+      run_block_bytecode(b, c);
+    } else {
+      run_block_treewalk(b, c);
+    }
+    block_counters[static_cast<std::size_t>(b)] = c;
+  };
+
+  int jobs = 1;
+  if (!serial) {
+    jobs = opts.jobs > 0 ? opts.jobs : default_jobs();
+    jobs = static_cast<int>(
+        std::min<std::int64_t>(jobs, std::max<std::int64_t>(total_blocks, 1)));
+  }
+  span.arg("jobs", Json(jobs));
+  if (jobs < 2 || TaskPool::inside_worker()) {
     for (std::int64_t b = 0; b < total_blocks; ++b) run_block(b);
   } else {
-    parallel_for(total_blocks, run_block);
+    TaskPool pool(jobs);
+    pool.for_each(total_blocks, run_block);
   }
 
-  totals.computed_points = computed.load();
-  totals.skipped_points = skipped.load();
-  totals.global_read_elems = greads.load();
-  totals.global_write_elems = gwrites.load();
-  totals.scratch_read_elems = sreads.load();
-  totals.scratch_write_elems = swrites.load();
+  // Deterministic reduction: block order, not completion order.
+  BcCounters sum;
+  for (const auto& c : block_counters) sum += c;
+  totals.computed_points = sum.computed;
+  totals.skipped_points = sum.skipped;
+  totals.global_read_elems = sum.greads;
+  totals.global_write_elems = sum.gwrites;
+  totals.scratch_read_elems = sum.sreads;
+  totals.scratch_write_elems = sum.swrites;
   return totals;
 }
 

@@ -1,8 +1,7 @@
 #pragma once
 
-#include <functional>
-
 #include "artemis/codegen/plan.hpp"
+#include "artemis/sim/bytecode.hpp"
 #include "artemis/sim/gridset.hpp"
 
 namespace artemis::sim {
@@ -19,6 +18,14 @@ struct ExecCounters {
   std::int64_t blocks = 0;
 };
 
+/// Which interpreter executes the plan's statement lists. Both produce
+/// bit-identical grids, counters and hook traces; the tree walk survives
+/// as the differential-testing oracle.
+enum class SimEngine {
+  Bytecode,  ///< compiled slot-resolved bytecode (default, fast)
+  TreeWalk,  ///< per-point recursive evaluation via apply_stmts_at_point
+};
+
 /// Execution options. The global-access hook exists for trace-driven
 /// cache validation (bench/cache_validation): it receives every
 /// global-space element access (reads and committed writes) in a
@@ -26,10 +33,11 @@ struct ExecCounters {
 struct ExecOptions {
   /// Force single-threaded, block-id-ordered execution (implied by hook).
   bool serial = false;
+  /// Worker count for the block sweep; 0 resolves to default_jobs().
+  int jobs = 0;
+  SimEngine engine = SimEngine::Bytecode;
   /// (array, z, y, x, is_write) for each global access.
-  std::function<void(const std::string&, std::int64_t, std::int64_t,
-                     std::int64_t, bool)>
-      global_hook;
+  GlobalAccessHook global_hook;
 };
 
 /// Execute a kernel plan over real grids, faithfully reproducing the
@@ -43,12 +51,18 @@ struct ExecOptions {
 ///  - external outputs commit only within the block's owned tile;
 ///  - a point is skipped when any read falls outside the domain (the CUDA
 ///    boundary guard), and arrays read-and-written with neighbor offsets
-///    are snapshotted so all blocks observe pre-kernel values.
+///    are snapshotted so all blocks observe pre-kernel values (see
+///    needs_snapshot for the exact rule).
 ///
-/// Numerical results therefore match run_stencil_reference exactly for
-/// identical statement lists; geometry bugs (wrong halo, missing
-/// expansion) surface as mismatches. Throws if an internal-array read
-/// escapes its scratch region (a planner bug by construction).
+/// Each stage's statement list is compiled once into slot-resolved
+/// bytecode (see bytecode.hpp) and blocks are swept in parallel over the
+/// work-stealing TaskPool, with per-block counters reduced in block order
+/// so the returned totals are deterministic at any job count.
+///
+/// Numerical results match run_stencil_reference exactly for identical
+/// statement lists; geometry bugs (wrong halo, missing expansion) surface
+/// as mismatches. Throws if an internal-array read escapes its scratch
+/// region (a planner bug by construction).
 ExecCounters execute_plan(const codegen::KernelPlan& plan, GridSet& gs,
                           const ExecOptions& opts = {});
 

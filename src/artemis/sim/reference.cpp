@@ -1,45 +1,25 @@
 #include "artemis/sim/reference.hpp"
 
-#include <set>
-
 #include "artemis/common/check.hpp"
 #include "artemis/common/parallel.hpp"
-#include "artemis/sim/interp.hpp"
+#include "artemis/sim/bytecode.hpp"
 
 namespace artemis::sim {
-
-namespace {
-
-/// Scalar environment for a bound stencil: program scalars by name.
-std::map<std::string, double> scalar_env(const ir::Program& prog,
-                                         const ir::BoundStencil& bound,
-                                         const GridSet& gs) {
-  std::map<std::string, double> env;
-  const ir::StencilInfo info = ir::analyze(prog, bound);
-  for (const auto& name : info.scalars_read) {
-    env[name] = gs.scalar(name);
-  }
-  return env;
-}
-
-}  // namespace
 
 void run_stencil_reference(const ir::Program& prog,
                            const ir::BoundStencil& bound, GridSet& gs) {
   const ir::StencilInfo info = ir::analyze(prog, bound);
-  const auto env = scalar_env(prog, bound, gs);
+  const int dims = static_cast<int>(prog.iterators.size());
 
-  // Snapshot arrays that are read at non-center offsets and also written.
+  // Snapshot arrays whose reads could observe another point's write
+  // (kernel semantics: every point sees pre-kernel values). The reference
+  // never recomputes points, so aliasing-free read-write arrays skip the
+  // copy.
   std::map<std::string, Grid3D> snapshots;
   for (const auto& [name, ai] : info.arrays) {
-    if (!ai.read || !ai.written) continue;
-    bool non_center = false;
-    for (const auto& off : ai.read_offsets) {
-      for (const auto& ix : off) {
-        if (ix.is_const() || ix.offset != 0) non_center = true;
-      }
+    if (needs_snapshot(ai, dims, /*recompute=*/false)) {
+      snapshots.emplace(name, gs.grid(name));
     }
-    if (non_center) snapshots.emplace(name, gs.grid(name));
   }
 
   ARTEMIS_CHECK_MSG(!info.outputs.empty(),
@@ -51,42 +31,48 @@ void run_stencil_reference(const ir::Program& prog,
                                      << "' have mismatched extents");
   }
 
-  const ArrayReader reader = [&](const std::string& name, std::int64_t z,
-                                 std::int64_t y,
-                                 std::int64_t x) -> std::optional<double> {
-    const auto snap = snapshots.find(name);
-    const Grid3D& g = snap != snapshots.end() ? snap->second : gs.grid(name);
-    if (!g.in_bounds(z, y, x)) return std::nullopt;
-    return g.at(z, y, x);
-  };
-  const ArrayWriter writer = [&](const std::string& name, std::int64_t z,
-                                 std::int64_t y, std::int64_t x, double v) {
-    gs.grid(name).at(z, y, x) = v;
-  };
+  // Slot-resolve every name once per run: the statement list compiles to
+  // bytecode against dense array/scalar tables instead of rebuilding
+  // string-keyed maps at every point.
+  SlotMap arrays;
+  for (const auto& [name, ai] : info.arrays) arrays.add(name);
+  SlotMap scalar_slots;
+  std::vector<double> scalar_vals;
+  for (const auto& name : info.scalars_read) {
+    scalar_slots.add(name);
+    scalar_vals.push_back(gs.scalar(name));
+  }
+  const CompiledStencil cs =
+      compile_stmts(bound.stmts, dims, arrays, scalar_slots);
 
-  const int dims = static_cast<int>(prog.iterators.size());
-  std::vector<std::int64_t> itv(static_cast<std::size_t>(dims), 0);
+  std::vector<ArrayView> views(static_cast<std::size_t>(arrays.size()));
+  for (int slot = 0; slot < arrays.size(); ++slot) {
+    const std::string& name = arrays.name(slot);
+    ArrayView& v = views[static_cast<std::size_t>(slot)];
+    v.name = &arrays.name(slot);
+    Grid3D& g = gs.grid(name);
+    const Extents e = g.extents();
+    v.ez = e.z;
+    v.ey = e.y;
+    v.ex = e.x;
+    v.wz = e.z;
+    v.wy = e.y;
+    v.wx = e.x;
+    v.write = g.data();
+    const auto snap = snapshots.find(name);
+    v.read = snap != snapshots.end() ? snap->second.data() : g.data();
+  }
+
   // Parallelize over the outermost axis: points are independent
-  // (snapshotted reads), and each z owns disjoint writes... except that
-  // all writes target the same arrays, at distinct coordinates, which is
-  // safe.
+  // (snapshotted reads) and every write targets a distinct coordinate.
   parallel_for(dom.z, [&](std::int64_t z) {
-    std::vector<std::int64_t> it_local(static_cast<std::size_t>(dims), 0);
-    for (std::int64_t y = 0; y < dom.y; ++y) {
-      for (std::int64_t x = 0; x < dom.x; ++x) {
-        // itv is ordered outermost-first; trailing axes map to x.
-        if (dims == 3) {
-          it_local = {z, y, x};
-        } else if (dims == 2) {
-          it_local = {y, x};
-        } else {
-          it_local = {x};
-        }
-        apply_stmts_at_point(bound.stmts, env, it_local, reader, writer);
-      }
-    }
+    BcRegion slab;
+    slab.lo = {z, 0, 0};
+    slab.hi = {z + 1, dom.y, dom.x};
+    BcCounters c;  // the reference reports no counters
+    run_compiled_region(cs, views, scalar_vals.data(), slab, BcRegion{},
+                        /*drop_outside_commit=*/false, c);
   });
-  (void)itv;
 }
 
 void run_program_reference(const ir::Program& prog, GridSet& gs) {
