@@ -1,0 +1,83 @@
+// Deep differential-verification sweep: the long-running companion to
+// `artemisc --verify`. Where the CI job checks a fixed 200-program block,
+// this harness sweeps many seed blocks and reports verification
+// throughput (programs and property checks per second), so a change that
+// makes the harness drastically slower — or a seed block that starts
+// failing — is visible as a bench regression, not a mystery.
+//
+//   ./bench/verify_sweep                          # 5 blocks x 200 programs
+//   ./bench/verify_sweep --blocks=2 --count=50    # quicker look
+//
+// Exits non-zero if any property fails anywhere in the sweep.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "artemis/common/table.hpp"
+#include "artemis/verify/verify.hpp"
+
+using namespace artemis;
+
+int main(int argc, char** argv) {
+  int blocks = 5;
+  int count = 200;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--blocks=", 9) == 0) {
+      blocks = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--count=", 8) == 0) {
+      count = std::atoi(argv[i] + 8);
+    } else {
+      std::fprintf(stderr, "usage: %s [--blocks=N] [--count=N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Spread the blocks far apart so they share no seeds with each other or
+  // with the CI block (base 2726177024).
+  const std::uint64_t kBlockBases[] = {0xA27E3115u, 1u,          424242u,
+                                       999999937u,  0x5EEDF00Du, 0xC0FFEEu};
+  const int nbases =
+      static_cast<int>(sizeof(kBlockBases) / sizeof(kBlockBases[0]));
+
+  TablePrinter table({"base seed", "programs", "checks", "failures", "sec",
+                      "checks/sec"});
+  int total_failures = 0;
+  int total_checks = 0;
+  double total_seconds = 0;
+  for (int b = 0; b < blocks; ++b) {
+    verify::VerifyOptions opts;
+    opts.base_seed = kBlockBases[b % nbases] + static_cast<std::uint64_t>(
+                                                   b / nbases) * 1000003u;
+    opts.seed_count = count;
+    const auto t0 = std::chrono::steady_clock::now();
+    const verify::VerifyReport rep = verify::run_verify(opts);
+    const double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    total_failures += static_cast<int>(rep.failures.size());
+    total_checks += rep.checks_run;
+    total_seconds += sec;
+    char base[32], rate[32], secs[32];
+    std::snprintf(base, sizeof base, "%llu",
+                  static_cast<unsigned long long>(opts.base_seed));
+    std::snprintf(secs, sizeof secs, "%.2f", sec);
+    std::snprintf(rate, sizeof rate, "%.0f", rep.checks_run / sec);
+    table.add_row({base, std::to_string(rep.programs_checked),
+                   std::to_string(rep.checks_run),
+                   std::to_string(rep.failures.size()), secs, rate});
+    for (const auto& f : rep.failures) {
+      std::fprintf(stderr, "FAIL %s seed=%llu: %s\n%s\n",
+                   verify::property_name(f.property),
+                   static_cast<unsigned long long>(f.seed), f.detail.c_str(),
+                   f.program_dsl.c_str());
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("total: %d checks in %.1fs (%.0f checks/sec), %d failures\n",
+              total_checks, total_seconds, total_checks / total_seconds,
+              total_failures);
+  return total_failures == 0 ? 0 : 1;
+}

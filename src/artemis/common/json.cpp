@@ -276,25 +276,37 @@ class Parser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) fail("short \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else fail("bad \\u escape");
+          unsigned code = read_hex4();
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("lone low surrogate in \\u escape");
           }
-          // Encode as UTF-8 (surrogate pairs are not recombined; the
-          // telemetry writer never emits them).
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: a \uDC00-\uDFFF low half must follow, and
+            // the pair recombines into one supplementary code point.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("unpaired high surrogate in \\u escape");
+            }
+            pos_ += 2;
+            const unsigned low = read_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("high surrogate not followed by a low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
+          // Encode the code point as UTF-8 (1..4 bytes).
           if (code < 0x80) {
             out += static_cast<char>(code);
           } else if (code < 0x800) {
             out += static_cast<char>(0xC0 | (code >> 6));
             out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
+          } else if (code < 0x10000) {
             out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
             out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
             out += static_cast<char>(0x80 | (code & 0x3F));
           }
@@ -305,34 +317,71 @@ class Parser {
     }
   }
 
+  unsigned read_hex4() {
+    if (pos_ + 4 > text_.size()) fail("short \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else fail("bad \\u escape");
+    }
+    return code;
+  }
+
+  bool digit() const {
+    return pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9';
+  }
+
+  // Strict JSON grammar: -? (0|[1-9][0-9]*) (\.[0-9]+)? ([eE][+-]?[0-9]+)?
+  // The old permissive scanner swallowed '1.2.3' wholesale and let
+  // strtod decide, accepted '1e' as 1, and read '1e999' as infinity
+  // (which the writer then dumped as null).
   Json parse_number() {
     const std::size_t start = pos_;
     bool is_double = false;
     if (peek() == '-') ++pos_;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c >= '0' && c <= '9') {
-        ++pos_;
-      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
-        is_double = true;
-        ++pos_;
-      } else {
-        break;
-      }
+    if (!digit()) fail("malformed number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+      if (digit()) fail("leading zeros are not allowed");
+    } else {
+      while (digit()) ++pos_;
     }
-    if (pos_ == start) fail("expected value");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_double = true;
+      ++pos_;
+      if (!digit()) fail("truncated fraction");
+      while (digit()) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digit()) fail("truncated exponent");
+      while (digit()) ++pos_;
+    }
     const std::string tok = text_.substr(start, pos_ - start);
     if (!is_double) {
+      // "-0" only keeps its sign as a double.
+      if (tok == "-0") return Json(-0.0);
       errno = 0;
       char* end = nullptr;
       const long long v = std::strtoll(tok.c_str(), &end, 10);
       if (errno == 0 && end == tok.c_str() + tok.size()) {
         return Json(static_cast<std::int64_t>(v));
       }
+      // Out of int64 range: fall through to the double representation.
     }
     char* end = nullptr;
     const double d = std::strtod(tok.c_str(), &end);
     if (end != tok.c_str() + tok.size()) fail("malformed number");
+    if (!std::isfinite(d)) fail("number out of range");
     return Json(d);
   }
 

@@ -27,9 +27,6 @@ class Parser {
     while (!at(TokKind::End)) {
       parse_top_decl();
     }
-    if (pending_pragma_) {
-      throw SemanticError("#pragma not followed by a stencil definition");
-    }
     ir::validate(prog_);
     return std::move(prog_);
   }
@@ -166,11 +163,29 @@ class Parser {
   void parse_hash_directive() {
     const Token hash = expect(TokKind::Hash);
     const std::string kind = expect_ident();
-    if (kind == "pragma") {
-      pending_pragma_ = parse_pragma_clauses();
-    } else {
+    if (kind == "assign") {
+      throw ParseError(
+          "#assign is only valid inside a stencil body", hash.line, hash.col);
+    }
+    if (kind != "pragma") {
       throw ParseError(str_cat("unknown directive '#", kind, "'"), hash.line,
                        hash.col);
+    }
+    pending_pragma_ = parse_pragma_clauses();
+    // A pragma decorates exactly the next declaration, which must be a
+    // stencil definition: erroring here (instead of at end of input)
+    // pins the diagnostic to the token that broke the rule.
+    if (at(TokKind::End)) {
+      throw ParseError("#pragma not followed by a stencil definition",
+                       hash.line, hash.col);
+    }
+    if (!at_ident("stencil")) {
+      const Token& t = peek();
+      throw ParseError(
+          str_cat("#pragma must be followed by a stencil definition, found ",
+                  tok_kind_name(t.kind),
+                  t.text.empty() ? "" : str_cat(" '", t.text, "'")),
+          t.line, t.col);
     }
   }
 

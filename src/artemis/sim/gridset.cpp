@@ -72,9 +72,13 @@ void GridSet::swap(const std::string& a, const std::string& b) {
 
 void zero_boundary(Grid3D& g, std::int64_t margin) {
   const auto& e = g.extents();
-  const std::int64_t mz = e.z > 2 * margin ? margin : 0;
-  const std::int64_t my = e.y > 2 * margin ? margin : 0;
-  const std::int64_t mx = e.x > 2 * margin ? margin : 0;
+  // An extent-1 axis is degenerate (the domain is flat along it, there
+  // are no faces); every real axis zeroes the full margin even when that
+  // covers the whole axis — silently skipping narrow axes would leave
+  // callers believing a Dirichlet rim exists when it does not.
+  const std::int64_t mz = e.z > 1 ? margin : 0;
+  const std::int64_t my = e.y > 1 ? margin : 0;
+  const std::int64_t mx = e.x > 1 ? margin : 0;
   for (std::int64_t z = 0; z < e.z; ++z) {
     for (std::int64_t y = 0; y < e.y; ++y) {
       for (std::int64_t x = 0; x < e.x; ++x) {

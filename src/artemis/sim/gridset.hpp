@@ -48,11 +48,13 @@ class GridSet {
   std::map<std::string, double> scalars_;
 };
 
-/// Zero the outermost `margin` shells of a grid on every axis whose extent
-/// exceeds 2*margin. Iterative stencils with homogeneous Dirichlet
-/// boundaries keep these shells constant; overlapped time tiling (whose
-/// fused intermediates are zero-initialized) is exactly equivalent to the
-/// ping-pong reference under this condition.
+/// Zero the outermost `margin` shells of a grid on every real axis
+/// (extent-1 axes are degenerate and skipped). Iterative stencils with
+/// homogeneous Dirichlet boundaries keep these shells constant; overlapped
+/// time tiling (whose fused intermediates are zero-initialized) is exactly
+/// equivalent to the ping-pong reference under this condition. When the
+/// margin covers a whole axis the grid zeroes entirely — that is the
+/// correct Dirichlet limit, not a case to skip.
 void zero_boundary(Grid3D& g, std::int64_t margin);
 
 /// Extents of a declared array under the program's parameter bindings

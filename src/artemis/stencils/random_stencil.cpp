@@ -62,6 +62,41 @@ ExprPtr random_term(Rng& rng, const std::vector<std::string>& readable,
   return e;
 }
 
+/// Random but always-valid decoration: pragma clauses drawn from the
+/// legal grammar (iterator names from the program, power-of-two blocks
+/// and unrolls, occupancy from the exactly-printable quarters) and
+/// #assign pins restricted to read-only array formals, the combination
+/// every planner heuristic must accept.
+void decorate_stencil(Rng& rng, const ir::Program& prog,
+                      ir::StencilDef& def) {
+  const int dims = static_cast<int>(prog.iterators.size());
+  const auto random_iter = [&]() {
+    return prog.iterators[static_cast<std::size_t>(
+        rng.uniform_int(0, dims - 1))];
+  };
+  if (rng.coin(0.4)) def.pragma.stream_iter = random_iter();
+  if (rng.coin(0.6)) {
+    const int n = static_cast<int>(rng.uniform_int(1, dims));
+    for (int d = 0; d < n; ++d) {
+      def.pragma.block.push_back(std::int64_t{1}
+                                 << rng.uniform_int(2, 5));  // 4..32
+    }
+  }
+  if (rng.coin(0.4)) {
+    def.pragma.unroll[random_iter()] = std::int64_t{1}
+                                       << rng.uniform_int(1, 2);  // 2 or 4
+  }
+  if (rng.coin(0.3)) {
+    def.pragma.occupancy = 0.25 * static_cast<double>(rng.uniform_int(1, 4));
+  }
+  for (const auto& p : def.params) {
+    if ((p == "IN" || p == "IN0") && rng.coin(0.4)) {
+      def.resources.spaces[p] =
+          rng.coin() ? ir::MemSpace::Shared : ir::MemSpace::Global;
+    }
+  }
+}
+
 ExprPtr random_rhs(Rng& rng, const std::vector<std::string>& readable,
                    const std::vector<std::string>& scalars,
                    const std::vector<std::string>& locals, int dims,
@@ -167,6 +202,29 @@ ir::Program random_program(Rng& rng, const RandomStencilOptions& opts) {
     prev_out = out;
   }
   prog.copyout.push_back(prev_out);
+
+  // Ping-pong iteration: v0 and a0 have identical shape, so the single
+  // call chain can become `iterate N { stage0(v0, a0, ...); swap; }`
+  // with the final state landing back in a0 after an even count.
+  if (opts.allow_iterate && stages == 1 && rng.coin(0.4)) {
+    ir::Step call = std::move(prog.steps.back());
+    prog.steps.pop_back();
+    ir::Step swap;
+    swap.kind = ir::Step::Kind::Swap;
+    swap.swap.a = "v0";
+    swap.swap.b = "a0";
+    ir::Step it;
+    it.kind = ir::Step::Kind::Iterate;
+    it.iterations = rng.uniform_int(1, 3) * 2;  // even: 2/4/6
+    it.body.push_back(std::move(call));
+    it.body.push_back(std::move(swap));
+    prog.steps.push_back(std::move(it));
+    prog.copyout.back() = "a0";
+  }
+
+  if (opts.decorate) {
+    for (auto& def : prog.stencils) decorate_stencil(rng, prog, def);
+  }
 
   ir::validate(prog);
   return prog;

@@ -16,6 +16,15 @@ struct RandomStencilOptions {
   std::int64_t extent = 14; ///< domain extent per axis
   bool allow_accumulate = true;
   bool allow_calls = false; ///< sqrt/fabs/min/max intrinsics
+  /// Attach random (always valid) `#pragma` clauses — stream/block/
+  /// unroll/occupancy — and `#assign` pins on read-only array formals,
+  /// so the printer/parser round-trip and the resource mapper see
+  /// decorated definitions too.
+  bool decorate = false;
+  /// For single-stage programs, sometimes wrap the call in an
+  /// `iterate N { call; swap; }` ping-pong block (the time-tiling and
+  /// iterate-unrolling paths are unreachable from a plain call chain).
+  bool allow_iterate = false;
 };
 
 /// Generate a random, semantically valid DSL program: a chain of

@@ -1,0 +1,128 @@
+#include "artemis/verify/corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "artemis/common/check.hpp"
+#include "artemis/common/str.hpp"
+#include "artemis/dsl/parser.hpp"
+#include "artemis/dsl/printer.hpp"
+
+namespace artemis::verify {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Keep the header single-line: reproducer details may quote program
+/// text or grid dumps with embedded newlines/tabs.
+std::string sanitize_line(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '\n' || c == '\r' || c == '\t') {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// "// key: value" -> value, or nullopt when the line is something else.
+std::optional<std::string> header_value(const std::string& line,
+                                        const std::string& key) {
+  const std::string prefix = "// " + key + ": ";
+  if (!starts_with(line, prefix)) return std::nullopt;
+  return line.substr(prefix.size());
+}
+
+}  // namespace
+
+std::string write_reproducer(const std::string& dir, Property property,
+                             std::uint64_t seed, const std::string& detail,
+                             const ir::Program& prog) {
+  fs::create_directories(dir);
+  const std::string name = str_cat(property_name(property), "-", seed,
+                                   ".dsl");
+  const fs::path path = fs::path(dir) / name;
+  std::ofstream out(path);
+  ARTEMIS_CHECK_MSG(out.good(), "cannot write reproducer " << path.string());
+  out << "// artemis-verify reproducer\n"
+      << "// property: " << property_name(property) << "\n"
+      << "// seed: " << seed << "\n"
+      << "// detail: " << sanitize_line(detail) << "\n"
+      << dsl::print_program(prog);
+  return path.string();
+}
+
+std::vector<CorpusEntry> load_corpus(const std::string& dir) {
+  std::vector<CorpusEntry> entries;
+  if (!fs::is_directory(dir)) return entries;
+  std::vector<fs::path> files;
+  for (const auto& de : fs::directory_iterator(dir)) {
+    if (de.is_regular_file() && de.path().extension() == ".dsl") {
+      files.push_back(de.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    CorpusEntry e;
+    e.path = path.string();
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    e.dsl_text = buf.str();
+
+    std::istringstream lines(e.dsl_text);
+    std::string line;
+    bool have_property = false, have_seed = false;
+    while (std::getline(lines, line) && starts_with(line, "//")) {
+      if (const auto v = header_value(line, "property")) {
+        if (const auto p = property_by_name(*v)) {
+          e.property = *p;
+          have_property = true;
+        }
+      } else if (const auto s = header_value(line, "seed")) {
+        try {
+          e.seed = std::stoull(*s);
+          have_seed = true;
+        } catch (const std::exception&) {
+          // fall through to the header error below
+        }
+      } else if (const auto d = header_value(line, "detail")) {
+        e.detail = *d;
+      }
+    }
+    if (!have_property || !have_seed) {
+      e.detail = str_cat("malformed reproducer header in ", e.path,
+                         " (need '// property: <name>' and '// seed: <n>')");
+      e.dsl_text.clear();  // signals replay_entry to fail
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+CheckResult replay_entry(const CorpusEntry& entry) {
+  if (entry.dsl_text.empty()) {
+    return {false, entry.detail.empty()
+                       ? str_cat("unreadable reproducer ", entry.path)
+                       : entry.detail};
+  }
+  ir::Program prog;
+  try {
+    prog = dsl::parse(entry.dsl_text);
+  } catch (const Error& e) {
+    return {false, str_cat(entry.path, ": reproducer no longer parses: ",
+                           e.what())};
+  }
+  CheckResult r = check_property(entry.property, prog, entry.seed);
+  if (!r.ok) {
+    r.detail = str_cat(entry.path, ": ", r.detail);
+  }
+  return r;
+}
+
+}  // namespace artemis::verify

@@ -1,0 +1,191 @@
+#include "artemis/verify/oracle.hpp"
+
+#include <cstring>
+
+#include "artemis/codegen/plan_builder.hpp"
+#include "artemis/common/str.hpp"
+#include "artemis/gpumodel/device.hpp"
+#include "artemis/ir/analysis.hpp"
+#include "artemis/sim/reference.hpp"
+
+namespace artemis::verify {
+
+using codegen::KernelConfig;
+using codegen::KernelPlan;
+using codegen::TilingScheme;
+
+void add_counters(sim::ExecCounters& a, const sim::ExecCounters& b) {
+  a.computed_points += b.computed_points;
+  a.skipped_points += b.skipped_points;
+  a.global_read_elems += b.global_read_elems;
+  a.global_write_elems += b.global_write_elems;
+  a.scratch_read_elems += b.scratch_read_elems;
+  a.scratch_write_elems += b.scratch_write_elems;
+  a.blocks += b.blocks;
+}
+
+RunResult run_program_plans(const ir::Program& prog, const KernelConfig& cfg,
+                            bool fuse, std::uint64_t seed,
+                            sim::SimEngine engine, int jobs,
+                            bool record_trace) {
+  const auto dev = gpumodel::p100();
+  RunResult r{sim::GridSet::from_program(prog, seed), {}, {}};
+  sim::ExecOptions opts;
+  opts.engine = engine;
+  opts.jobs = jobs;
+  if (record_trace) {
+    opts.global_hook = [&r](const std::string& a, std::int64_t z,
+                            std::int64_t y, std::int64_t x, bool w) {
+      r.trace.push_back({a, z, y, x, w});
+    };
+  }
+
+  const auto run_plan = [&](const KernelPlan& plan) {
+    add_counters(r.totals, sim::execute_plan(plan, r.gs, opts));
+  };
+  if (fuse) {
+    std::vector<ir::BoundStencil> stages;
+    int idx = 0;
+    for (const auto& step : prog.steps) {
+      ARTEMIS_CHECK(step.kind == ir::Step::Kind::Call);
+      stages.push_back(
+          ir::bind_call(prog, step.call, str_cat("s", idx++, "_")));
+    }
+    run_plan(codegen::build_plan(prog, std::move(stages), cfg, dev, {}));
+  } else {
+    for (const auto& step : ir::flatten_steps(prog)) {
+      if (step.kind == ir::ExecStep::Kind::Swap) {
+        r.gs.swap(step.swap.a, step.swap.b);
+        continue;
+      }
+      std::vector<ir::BoundStencil> stages = {step.stencil};
+      run_plan(codegen::build_plan(prog, std::move(stages), cfg, dev, {}));
+    }
+  }
+  return r;
+}
+
+std::string grids_diff(const sim::GridSet& a, const sim::GridSet& b) {
+  for (const auto& [name, ga] : a.grids()) {
+    if (!b.has_grid(name)) {
+      return str_cat("grid '", name, "' missing from second set");
+    }
+    const Grid3D& gb = b.grid(name);
+    if (!(ga->extents() == gb.extents())) {
+      return str_cat("grid '", name, "' extents differ");
+    }
+    if (std::memcmp(ga->raw().data(), gb.raw().data(),
+                    ga->raw().size() * sizeof(double)) != 0) {
+      // Find the first differing element for the failure report.
+      const auto& e = ga->extents();
+      for (std::int64_t z = 0; z < e.z; ++z) {
+        for (std::int64_t y = 0; y < e.y; ++y) {
+          for (std::int64_t x = 0; x < e.x; ++x) {
+            const double va = ga->at(z, y, x);
+            const double vb = gb.at(z, y, x);
+            if (std::memcmp(&va, &vb, sizeof(double)) != 0) {
+              return str_cat("grid '", name, "' differs at (", z, ",", y, ",",
+                             x, "): ", format_double(va, 17), " vs ",
+                             format_double(vb, 17));
+            }
+          }
+        }
+      }
+      return str_cat("grid '", name, "' bytes differ");
+    }
+  }
+  return {};
+}
+
+std::string counters_diff(const sim::ExecCounters& a,
+                          const sim::ExecCounters& b) {
+  if (a.computed_points == b.computed_points &&
+      a.skipped_points == b.skipped_points &&
+      a.global_read_elems == b.global_read_elems &&
+      a.global_write_elems == b.global_write_elems &&
+      a.scratch_read_elems == b.scratch_read_elems &&
+      a.scratch_write_elems == b.scratch_write_elems &&
+      a.blocks == b.blocks) {
+    return {};
+  }
+  return str_cat("counters differ: computed ", a.computed_points, "/",
+                 b.computed_points, " skipped ", a.skipped_points, "/",
+                 b.skipped_points, " greads ", a.global_read_elems, "/",
+                 b.global_read_elems, " gwrites ", a.global_write_elems, "/",
+                 b.global_write_elems, " sreads ", a.scratch_read_elems, "/",
+                 b.scratch_read_elems, " swrites ", a.scratch_write_elems,
+                 "/", b.scratch_write_elems, " blocks ", a.blocks, "/",
+                 b.blocks);
+}
+
+std::string engines_diff(const ir::Program& prog, const KernelConfig& cfg,
+                         bool fuse, std::uint64_t seed) {
+  const RunResult oracle = run_program_plans(prog, cfg, fuse, seed,
+                                             sim::SimEngine::TreeWalk, 1,
+                                             false);
+  if (!fuse) {
+    // Per-call plans reproduce run_stencil_reference exactly, so the
+    // whole-program reference must match the tree walk bit-for-bit.
+    sim::GridSet ref = sim::GridSet::from_program(prog, seed);
+    sim::run_program_reference(prog, ref);
+    if (std::string d = grids_diff(ref, oracle.gs); !d.empty()) {
+      return str_cat("reference vs tree-walk: ", d);
+    }
+  }
+  for (const int jobs : {1, 2, 4}) {
+    const RunResult got = run_program_plans(prog, cfg, fuse, seed,
+                                            sim::SimEngine::Bytecode, jobs,
+                                            false);
+    if (std::string d = grids_diff(oracle.gs, got.gs); !d.empty()) {
+      return str_cat("tree-walk vs bytecode jobs=", jobs, ": ", d);
+    }
+    if (std::string d = counters_diff(oracle.totals, got.totals);
+        !d.empty()) {
+      return str_cat("tree-walk vs bytecode jobs=", jobs, ": ", d);
+    }
+  }
+  // The hook-trace comparison materializes every global access as a
+  // TraceEntry; on a production-sized domain that is gigabytes of trace
+  // for no extra coverage (grids and counters above already ran at every
+  // job count), so it is reserved for small domains — which the fuzz
+  // sweep and the test suite always use.
+  constexpr std::int64_t kTracePointLimit = 1 << 16;
+  if (oracle.totals.computed_points > kTracePointLimit) return {};
+  const RunResult ta = run_program_plans(prog, cfg, fuse, seed,
+                                         sim::SimEngine::TreeWalk, 1, true);
+  const RunResult tb = run_program_plans(prog, cfg, fuse, seed,
+                                         sim::SimEngine::Bytecode, 1, true);
+  if (ta.trace.size() != tb.trace.size()) {
+    return str_cat("hook trace lengths differ: ", ta.trace.size(), " vs ",
+                   tb.trace.size());
+  }
+  if (!(ta.trace == tb.trace)) return "hook traces differ";
+  if (std::string d = grids_diff(ta.gs, tb.gs); !d.empty()) {
+    return str_cat("hooked run: ", d);
+  }
+  return {};
+}
+
+KernelConfig random_config(Rng& rng, int dims) {
+  KernelConfig cfg;
+  const std::int64_t roll = rng.uniform_int(0, 2);
+  if (dims >= 2 && roll == 1) {
+    cfg.tiling = TilingScheme::StreamSerial;
+  } else if (dims >= 2 && roll == 2) {
+    cfg.tiling = TilingScheme::StreamConcurrent;
+    cfg.stream_chunk = static_cast<int>(rng.uniform_int(3, 9));
+  } else {
+    cfg.tiling = TilingScheme::Spatial3D;
+  }
+  cfg.stream_axis = dims - 1;
+  cfg.block = {static_cast<int>(rng.uniform_int(2, 7)),
+               dims >= 2 ? static_cast<int>(rng.uniform_int(2, 7)) : 1,
+               dims >= 3 ? static_cast<int>(rng.uniform_int(1, 5)) : 1};
+  if (cfg.tiling != TilingScheme::Spatial3D) {
+    cfg.block[static_cast<std::size_t>(dims - 1)] = 1;
+  }
+  if (rng.coin(0.3)) cfg.unroll[0] = 2;
+  return cfg;
+}
+
+}  // namespace artemis::verify

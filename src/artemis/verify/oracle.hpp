@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "artemis/codegen/plan.hpp"
+#include "artemis/common/rng.hpp"
+#include "artemis/ir/program.hpp"
+#include "artemis/sim/executor.hpp"
+#include "artemis/sim/gridset.hpp"
+
+namespace artemis::verify {
+
+/// One global-memory element access observed through the executor's
+/// global hook: (array, z, y, x, read/write) in deterministic block order.
+struct TraceEntry {
+  std::string array;
+  std::int64_t z = 0, y = 0, x = 0;
+  bool write = false;
+  bool operator==(const TraceEntry&) const = default;
+};
+
+/// The grids, summed counters and (optionally) the access trace of one
+/// full program execution through the plan builder + functional executor.
+struct RunResult {
+  sim::GridSet gs;
+  sim::ExecCounters totals;
+  std::vector<TraceEntry> trace;
+};
+
+void add_counters(sim::ExecCounters& a, const sim::ExecCounters& b);
+
+/// Execute every plan of `prog` — per-call, or all calls fused into one
+/// plan — with the given engine and job count, collecting summed counters
+/// and, optionally, the global-access trace. This is the differential
+/// driver the bytecode simulator tests use, extracted so any caller (the
+/// verify properties, the corpus replayer, benches) can run it.
+RunResult run_program_plans(const ir::Program& prog,
+                            const codegen::KernelConfig& cfg, bool fuse,
+                            std::uint64_t seed, sim::SimEngine engine,
+                            int jobs, bool record_trace);
+
+/// Bitwise grid comparison: stricter than max_abs_diff == 0
+/// (distinguishes -0.0 and NaN payloads). Returns "" when identical,
+/// otherwise a one-line description of the first mismatching grid.
+std::string grids_diff(const sim::GridSet& a, const sim::GridSet& b);
+
+/// "" when equal, otherwise a field-by-field mismatch description.
+std::string counters_diff(const sim::ExecCounters& a,
+                          const sim::ExecCounters& b);
+
+/// The three-way differential check: the reference interpreter (the
+/// semantics oracle) against the tree-walk engine, and the tree-walk
+/// engine against the compiled bytecode engine at jobs 1, 2 and 4 —
+/// grids bit-identical, counters identical (the per-block reduction makes
+/// them job-count independent) and jobs=1 hook traces identical. With
+/// `fuse` the calls execute as one fused plan; the reference comparison
+/// is skipped then because fused boundary geometry legitimately differs
+/// (the engines must still agree with each other bit-for-bit).
+/// Returns "" on success, otherwise the first mismatch.
+std::string engines_diff(const ir::Program& prog,
+                         const codegen::KernelConfig& cfg, bool fuse,
+                         std::uint64_t seed);
+
+/// A random but always-launchable kernel configuration for `dims`
+/// iterators: spatial or streaming tiling, small block shapes, optional
+/// unroll (the same distribution the bytecode simulator sweep uses).
+codegen::KernelConfig random_config(Rng& rng, int dims);
+
+}  // namespace artemis::verify

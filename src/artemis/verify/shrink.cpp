@@ -1,0 +1,221 @@
+#include "artemis/verify/shrink.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "artemis/common/check.hpp"
+#include "artemis/ir/expr.hpp"
+
+namespace artemis::verify {
+
+namespace {
+
+using ir::Expr;
+using ir::ExprKind;
+using ir::ExprPtr;
+
+/// All shrink variants of one expression tree: each node replaced by one
+/// of its children, and each nonzero array-index offset zeroed. Bounded
+/// by `budget` to keep the fan-out manageable on large trees.
+void expr_variants(const ExprPtr& e, std::vector<ExprPtr>& out, int& budget) {
+  if (budget <= 0) return;
+  for (const auto& a : e->args) {
+    if (budget-- <= 0) return;
+    out.push_back(a);
+  }
+  if (e->kind == ExprKind::ArrayRef) {
+    for (std::size_t d = 0; d < e->indices.size(); ++d) {
+      if (e->indices[d].offset == 0) continue;
+      if (budget-- <= 0) return;
+      Expr c = *e;
+      c.indices[d].offset = 0;
+      out.push_back(std::make_shared<const Expr>(std::move(c)));
+    }
+  }
+  for (std::size_t i = 0; i < e->args.size(); ++i) {
+    std::vector<ExprPtr> sub;
+    expr_variants(e->args[i], sub, budget);
+    for (auto& v : sub) {
+      Expr c = *e;
+      c.args[i] = std::move(v);
+      out.push_back(std::make_shared<const Expr>(std::move(c)));
+    }
+  }
+}
+
+void collect_called(const std::vector<ir::Step>& steps,
+                    std::set<std::string>& called) {
+  for (const auto& step : steps) {
+    switch (step.kind) {
+      case ir::Step::Kind::Call:
+        called.insert(step.call.callee);
+        break;
+      case ir::Step::Kind::Iterate:
+        collect_called(step.body, called);
+        break;
+      case ir::Step::Kind::Swap:
+        break;
+    }
+  }
+}
+
+void collect_step_names(const std::vector<ir::Step>& steps,
+                        std::set<std::string>& used) {
+  for (const auto& step : steps) {
+    switch (step.kind) {
+      case ir::Step::Kind::Call:
+        for (const auto& a : step.call.args) used.insert(a);
+        break;
+      case ir::Step::Kind::Swap:
+        used.insert(step.swap.a);
+        used.insert(step.swap.b);
+        break;
+      case ir::Step::Kind::Iterate:
+        collect_step_names(step.body, used);
+        break;
+    }
+  }
+}
+
+/// Drop stencil definitions no step calls any more, then array/scalar
+/// declarations (and copyin/copyout entries) nothing references.
+void prune_unused(ir::Program& p) {
+  std::set<std::string> called;
+  collect_called(p.steps, called);
+  std::erase_if(p.stencils, [&](const ir::StencilDef& d) {
+    return !called.count(d.name);
+  });
+
+  std::set<std::string> used;
+  collect_step_names(p.steps, used);
+  for (const auto& def : p.stencils) {
+    for (const auto& st : def.stmts) {
+      used.insert(st.lhs_name);
+      ir::visit(*st.rhs, [&](const Expr& e) {
+        if (e.kind == ExprKind::ScalarRef || e.kind == ExprKind::ArrayRef) {
+          used.insert(e.name);
+        }
+      });
+    }
+  }
+  std::erase_if(p.arrays,
+                [&](const ir::ArrayDecl& a) { return !used.count(a.name); });
+  std::erase_if(p.scalars,
+                [&](const ir::ScalarDecl& s) { return !used.count(s.name); });
+  const auto declared = [&](const std::string& n) {
+    return p.find_array(n) != nullptr || p.find_scalar(n) != nullptr;
+  };
+  std::erase_if(p.copyin,
+                [&](const std::string& n) { return !declared(n); });
+  std::erase_if(p.copyout,
+                [&](const std::string& n) { return !declared(n); });
+}
+
+bool has_pragma(const ir::PragmaInfo& p) {
+  return p.stream_iter || !p.block.empty() || !p.unroll.empty() ||
+         p.occupancy.has_value();
+}
+
+/// One round of shrink candidates, most aggressive first.
+std::vector<ir::Program> candidates(const ir::Program& p,
+                                    const ShrinkOptions& opts) {
+  std::vector<ir::Program> out;
+
+  // Drop one top-level step (and whatever becomes unused with it).
+  for (std::size_t i = 0; i < p.steps.size(); ++i) {
+    ir::Program q = p;
+    q.steps.erase(q.steps.begin() + static_cast<std::ptrdiff_t>(i));
+    prune_unused(q);
+    out.push_back(std::move(q));
+  }
+
+  // Halve iterate trip counts.
+  for (std::size_t i = 0; i < p.steps.size(); ++i) {
+    if (p.steps[i].kind != ir::Step::Kind::Iterate) continue;
+    if (p.steps[i].iterations <= 1) continue;
+    ir::Program q = p;
+    q.steps[i].iterations = std::max<std::int64_t>(1,
+                                                   q.steps[i].iterations / 2);
+    out.push_back(std::move(q));
+  }
+
+  // Drop one statement of one stencil.
+  for (std::size_t s = 0; s < p.stencils.size(); ++s) {
+    for (std::size_t j = 0; j < p.stencils[s].stmts.size(); ++j) {
+      ir::Program q = p;
+      auto& stmts = q.stencils[s].stmts;
+      stmts.erase(stmts.begin() + static_cast<std::ptrdiff_t>(j));
+      out.push_back(std::move(q));
+    }
+  }
+
+  // Halve one domain extent (floor 4 keeps boundary geometry meaningful).
+  for (std::size_t i = 0; i < p.params.size(); ++i) {
+    if (p.params[i].value <= 4) continue;
+    ir::Program q = p;
+    q.params[i].value = std::max<std::int64_t>(4, q.params[i].value / 2);
+    out.push_back(std::move(q));
+  }
+
+  // Strip #pragma / #assign decoration.
+  for (std::size_t s = 0; s < p.stencils.size(); ++s) {
+    if (has_pragma(p.stencils[s].pragma)) {
+      ir::Program q = p;
+      q.stencils[s].pragma = {};
+      out.push_back(std::move(q));
+    }
+    if (!p.stencils[s].resources.empty()) {
+      ir::Program q = p;
+      q.stencils[s].resources = {};
+      out.push_back(std::move(q));
+    }
+  }
+
+  // Simplify one statement's RHS.
+  for (std::size_t s = 0; s < p.stencils.size(); ++s) {
+    for (std::size_t j = 0; j < p.stencils[s].stmts.size(); ++j) {
+      std::vector<ExprPtr> vars;
+      int budget = opts.max_expr_variants;
+      expr_variants(p.stencils[s].stmts[j].rhs, vars, budget);
+      for (auto& v : vars) {
+        ir::Program q = p;
+        q.stencils[s].stmts[j].rhs = std::move(v);
+        out.push_back(std::move(q));
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace
+
+ir::Program shrink_program(const ir::Program& failing,
+                           const StillFails& still_fails,
+                           const ShrinkOptions& opts, ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& st = stats ? *stats : local;
+  ir::Program cur = failing;
+  bool improved = true;
+  while (improved && st.checks < opts.max_checks) {
+    improved = false;
+    for (auto& cand : candidates(cur, opts)) {
+      if (st.checks >= opts.max_checks) break;
+      try {
+        ir::validate(cand);
+      } catch (const Error&) {
+        continue;  // this reduction broke the program; try the next one
+      }
+      ++st.checks;
+      if (still_fails(cand)) {
+        cur = std::move(cand);
+        ++st.rounds;
+        improved = true;
+        break;  // restart candidate enumeration from the smaller program
+      }
+    }
+  }
+  return cur;
+}
+
+}  // namespace artemis::verify

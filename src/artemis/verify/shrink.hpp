@@ -1,0 +1,39 @@
+#pragma once
+
+#include <functional>
+
+#include "artemis/ir/program.hpp"
+
+namespace artemis::verify {
+
+/// Predicate the shrinker preserves: true when the candidate program
+/// still exhibits the failure being minimized. Implementations should
+/// re-run the failing property check and must not throw (catch and map
+/// engine crashes to `true` if a crash is the failure being chased).
+using StillFails = std::function<bool(const ir::Program&)>;
+
+struct ShrinkOptions {
+  /// Property evaluations the greedy search may spend in total.
+  int max_checks = 400;
+  /// Expression-simplification candidates generated per statement per
+  /// round (bounds the candidate fan-out on huge expressions).
+  int max_expr_variants = 40;
+};
+
+struct ShrinkStats {
+  int rounds = 0;  ///< accepted (strictly smaller) candidates
+  int checks = 0;  ///< property evaluations spent
+};
+
+/// Greedily minimize `failing` while `still_fails` holds: drop whole
+/// stages (step + now-unused stencil), drop statements, halve extents,
+/// halve iterate counts, replace expression nodes by their children,
+/// zero index offsets, and strip #pragma/#assign clauses. Candidates that
+/// no longer validate are skipped. Deterministic: candidates are tried in
+/// a fixed order and the first still-failing one is taken each round.
+ir::Program shrink_program(const ir::Program& failing,
+                           const StillFails& still_fails,
+                           const ShrinkOptions& opts = {},
+                           ShrinkStats* stats = nullptr);
+
+}  // namespace artemis::verify

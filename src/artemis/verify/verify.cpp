@@ -1,0 +1,194 @@
+// The harness driver: named paper kernels + a seeded block of random
+// programs, each pushed through the enabled property families; failures
+// are greedily minimized and written to the reproducer corpus.
+
+#include "artemis/verify/verify.hpp"
+
+#include <algorithm>
+
+#include "artemis/common/rng.hpp"
+#include "artemis/common/str.hpp"
+#include "artemis/dsl/parser.hpp"
+#include "artemis/dsl/printer.hpp"
+#include "artemis/stencils/random_stencil.hpp"
+#include "artemis/verify/corpus.hpp"
+#include "artemis/verify/shrink.hpp"
+
+namespace artemis::verify {
+
+namespace {
+
+/// Fixed kernels every run checks before the random sweep: the paper's
+/// Jacobi (spatial + pragma decoration), its iterative ping-pong variant
+/// (exercises iterate/swap and time tiling), and a two-stage DAG with
+/// mixed array dimensionality and #assign clauses.
+struct NamedProgram {
+  const char* name;
+  const char* dsl;
+};
+
+const NamedProgram kNamedPrograms[] = {
+    {"jacobi", R"(
+parameter L=16, M=16, N=16;
+iterator k, j, i;
+double in[L,M,N], out[L,M,N], a, b, h2inv;
+copyin out, in, h2inv, a, b;
+#pragma stream k block (32,16) unroll j=2
+stencil jacobi (B, A, h2inv, a, b) {
+  double c = b * h2inv;
+  B[k][j][i] = a*A[k][j][i] - c*(A[k][j][i+1]
+    + A[k][j][i-1] + A[k][j+1][i] + A[k][j-1][i] +
+    A[k+1][j][i] + A[k-1][j][i] - A[k][j][i]*6.0);
+}
+jacobi (out, in, h2inv, a, b);
+copyout out;
+)"},
+    {"jacobi-iterative", R"(
+parameter L=12, M=12, N=12;
+iterator k, j, i;
+double in[L,M,N], out[L,M,N], a, b, h2inv;
+copyin in, h2inv, a, b;
+stencil jacobi (B, A, h2inv, a, b) {
+  double c = b * h2inv;
+  B[k][j][i] = a*A[k][j][i] - c*(A[k][j][i+1]
+    + A[k][j][i-1] + A[k][j+1][i] + A[k][j-1][i] +
+    A[k+1][j][i] + A[k-1][j][i] - A[k][j][i]*6.0);
+}
+iterate 4 {
+  jacobi (out, in, h2inv, a, b);
+  swap (out, in);
+}
+copyout in;
+)"},
+    {"blur-dag", R"(
+parameter L=10, M=10, N=10;
+iterator k, j, i;
+double u[L,M,N], tmp[L,M,N], out[L,M,N], w[N], alpha;
+copyin u, w, alpha;
+#pragma block (16,8)
+stencil blurx (T, U, W) {
+  #assign shmem (U), gmem (W)
+  T[k][j][i] = W[i] * (U[k][j][i-1] + U[k][j][i] + U[k][j][i+1]);
+}
+stencil blury (O, T, alpha) {
+  O[k][j][i] = alpha * (T[k][j-1][i] + T[k][j][i] + T[k][j+1][i]);
+}
+blurx (tmp, u, w);
+blury (out, tmp, alpha);
+copyout out;
+)"},
+};
+
+/// The expensive families are sampled across the seed block; round-trip,
+/// transform and engine equivalence run on every program.
+bool sampled(Property p, int index) {
+  switch (p) {
+    case Property::TunerDeterminism: return index % 5 == 0;
+    case Property::VariantEquivalence: return index % 2 == 0;
+    default: return true;
+  }
+}
+
+/// Check one program against the enabled families, shrinking and
+/// recording failures. Returns false when the failure budget is spent.
+bool check_one(const ir::Program& prog, std::uint64_t seed, int sample_index,
+               const std::vector<Property>& props, const VerifyOptions& opts,
+               VerifyReport& rep) {
+  for (const Property p : props) {
+    if (sample_index >= 0 && !sampled(p, sample_index)) continue;
+    ++rep.checks_run;
+    const CheckResult r = check_property(p, prog, seed);
+    if (r.ok) continue;
+
+    Failure f;
+    f.property = p;
+    f.seed = seed;
+    f.detail = r.detail;
+    ir::Program minimized = prog;
+    if (opts.shrink) {
+      ShrinkOptions so;
+      so.max_checks = opts.max_shrink_checks;
+      ShrinkStats stats;
+      minimized = shrink_program(
+          prog,
+          [p, seed](const ir::Program& cand) {
+            return !check_property(p, cand, seed).ok;
+          },
+          so, &stats);
+      f.shrink_rounds = stats.rounds;
+    }
+    f.program_dsl = dsl::print_program(minimized);
+    if (!opts.corpus_dir.empty()) {
+      f.corpus_path = write_reproducer(opts.corpus_dir, p, seed, r.detail,
+                                       minimized);
+    }
+    rep.failures.push_back(std::move(f));
+    if (opts.max_failures > 0 &&
+        static_cast<int>(rep.failures.size()) >= opts.max_failures) {
+      return false;
+    }
+  }
+  ++rep.programs_checked;
+  return true;
+}
+
+}  // namespace
+
+std::string VerifyReport::summary() const {
+  std::string out = str_cat("verify: ", programs_checked, " program(s), ",
+                            checks_run, " property check(s), ",
+                            failures.size(), " failure(s)\n");
+  for (const auto& f : failures) {
+    out += str_cat("  FAIL [", property_name(f.property), "] seed=", f.seed,
+                   ": ", f.detail, "\n");
+    if (!f.corpus_path.empty()) {
+      out += str_cat("    reproducer: ", f.corpus_path, " (",
+                     f.shrink_rounds, " shrink step(s))\n");
+    }
+  }
+  return out;
+}
+
+VerifyReport run_verify(const VerifyOptions& opts) {
+  VerifyReport rep;
+  const std::vector<Property> props =
+      opts.properties.empty() ? all_properties() : opts.properties;
+
+  for (const auto& np : kNamedPrograms) {
+    const ir::Program prog = dsl::parse(np.dsl);
+    if (!check_one(prog, opts.base_seed, /*sample_index=*/-1, props, opts,
+                   rep)) {
+      return rep;
+    }
+  }
+
+  for (int i = 0; i < opts.seed_count; ++i) {
+    const std::uint64_t seed = opts.base_seed + static_cast<std::uint64_t>(i);
+    Rng rng(seed);
+    stencils::RandomStencilOptions gopts;
+    gopts.dims = 1 + i % 3;
+    gopts.max_order = 1 + static_cast<int>(rng.uniform_int(0, 2));
+    gopts.max_stages = 1 + static_cast<int>(rng.uniform_int(0, 2));
+    // Odd and small extents stress boundary guards, streaming chunk
+    // remainders and unroll epilogues; large ones stress tiling.
+    const std::int64_t kExtents[] = {5, 7, 9, 12, 14, 17};
+    gopts.extent = kExtents[rng.uniform_int(0, 5)];
+    gopts.allow_calls = rng.coin(0.5);
+    gopts.decorate = rng.coin(0.5);
+    gopts.allow_iterate = true;
+    const ir::Program prog = stencils::random_program(rng, gopts);
+    if (!check_one(prog, seed, i, props, opts, rep)) return rep;
+  }
+  return rep;
+}
+
+VerifyReport verify_program(const ir::Program& prog,
+                            const VerifyOptions& opts) {
+  VerifyReport rep;
+  const std::vector<Property> props =
+      opts.properties.empty() ? all_properties() : opts.properties;
+  check_one(prog, opts.base_seed, /*sample_index=*/-1, props, opts, rep);
+  return rep;
+}
+
+}  // namespace artemis::verify

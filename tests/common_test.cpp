@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "artemis/common/check.hpp"
 #include "artemis/common/grid.hpp"
+#include "artemis/common/json.hpp"
 #include "artemis/common/rng.hpp"
 #include "artemis/common/str.hpp"
 #include "artemis/common/table.hpp"
@@ -113,6 +117,79 @@ TEST(Table, AlignsColumns) {
 TEST(Table, RejectsWrongArity) {
   TablePrinter t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(JsonUnicode, BmpEscapesDecodeToUtf8) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xC3\xA9");    // é
+  EXPECT_EQ(Json::parse("\"\\u20AC\"").as_string(), "\xE2\x82\xAC"); // €
+}
+
+TEST(JsonUnicode, SurrogatePairRoundTrip) {
+  // \uD83D\uDE00 is U+1F600 (😀): the pair must recombine into one
+  // 4-byte UTF-8 sequence, and the writer re-emits the raw bytes.
+  const Json v = Json::parse("\"\\uD83D\\uDE00\"");
+  EXPECT_EQ(v.as_string(), "\xF0\x9F\x98\x80");
+  const std::string dumped = v.dump();
+  EXPECT_EQ(dumped, "\"\xF0\x9F\x98\x80\"");
+  EXPECT_EQ(Json::parse(dumped).as_string(), v.as_string());
+}
+
+TEST(JsonUnicode, LoneSurrogatesRejected) {
+  try {
+    Json::parse("\"\\uD83D\"");  // unpaired high half
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("surrogate"), std::string::npos);
+  }
+  EXPECT_THROW(Json::parse("\"\\uDE00\""), Error);         // lone low half
+  EXPECT_THROW(Json::parse("\"\\uD83Dx\""), Error);        // high then text
+  EXPECT_THROW(Json::parse("\"\\uD83D\\u0041\""), Error);  // high then BMP
+  EXPECT_THROW(Json::parse("\"\\uD83D\\uD83D\""), Error);  // high then high
+}
+
+TEST(JsonNumber, RejectsMalformedForms) {
+  EXPECT_THROW(Json::parse("1.2.3"), Error);
+  EXPECT_THROW(Json::parse("1e"), Error);
+  EXPECT_THROW(Json::parse("1e+"), Error);
+  EXPECT_THROW(Json::parse("1."), Error);
+  EXPECT_THROW(Json::parse(".5"), Error);
+  EXPECT_THROW(Json::parse("+1"), Error);
+  EXPECT_THROW(Json::parse("-"), Error);
+  EXPECT_THROW(Json::parse("01"), Error);
+  EXPECT_THROW(Json::parse("--1"), Error);
+  EXPECT_THROW(Json::parse("[1.2.3]"), Error);
+}
+
+TEST(JsonNumber, NegativeZeroKeepsItsSign) {
+  const Json v = Json::parse("-0");
+  ASSERT_TRUE(v.is_number());
+  EXPECT_TRUE(std::signbit(v.as_double()));
+  EXPECT_EQ(v.dump(), "-0");
+  EXPECT_TRUE(std::signbit(Json::parse(v.dump()).as_double()));
+  EXPECT_TRUE(std::signbit(Json::parse("-0.0").as_double()));
+  EXPECT_TRUE(std::signbit(Json::parse("-0e3").as_double()));
+}
+
+TEST(JsonNumber, HugeExponentsRejectedNotInfinity) {
+  // The permissive parser produced +/-inf here, which the writer then
+  // dumped as null — a silent round-trip corruption.
+  EXPECT_THROW(Json::parse("1e999"), Error);
+  EXPECT_THROW(Json::parse("-1e999"), Error);
+  EXPECT_THROW(Json::parse("1e99999999999999999999"), Error);
+}
+
+TEST(JsonNumber, ExponentAndOverflowForms) {
+  EXPECT_DOUBLE_EQ(Json::parse("1e5").as_double(), 100000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("2E-2").as_double(), 0.02);
+  EXPECT_DOUBLE_EQ(Json::parse("-0.5e1").as_double(), -5.0);
+  EXPECT_EQ(Json::parse("9223372036854775807").as_int(),
+            std::numeric_limits<std::int64_t>::max());
+  // Beyond int64: falls back to the double representation.
+  const Json big = Json::parse("92233720368547758080");
+  ASSERT_TRUE(big.is_number());
+  EXPECT_DOUBLE_EQ(big.as_double(), 9.2233720368547758e19);
+  EXPECT_DOUBLE_EQ(Json::parse("1e308").as_double(), 1e308);
 }
 
 }  // namespace

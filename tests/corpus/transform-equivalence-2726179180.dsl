@@ -1,0 +1,20 @@
+// artemis-verify reproducer
+// property: transform-equivalence
+// seed: 2726179180
+// detail: time-tile x=2: grid 'a0' max|diff| = 0.94891644991780422
+// fixed: sim::zero_boundary silently skipped axes narrower than
+// 2*margin, so the homogeneous-Dirichlet precondition for overlapped
+// time tiling was never established on this N=4 grid and the tiled
+// kernel read random halo values the reference had guarded away.
+parameter N=4;
+iterator i;
+double a0[N], v0[N], c0, c1;
+copyin a0, c0, c1;
+stencil stage0 (OUT, IN, c0, c1) {
+  OUT[i] = IN[i-3];
+}
+iterate 6 {
+  stage0 (v0, a0, c0, c1);
+  swap (v0, a0);
+}
+copyout a0;

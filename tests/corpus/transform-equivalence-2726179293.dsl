@@ -1,0 +1,22 @@
+// artemis-verify reproducer
+// property: transform-equivalence
+// seed: 2726179293
+// detail: maxfuse: grid 'v1' interior max|diff| = 1.3829139205120675 (margin 6)
+// fixed: the verifier compared fused output on a rim the fusion veto is
+// allowed to change — on this extent-4 grid a scalar margin of 6 has no
+// interior and the old helper fell back to comparing the full grid.
+// Margins are now per-axis radii with a vacuous pass when the halo
+// covers an axis.
+parameter L=4, M=4, N=4;
+iterator k, j, i;
+double a0[L,M,N], v0[L,M,N], v1[L,M,N], c0, c1;
+copyin a0, c0, c1;
+stencil stage0 (OUT, IN, c0, c1) {
+  OUT[k][j][i] = IN[k][j-3][i];
+}
+stencil stage1 (OUT, IN, c0, c1, IN0) {
+  OUT[k][j][i] = IN0[k][j][i];
+}
+stage0 (v0, a0, c0, c1);
+stage1 (v1, v0, c0, c1, a0);
+copyout v1;

@@ -29,8 +29,12 @@ TEST(ParserFuzz, RandomBytesNeverCrash) {
       parse(input);
       // Accepting is fine only if the input happened to be valid; re-print
       // to prove a Program actually materialized.
+    } catch (const ParseError& e) {
+      // Every syntactic rejection must carry a usable source position.
+      EXPECT_GE(e.line(), 1) << input;
+      EXPECT_GE(e.col(), 1) << input;
     } catch (const Error&) {
-      // ParseError / SemanticError are the expected outcomes.
+      // SemanticError (validation) is also an expected outcome.
     }
   }
 }
@@ -62,7 +66,55 @@ TEST(ParserFuzz, MutatedValidProgramsNeverCrash) {
       // valid, printable program.
       const std::string printed = print_program(p);
       EXPECT_FALSE(printed.empty());
+    } catch (const ParseError& e) {
+      EXPECT_GE(e.line(), 1) << mutated;
+      EXPECT_GE(e.col(), 1) << mutated;
     } catch (const Error&) {
+    }
+  }
+}
+
+TEST(ParserFuzz, MalformedDirectivesCarryAccuratePositions) {
+  // Each case: (source, expected line, expected col of the diagnostic).
+  struct Case {
+    const char* src;
+    int line;
+    int col;
+  };
+  const Case cases[] = {
+      // Dangling #pragma at end of input: points at the '#'.
+      {"parameter N=8;\niterator i;\ndouble a[N];\n#pragma block (32)\n",
+       4, 1},
+      // #pragma followed by a non-stencil declaration: points at it.
+      {"parameter N=8;\niterator i;\ndouble a[N];\n#pragma block (8)\n"
+       "copyin a;\n",
+       5, 1},
+      // Misspelled clause is the offending non-stencil token.
+      {"parameter N=8;\niterator i;\ndouble a[N];\n#pragma bloc (8)\n"
+       "stencil s (B, A) { B[i] = A[i]; }\n",
+       4, 9},
+      // Top-level #assign: points at the '#'.
+      {"parameter N=8;\niterator i;\ndouble a[N];\n#assign shmem (a)\n",
+       4, 1},
+      // Unknown directive: points at the '#'.
+      {"parameter N=8;\n#foo bar\n", 2, 1},
+      // Bad #assign space inside a stencil body: points at the name.
+      {"parameter N=8;\niterator i;\ndouble a[N], b[N];\n"
+       "stencil s (B, A) {\n  #assign texmem (A)\n  B[i] = A[i];\n}\n"
+       "s (b, a);\n",
+       5, 11},
+      // occupancy with a non-numeric value: points at the value.
+      {"parameter N=8;\niterator i;\ndouble a[N];\n#pragma occupancy high\n"
+       "stencil s (B, A) { B[i] = A[i]; }\n",
+       4, 19},
+  };
+  for (const auto& c : cases) {
+    try {
+      parse(c.src);
+      FAIL() << "expected throw for:\n" << c.src;
+    } catch (const ParseError& e) {
+      EXPECT_EQ(e.line(), c.line) << c.src << "\ngot: " << e.what();
+      EXPECT_EQ(e.col(), c.col) << c.src << "\ngot: " << e.what();
     }
   }
 }

@@ -135,14 +135,54 @@ TEST(Parser, UndeclaredIteratorInIndexThrows) {
                ParseError);
 }
 
-TEST(Parser, DanglingPragmaThrows) {
-  EXPECT_THROW(parse(R"(
+TEST(Parser, DanglingPragmaThrowsWithPosition) {
+  try {
+    parse(R"(
     parameter N=8;
     iterator i;
     double a[N];
     #pragma block (32)
-  )"),
-               SemanticError);
+  )");
+    FAIL() << "expected throw";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 5);  // points at the dangling #pragma itself
+    EXPECT_NE(std::string(e.what()).find("stencil definition"),
+              std::string::npos);
+  }
+}
+
+TEST(Parser, PragmaBeforeNonStencilThrowsAtOffendingToken) {
+  try {
+    parse(R"(
+    parameter N=8;
+    iterator i;
+    double a[N], b[N];
+    #pragma block (32)
+    copyin a;
+    stencil s (B, A) { B[i] = A[i]; }
+    s (b, a);
+  )");
+    FAIL() << "expected throw";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 6);  // points at 'copyin', not end of input
+    EXPECT_NE(std::string(e.what()).find("copyin"), std::string::npos);
+  }
+}
+
+TEST(Parser, TopLevelAssignThrowsWithPosition) {
+  try {
+    parse(R"(
+    parameter N=8;
+    iterator i;
+    double a[N];
+    #assign shmem (a)
+  )");
+    FAIL() << "expected throw";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 5);
+    EXPECT_NE(std::string(e.what()).find("inside a stencil body"),
+              std::string::npos);
+  }
 }
 
 TEST(Parser, ArityMismatchThrows) {

@@ -1,0 +1,50 @@
+// Replays every checked-in reproducer in tests/corpus/ against its
+// recorded property family. Each entry is a bug the verifier once found
+// and this PR (or a later one) fixed; a failure here means a regression
+// resurrected it. Also lints that reproducers stay minimized, so the
+// corpus remains fast and readable forever.
+
+#include <gtest/gtest.h>
+
+#include "artemis/dsl/parser.hpp"
+#include "artemis/verify/corpus.hpp"
+
+#ifndef ARTEMIS_CORPUS_DIR
+#error "build must define ARTEMIS_CORPUS_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace artemis::verify {
+namespace {
+
+TEST(VerifyCorpus, EveryReproducerStaysFixed) {
+  const auto entries = load_corpus(ARTEMIS_CORPUS_DIR);
+  // The harness has found real bugs; their reproducers are checked in.
+  ASSERT_FALSE(entries.empty()) << "no corpus at " << ARTEMIS_CORPUS_DIR;
+  for (const auto& entry : entries) {
+    const CheckResult r = replay_entry(entry);
+    EXPECT_TRUE(r.ok) << entry.path << "\n"
+                      << "property: " << property_name(entry.property)
+                      << ", seed " << entry.seed << "\n"
+                      << r.detail << "\noriginal failure: " << entry.detail;
+  }
+}
+
+TEST(VerifyCorpus, ReproducersAreMinimized) {
+  // The shrinker (or the committer, by hand) must keep reproducers tiny:
+  // small extents, few stages, few statements. Oversized entries slow the
+  // replay down for every future change and obscure the actual bug.
+  for (const auto& entry : load_corpus(ARTEMIS_CORPUS_DIR)) {
+    ASSERT_FALSE(entry.dsl_text.empty()) << entry.path << ": " << entry.detail;
+    const ir::Program prog = dsl::parse(entry.dsl_text);
+    for (const auto& param : prog.params) {
+      EXPECT_LE(param.value, 16) << entry.path << ": extent " << param.name;
+    }
+    EXPECT_LE(prog.stencils.size(), 3u) << entry.path;
+    std::size_t stmts = 0;
+    for (const auto& def : prog.stencils) stmts += def.stmts.size();
+    EXPECT_LE(stmts, 6u) << entry.path;
+  }
+}
+
+}  // namespace
+}  // namespace artemis::verify

@@ -17,6 +17,8 @@
 //   artemisc prog.dsl --trace t.json        Chrome/Perfetto trace of the run
 //   artemisc prog.dsl --report r.json       machine-readable run report
 //   artemisc prog.dsl --summary             human-readable telemetry summary
+//   artemisc --verify                       property-based differential fuzz
+//   artemisc prog.dsl --verify              verify one program only
 
 #include <cstdio>
 #include <cstring>
@@ -40,6 +42,7 @@
 #include "artemis/telemetry/telemetry.hpp"
 #include "artemis/telemetry/trace_sink.hpp"
 #include "artemis/transform/fusion.hpp"
+#include "artemis/verify/verify.hpp"
 
 using namespace artemis;
 
@@ -72,7 +75,22 @@ int usage(const char* argv0) {
                "file\n"
                "       [--report out.json]    machine-readable run report\n"
                "       [--summary]            human-readable telemetry "
-               "summary\n",
+               "summary\n"
+               "       [--verify]             property-based differential "
+               "fuzzing\n"
+               "                              (no <file.dsl>: random sweep; "
+               "with one:\n"
+               "                              verify that program only)\n"
+               "       [--seed-count N]       verify: random programs to "
+               "draw (50)\n"
+               "       [--verify-seed S]      verify: base seed for the "
+               "sweep\n"
+               "       [--property name]      verify: run one family "
+               "(repeatable)\n"
+               "       [--corpus dir]         verify: write minimized "
+               "reproducers here\n"
+               "       [--no-shrink]          verify: keep failures "
+               "unminimized\n",
                argv0);
   return 2;
 }
@@ -152,6 +170,8 @@ int main(int argc, char** argv) {
   std::string trace_path, report_path;
   bool emit_cuda = false, profile = false, run = false, candidates = false;
   bool compare = false, summary = false, resume = false;
+  bool verify_mode = false;
+  verify::VerifyOptions vopts;
   int jobs = 0;  // 0 = hardware concurrency; the plan is jobs-invariant
 
   for (int i = 1; i < argc; ++i) {
@@ -194,10 +214,66 @@ int main(int argc, char** argv) {
       report_path = argv[++i];
     } else if (arg == "--summary") {
       summary = true;
+    } else if (arg == "--verify") {
+      verify_mode = true;
+    } else if (arg == "--seed-count" && i + 1 < argc) {
+      try {
+        vopts.seed_count = std::stoi(argv[++i]);
+      } catch (const std::exception&) {
+        vopts.seed_count = -1;
+      }
+      if (vopts.seed_count < 0) {
+        std::fprintf(stderr, "artemisc: --seed-count expects an integer "
+                             ">= 0\n");
+        return 2;
+      }
+    } else if (arg == "--verify-seed" && i + 1 < argc) {
+      try {
+        vopts.base_seed = std::stoull(argv[++i]);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "artemisc: --verify-seed expects an integer\n");
+        return 2;
+      }
+    } else if (arg == "--property" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      const auto p = verify::property_by_name(name);
+      if (!p) {
+        std::fprintf(stderr, "artemisc: unknown property '%s' (families:",
+                     name.c_str());
+        for (const auto q : verify::all_properties()) {
+          std::fprintf(stderr, " %s", verify::property_name(q));
+        }
+        std::fprintf(stderr, ")\n");
+        return 2;
+      }
+      vopts.properties.push_back(*p);
+    } else if (arg == "--corpus" && i + 1 < argc) {
+      vopts.corpus_dir = argv[++i];
+    } else if (arg == "--no-shrink") {
+      vopts.shrink = false;
     } else if (arg[0] == '-') {
       return usage(argv[0]);
     } else {
       path = arg;
+    }
+  }
+  if (verify_mode) {
+    try {
+      verify::VerifyReport rep;
+      if (path.empty()) {
+        rep = verify::run_verify(vopts);
+      } else {
+        std::ifstream in(path);
+        if (!in) throw Error(str_cat("cannot open '", path, "'"));
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        rep = verify::verify_program(dsl::parse(buf.str()), vopts);
+      }
+      std::printf("%s", rep.summary().c_str());
+      return rep.ok() ? 0 : 1;
+    } catch (const Error& e) {
+      std::fprintf(stderr, "artemisc: error: %s\n", e.what());
+      return 1;
     }
   }
   if (path.empty()) return usage(argv[0]);
