@@ -1,0 +1,213 @@
+// Counting-mode overhead: plain bytecode execution vs. metrics counting.
+//
+// The execution observatory (ExecOptions::trace) streams per-stage line
+// accesses and interior/rim counters out of the bytecode engine. Its
+// contract is "observability for free": grids and returned counters stay
+// bit-identical to a plain run, and the slowdown stays under 2x. This
+// harness measures that slowdown on the paper kernels and enforces both
+// halves of the contract, writing a machine-readable report (--out,
+// default BENCH_metrics.json) consumed by the CI metrics job.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "artemis/codegen/plan_builder.hpp"
+#include "artemis/common/json.hpp"
+#include "artemis/common/str.hpp"
+#include "artemis/common/table.hpp"
+#include "artemis/gpumodel/device.hpp"
+#include "artemis/sim/executor.hpp"
+#include "artemis/stencils/benchmarks.hpp"
+
+using namespace artemis;
+
+namespace {
+
+struct RunOutcome {
+  sim::GridSet gs;
+  std::vector<sim::ExecCounters> counters;  ///< one per stencil plan
+  std::int64_t points = 0;
+  double seconds = 0;
+  std::int64_t trace_stages = 0;  ///< counting runs: stage records seen
+};
+
+/// Execute every plan of the program once. When `counted` is set, each
+/// plan execution runs in counting mode with a fresh PlanTrace.
+RunOutcome run_once(const ir::Program& prog,
+                    const std::vector<codegen::KernelPlan>& plans,
+                    std::uint64_t seed, int jobs, bool counted) {
+  RunOutcome r{sim::GridSet::from_program(prog, seed), {}, 0, 0, 0};
+  std::size_t next_plan = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& step : ir::flatten_steps(prog)) {
+    if (step.kind == ir::ExecStep::Kind::Swap) {
+      r.gs.swap(step.swap.a, step.swap.b);
+      continue;
+    }
+    sim::ExecOptions opts;
+    opts.engine = sim::SimEngine::Bytecode;
+    opts.jobs = jobs;
+    sim::PlanTrace trace;
+    if (counted) opts.trace = &trace;
+    const auto c = sim::execute_plan(plans.at(next_plan++), r.gs, opts);
+    r.points += c.computed_points;
+    r.counters.push_back(c);
+    r.trace_stages += static_cast<std::int64_t>(trace.stages.size());
+  }
+  r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count();
+  return r;
+}
+
+bool outputs_identical(const ir::Program& prog, const sim::GridSet& a,
+                       const sim::GridSet& b) {
+  for (const auto& out : prog.copyout) {
+    const Grid3D& ga = a.grid(out);
+    const Grid3D& gb = b.grid(out);
+    if (std::memcmp(ga.raw().data(), gb.raw().data(),
+                    ga.raw().size() * sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool counters_identical(const RunOutcome& a, const RunOutcome& b) {
+  if (a.counters.size() != b.counters.size()) return false;
+  for (std::size_t i = 0; i < a.counters.size(); ++i) {
+    const auto& x = a.counters[i];
+    const auto& y = b.counters[i];
+    if (x.computed_points != y.computed_points ||
+        x.skipped_points != y.skipped_points ||
+        x.global_read_elems != y.global_read_elems ||
+        x.global_write_elems != y.global_write_elems ||
+        x.scratch_read_elems != y.scratch_read_elems ||
+        x.scratch_write_elems != y.scratch_write_elems ||
+        x.blocks != y.blocks) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::int64_t flag_int(int argc, char** argv, const char* name,
+                      std::int64_t dflt) {
+  const std::string prefix = str_cat("--", name, "=");
+  for (int i = 1; i < argc; ++i) {
+    if (starts_with(argv[i], prefix)) {
+      return std::stoll(std::string(argv[i]).substr(prefix.size()));
+    }
+  }
+  return dflt;
+}
+
+std::string flag_str(int argc, char** argv, const char* name,
+                     const std::string& dflt) {
+  const std::string prefix = str_cat("--", name, "=");
+  for (int i = 1; i < argc; ++i) {
+    if (starts_with(argv[i], prefix)) {
+      return std::string(argv[i]).substr(prefix.size());
+    }
+  }
+  return dflt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t extent = flag_int(argc, argv, "extent", 64);
+  const int reps = static_cast<int>(flag_int(argc, argv, "reps", 3));
+  const int jobs = static_cast<int>(flag_int(argc, argv, "jobs", 1));
+  const std::string out_path =
+      flag_str(argc, argv, "out", "BENCH_metrics.json");
+  const std::string kernels =
+      flag_str(argc, argv, "kernels", "7pt-smoother,helmholtz,hypterm");
+
+  const auto dev = gpumodel::p100();
+
+  TablePrinter table({"kernel", "points", "plain s", "counted s", "overhead x",
+                      "identical"});
+  Json report = Json::object();
+  report.set("extent", Json(extent));
+  report.set("reps", Json(reps));
+  report.set("jobs", Json(static_cast<std::int64_t>(jobs)));
+  Json rows = Json::array();
+  bool all_identical = true;
+  double worst_overhead = 0;
+
+  for (const auto& name : split(kernels, ',')) {
+    const ir::Program prog = stencils::benchmark_program(name, extent, 1);
+    // Pin arrays to global memory (the wide kernels exceed the shared
+    // budget), matching sim_throughput so the baselines are comparable.
+    codegen::BuildOptions gopts;
+    gopts.use_shared_memory = false;
+    std::vector<codegen::KernelPlan> plans;
+    for (const auto& step : ir::flatten_steps(prog)) {
+      if (step.kind != ir::ExecStep::Kind::Stencil) continue;
+      std::vector<std::string> args;
+      for (const auto& p : step.stencil.def->params) {
+        args.push_back(step.stencil.binding.at(p));
+      }
+      plans.push_back(codegen::build_plan_for_call(
+          prog, ir::StencilCall{step.stencil.name, std::move(args)},
+          codegen::KernelConfig{}, dev, gopts));
+    }
+
+    const auto best = [&](bool counted) {
+      RunOutcome first = run_once(prog, plans, 42, jobs, counted);
+      double best_s = first.seconds;
+      for (int r = 1; r < reps; ++r) {
+        const RunOutcome o = run_once(prog, plans, 42, jobs, counted);
+        best_s = std::min(best_s, o.seconds);
+      }
+      first.seconds = best_s;
+      return first;
+    };
+
+    const RunOutcome plain = best(false);
+    const RunOutcome counted = best(true);
+    const double overhead = counted.seconds / plain.seconds;
+    const bool identical = outputs_identical(prog, plain.gs, counted.gs) &&
+                           counters_identical(plain, counted) &&
+                           counted.trace_stages > 0;
+    all_identical = all_identical && identical;
+    worst_overhead = std::max(worst_overhead, overhead);
+
+    table.add_row({name, std::to_string(plain.points),
+                   format_double(plain.seconds, 4),
+                   format_double(counted.seconds, 4),
+                   format_double(overhead, 3), identical ? "yes" : "NO"});
+
+    Json row = Json::object();
+    row.set("kernel", Json(name));
+    row.set("points", Json(plain.points));
+    row.set("plain_s", Json(plain.seconds));
+    row.set("counted_s", Json(counted.seconds));
+    row.set("overhead", Json(overhead));
+    row.set("outputs_identical", Json(identical));
+    rows.push_back(std::move(row));
+  }
+  report.set("kernels", std::move(rows));
+  report.set("worst_overhead", Json(worst_overhead));
+  report.set("overhead_budget", Json(2.0));
+
+  std::ofstream(out_path) << report.dump(2) << "\n";
+  std::printf("Counting-mode overhead (extent %lld^3, best of %d, %d jobs)\n\n%s\n",
+              static_cast<long long>(extent), reps, jobs,
+              table.to_string().c_str());
+  std::printf("Report written to %s\n", out_path.c_str());
+  if (!all_identical) {
+    std::printf("ERROR: counting mode perturbed grids or counters\n");
+    return 1;
+  }
+  if (worst_overhead >= 2.0) {
+    std::printf("ERROR: counting-mode overhead %.3fx exceeds the 2x budget\n",
+                worst_overhead);
+    return 1;
+  }
+  return 0;
+}

@@ -289,6 +289,11 @@ bool degrade_to_seed(EvalContext& ctx, const KernelConfig& seed,
 
 void insert_leaderboard(std::vector<Candidate>& board, Candidate c,
                         int top_k) {
+  const bool had_best = !board.empty();
+  const double prev_best_s = had_best ? board.front().time_s : 0;
+  const std::string prev_best_cfg =
+      had_best && telemetry::enabled() ? serialize_config(board.front().config)
+                                       : std::string();
   board.push_back(std::move(c));
   // Ties on time are broken by the canonical config serialization: a
   // total order, so the board never depends on insertion history and the
@@ -301,6 +306,23 @@ void insert_leaderboard(std::vector<Candidate>& board, Candidate c,
             });
   if (board.size() > static_cast<std::size_t>(top_k)) {
     board.resize(static_cast<std::size_t>(top_k));
+  }
+  // Leaderboard-change events ride the serial commit path, so the event
+  // stream is identical at any jobs value (search observability).
+  if (telemetry::enabled()) {
+    const std::string best_cfg = serialize_config(board.front().config);
+    if (!had_best || best_cfg != prev_best_cfg) {
+      telemetry::counter_add("tuner.leaderboard_changes");
+      std::vector<telemetry::Attr> args;
+      args.push_back({"config", Json(best_cfg)});
+      args.push_back({"time_ms", Json(board.front().time_s * 1e3)});
+      if (had_best) {
+        args.push_back({"previous_best_ms", Json(prev_best_s * 1e3)});
+      }
+      args.push_back(
+          {"board_size", Json(static_cast<std::int64_t>(board.size()))});
+      telemetry::instant("tuner.leaderboard", "tune", std::move(args));
+    }
   }
 }
 
@@ -424,6 +446,35 @@ void run_candidates(EvalContext& ctx, TaskPool* pool, const char* stage,
   }
 }
 
+/// Count the powers of two in [lo, hi] — the side length of one axis of
+/// the unpruned search space.
+std::int64_t pow2_count(int lo, int hi) {
+  std::int64_t n = 0;
+  for (int s = lo; s <= hi; s *= 2) ++n;
+  return n;
+}
+
+std::int64_t ipow(std::int64_t base, int exp) {
+  std::int64_t r = 1;
+  for (int i = 0; i < exp; ++i) r *= base;
+  return r;
+}
+
+/// Search-space coverage observability: how many configurations a sweep
+/// actually enumerated against the unpruned cross product of its knob
+/// axes. The ratio is the tuner's pruning effectiveness; the counters
+/// feed the run report's tuner section and `--metrics`.
+void record_space_coverage(const char* stage, std::int64_t enumerated,
+                           std::int64_t unpruned) {
+  if (!telemetry::enabled()) return;
+  telemetry::counter_add("tuner.space_enumerated", enumerated);
+  telemetry::counter_add("tuner.space_unpruned", unpruned);
+  telemetry::instant("tuner.space", "tune",
+                     {{"stage", Json(std::string(stage))},
+                      {"enumerated", Json(enumerated)},
+                      {"unpruned", Json(unpruned)}});
+}
+
 }  // namespace
 
 int resolve_tune_jobs(const TuneOptions& opts) {
@@ -539,8 +590,25 @@ TuneResult hierarchical_tune(const PlanFactory& factory,
         }
       }
     }
+    const std::int64_t enumerated = static_cast<std::int64_t>(raw.size());
     run_candidates(ctx, pool, "stage1", std::move(raw),
                    /*escalate_budget=*/true, result.evaluated_stage1, board);
+    if (telemetry::enabled()) {
+      const std::int64_t nsizes = pow2_count(opts.min_block, opts.max_block);
+      const int unroll_cap =
+          opts.disable_unroll ? 1
+                              : (opts.theoretically_bandwidth_bound
+                                     ? opts.max_unroll_bandwidth
+                                     : opts.max_unroll_compute);
+      const std::int64_t nfactors = pow2_count(1, unroll_cap);
+      std::int64_t unpruned = 0;
+      for (const TilingScheme tiling : tilings) {
+        const int tiled_dims =
+            tiling != TilingScheme::Spatial3D ? dims - 1 : dims;
+        unpruned += ipow(nsizes, tiled_dims) * ipow(nfactors, dims);
+      }
+      record_space_coverage("stage1", enumerated, unpruned);
+    }
   }
 
   // ---- stage 2: low-impact toggles on the survivors ------------------------
@@ -574,6 +642,8 @@ TuneResult hierarchical_tune(const PlanFactory& factory,
       }
     }
   }
+  record_space_coverage("stage2", static_cast<std::int64_t>(variants.size()),
+                        static_cast<std::int64_t>(variants.size()));
   run_candidates(ctx, pool, "stage2", std::move(variants),
                  /*escalate_budget=*/false, result.evaluated_stage2, board);
 
@@ -640,6 +710,25 @@ TuneResult exhaustive_tune(const PlanFactory& factory,
       }
     }
   }
+  if (telemetry::enabled()) {
+    const std::int64_t nsizes = pow2_count(opts.min_block, opts.max_block);
+    const int unroll_cap =
+        opts.disable_unroll ? 1
+                            : (opts.theoretically_bandwidth_bound
+                                   ? opts.max_unroll_bandwidth
+                                   : opts.max_unroll_compute);
+    const std::int64_t nfactors = pow2_count(1, unroll_cap);
+    std::int64_t unpruned = 0;
+    for (const TilingScheme tiling : tilings) {
+      const int tiled_dims =
+          tiling != TilingScheme::Spatial3D ? dims - 1 : dims;
+      unpruned += ipow(nsizes, tiled_dims) * ipow(nfactors, dims) *
+                  static_cast<std::int64_t>(opts.register_budgets.size()) *
+                  2 * 3;  // prefetch x perspective
+    }
+    record_space_coverage("exhaustive", static_cast<std::int64_t>(raw.size()),
+                          unpruned);
+  }
   run_candidates(ctx, pool, "exhaustive", std::move(raw),
                  /*escalate_budget=*/false, result.evaluated_stage1, board);
 
@@ -703,6 +792,8 @@ TuneResult random_tune(const PlanFactory& factory,
                                      : codegen::UnrollStrategy::Cyclic;
     raw.push_back(cfg);
   }
+  record_space_coverage("random", static_cast<std::int64_t>(raw.size()),
+                        static_cast<std::int64_t>(std::max(0, budget)));
   run_candidates(ctx, pool, "random", std::move(raw),
                  /*escalate_budget=*/false, result.evaluated_stage1, board);
   if (board.empty() && !degrade_to_seed(ctx, seed, board)) {

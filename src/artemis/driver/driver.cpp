@@ -253,6 +253,7 @@ ProgramResult optimize_iterative(const ir::Program& prog,
     kc.config.time_tile = x;  // record the fusion degree in the config
     kc.eval = entry->tuned.best.eval;
     kc.invocations = count;
+    kc.leaderboard = entry->tuned.leaderboard;
     result.kernels.push_back(std::move(kc));
   }
 
@@ -293,10 +294,11 @@ KernelChoice choose_version(const ir::Program& prog,
   kc.name = join(names, "+");
 
   if (!strategy.use_shared_memory) {
-    const auto tuned =
+    auto tuned =
         tune_stages(prog, stages, dev, params, strategy, false, hints);
     kc.config = tuned.best.config;
     kc.eval = tuned.best.eval;
+    kc.leaderboard = std::move(tuned.leaderboard);
     return kc;
   }
 
@@ -311,14 +313,16 @@ KernelChoice choose_version(const ir::Program& prog,
       hints->push_back(
           "no feasible shared-memory mapping: tuning the global version");
     }
-    const auto gbl =
+    auto gbl =
         tune_stages(prog, stages, dev, params, strategy, false, hints);
     kc.config = gbl.best.config;
     kc.eval = gbl.best.eval;
+    kc.leaderboard = std::move(gbl.leaderboard);
     return kc;
   }
   kc.config = shm.best.config;
   kc.eval = shm.best.eval;
+  kc.leaderboard = shm.leaderboard;
 
   if (strategy.profile_guided) {
     try {
@@ -340,6 +344,7 @@ KernelChoice choose_version(const ir::Program& prog,
         if (gbl.best.time_s < kc.eval.time_s) {
           kc.config = gbl.best.config;
           kc.eval = gbl.best.eval;
+          kc.leaderboard = std::move(gbl.leaderboard);
           if (hints) {
             hints->push_back(
                 "tuned global-memory version outperformed the shared-memory "

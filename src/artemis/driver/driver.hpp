@@ -59,6 +59,11 @@ struct KernelChoice {
   codegen::KernelConfig config;
   gpumodel::KernelEval eval;
   int invocations = 1;
+  /// Final tuning leaderboard (best first) for the search that produced
+  /// `config`, when the kernel was tuned. Observability only: --metrics
+  /// reranks these candidates by measured traffic to compute the
+  /// model-vs-measured rank correlation.
+  std::vector<autotune::Candidate> leaderboard;
   double time_s() const { return eval.time_s * invocations; }
 };
 

@@ -1,0 +1,259 @@
+#include "artemis/metrics/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "artemis/common/str.hpp"
+
+namespace artemis::metrics {
+
+double Delta::rel_error() const {
+  const double denom = std::max(std::fabs(predicted), std::fabs(measured));
+  if (denom == 0.0) return 0.0;
+  return (measured - predicted) / denom;
+}
+
+ModelVsMeasured compare_counters(const gpumodel::Counters& predicted,
+                                 const PlanMetrics& measured) {
+  const StageMetrics& t = measured.totals;
+  ModelVsMeasured d;
+  const auto set = [](Delta& delta, double pred, double meas) {
+    delta.predicted = pred;
+    delta.measured = meas;
+  };
+  set(d.flops, static_cast<double>(predicted.flops),
+      static_cast<double>(t.flops));
+  set(d.tex_bytes, static_cast<double>(predicted.tex_bytes),
+      static_cast<double>(t.tex_bytes));
+  set(d.dram_read_bytes, static_cast<double>(predicted.dram_read_bytes),
+      static_cast<double>(t.dram_read_bytes));
+  set(d.dram_write_bytes, static_cast<double>(predicted.dram_write_bytes),
+      static_cast<double>(t.dram_write_bytes));
+  set(d.dram_bytes, static_cast<double>(predicted.dram_bytes()),
+      static_cast<double>(t.dram_bytes()));
+  set(d.shm_bytes, static_cast<double>(predicted.shm_bytes),
+      static_cast<double>(t.shm_bytes));
+  set(d.oi_dram, predicted.oi_dram(), t.oi_dram());
+  set(d.oi_tex, predicted.oi_tex(), t.oi_tex());
+  return d;
+}
+
+namespace {
+
+/// Average ranks (1-based) with tie averaging.
+std::vector<double> ranks(const std::vector<double>& v) {
+  const std::size_t n = v.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<double> r(n, 0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) r[order[k]] = avg;
+    i = j + 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+double spearman(const std::vector<double>& a, const std::vector<double>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 1.0;
+  std::vector<double> ra = ranks({a.begin(), a.begin() + static_cast<std::ptrdiff_t>(n)});
+  std::vector<double> rb = ranks({b.begin(), b.begin() + static_cast<std::ptrdiff_t>(n)});
+  double ma = 0, mb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += ra[i];
+    mb += rb[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0, va = 0, vb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (ra[i] - ma) * (rb[i] - mb);
+    va += (ra[i] - ma) * (ra[i] - ma);
+    vb += (rb[i] - mb) * (rb[i] - mb);
+  }
+  if (va == 0 && vb == 0) return 1.0;  // both constant: identical ranking
+  if (va == 0 || vb == 0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+double measured_roofline_s(const PlanMetrics& m,
+                           const gpumodel::DeviceSpec& dev) {
+  const StageMetrics& t = m.totals;
+  double time = 0;
+  if (dev.dram_bytes_per_s > 0) {
+    time = std::max(time,
+                    static_cast<double>(t.dram_bytes()) / dev.dram_bytes_per_s);
+  }
+  if (dev.tex_bytes_per_s > 0) {
+    time = std::max(time,
+                    static_cast<double>(t.tex_bytes) / dev.tex_bytes_per_s);
+  }
+  if (dev.shm_bytes_per_s > 0) {
+    time = std::max(time,
+                    static_cast<double>(t.shm_bytes) / dev.shm_bytes_per_s);
+  }
+  if (dev.peak_dp_flops > 0) {
+    time = std::max(time, static_cast<double>(t.flops) / dev.peak_dp_flops);
+  }
+  return time;
+}
+
+namespace {
+
+Json delta_json(const Delta& d) {
+  Json j = Json::object();
+  j.set("predicted", d.predicted);
+  j.set("measured", d.measured);
+  j.set("rel_error", d.rel_error());
+  return j;
+}
+
+Json stage_json(const StageMetrics& m) {
+  Json j = Json::object();
+  j.set("name", m.name);
+  j.set("interior_points", m.interior_points);
+  j.set("rim_points", m.rim_points);
+  j.set("computed_points", m.computed_points());
+  j.set("skipped_points", m.skipped_points);
+  j.set("flops", m.flops);
+  j.set("interior_flops", m.interior_flops);
+  j.set("rim_flops", m.rim_flops);
+  j.set("global_read_elems", m.global_read_elems);
+  j.set("global_write_elems", m.global_write_elems);
+  j.set("scratch_read_elems", m.scratch_read_elems);
+  j.set("scratch_write_elems", m.scratch_write_elems);
+  j.set("read_line_requests", m.read_line_requests);
+  j.set("write_line_requests", m.write_line_requests);
+  j.set("unique_read_lines", m.unique_read_lines);
+  j.set("unique_write_lines", m.unique_write_lines);
+  j.set("working_set_bytes", m.working_set_bytes);
+  j.set("tex_bytes", m.tex_bytes);
+  j.set("dram_read_bytes", m.dram_read_bytes);
+  j.set("dram_write_bytes", m.dram_write_bytes);
+  j.set("shm_bytes", m.shm_bytes);
+  j.set("l2_hit_rate", m.l2_hit_rate);
+  j.set("redundant_load_fraction", m.redundant_load_fraction);
+  j.set("oi_dram", m.oi_dram());
+  j.set("oi_tex", m.oi_tex());
+  return j;
+}
+
+}  // namespace
+
+Json kernel_metrics_json(const KernelMetricsReport& k) {
+  Json j = Json::object();
+  j.set("name", k.kernel);
+  j.set("invocations", k.invocations);
+  j.set("line_bytes", k.measured.line_bytes);
+  j.set("l2_capacity_bytes", k.measured.l2_capacity_bytes);
+
+  Json stages = Json::array();
+  for (const auto& s : k.measured.stages) stages.push_back(stage_json(s));
+  j.set("stages", std::move(stages));
+  j.set("totals", stage_json(k.measured.totals));
+
+  Json arrays = Json::array();
+  for (const auto& a : k.measured.arrays) {
+    Json aj = Json::object();
+    aj.set("name", a.name);
+    aj.set("working_set_bytes", a.working_set_bytes);
+    aj.set("read_line_requests", a.read_line_requests);
+    aj.set("write_line_requests", a.write_line_requests);
+    arrays.push_back(std::move(aj));
+  }
+  j.set("arrays", std::move(arrays));
+
+  Json mvm = Json::object();
+  mvm.set("flops", delta_json(k.delta.flops));
+  mvm.set("tex_bytes", delta_json(k.delta.tex_bytes));
+  mvm.set("dram_read_bytes", delta_json(k.delta.dram_read_bytes));
+  mvm.set("dram_write_bytes", delta_json(k.delta.dram_write_bytes));
+  mvm.set("dram_bytes", delta_json(k.delta.dram_bytes));
+  mvm.set("shm_bytes", delta_json(k.delta.shm_bytes));
+  mvm.set("oi_dram", delta_json(k.delta.oi_dram));
+  mvm.set("oi_tex", delta_json(k.delta.oi_tex));
+  j.set("model_vs_measured", std::move(mvm));
+
+  if (k.has_rank_correlation) {
+    Json rank = Json::object();
+    rank.set("candidates", static_cast<std::int64_t>(k.ranking.size()));
+    rank.set("spearman", k.rank_correlation);
+    Json entries = Json::array();
+    for (const auto& e : k.ranking) {
+      Json ej = Json::object();
+      ej.set("config", e.config);
+      ej.set("model_time_ms", e.model_time_s * 1e3);
+      ej.set("measured_roofline_ms", e.measured_time_s * 1e3);
+      entries.push_back(std::move(ej));
+    }
+    rank.set("ranking", std::move(entries));
+    j.set("tuning_rank_correlation", std::move(rank));
+  }
+  return j;
+}
+
+Json metrics_json(const std::string& source, const std::string& strategy,
+                  const std::string& device,
+                  const std::vector<KernelMetricsReport>& kernels) {
+  Json j = Json::object();
+  j.set("metrics_version", kMetricsVersion);
+  j.set("source", source);
+  j.set("strategy", strategy);
+  j.set("device", device);
+  Json arr = Json::array();
+  for (const auto& k : kernels) arr.push_back(kernel_metrics_json(k));
+  j.set("kernels", std::move(arr));
+  return j;
+}
+
+std::string comparison_table(const KernelMetricsReport& k) {
+  std::string out;
+  const auto row = [&out](const char* label, const Delta& d) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "  %-16s %14.4g %14.4g %+9.1f%%\n",
+                  label, d.predicted, d.measured, d.rel_error() * 100.0);
+    out += buf;
+  };
+  out += str_cat("[", k.kernel, "] model vs measured (one execution)\n");
+  out += "  quantity              predicted       measured  rel.err\n";
+  row("flops", k.delta.flops);
+  row("tex_bytes", k.delta.tex_bytes);
+  row("dram_read_bytes", k.delta.dram_read_bytes);
+  row("dram_write_bytes", k.delta.dram_write_bytes);
+  row("dram_bytes", k.delta.dram_bytes);
+  row("shm_bytes", k.delta.shm_bytes);
+  row("oi_dram", k.delta.oi_dram);
+  row("oi_tex", k.delta.oi_tex);
+  for (const auto& s : k.measured.stages) {
+    char buf[220];
+    std::snprintf(buf, sizeof(buf),
+                  "  stage %-12s %10lld pts (%lld rim)  ws %lld B  "
+                  "redundant %.2f  L2 hit %.2f  OI(dram) %.3f\n",
+                  s.name.c_str(),
+                  static_cast<long long>(s.computed_points()),
+                  static_cast<long long>(s.rim_points),
+                  static_cast<long long>(s.working_set_bytes),
+                  s.redundant_load_fraction, s.l2_hit_rate, s.oi_dram());
+    out += buf;
+  }
+  if (k.has_rank_correlation) {
+    char buf[120];
+    std::snprintf(buf, sizeof(buf),
+                  "  rank correlation (model vs measured, %zu candidates): "
+                  "spearman=%.3f\n",
+                  k.ranking.size(), k.rank_correlation);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace artemis::metrics

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "artemis/common/json.hpp"
+#include "artemis/gpumodel/perf_model.hpp"
+#include "artemis/metrics/metrics.hpp"
+
+namespace artemis::metrics {
+
+/// Schema version of the metrics JSON written by `artemisc --metrics`.
+/// Bump on any breaking change to the layout; documented in
+/// docs/OBSERVABILITY.md and validated by the CI metrics job.
+inline constexpr int kMetricsVersion = 1;
+
+/// One predicted-vs-observed quantity.
+struct Delta {
+  double predicted = 0;
+  double measured = 0;
+  /// Signed relative error (measured - predicted) / max(|predicted|,
+  /// |measured|): bounded to [-1, 1], 0 when both sides are 0. Positive
+  /// means the model under-predicts.
+  double rel_error() const;
+};
+
+/// The model-vs-measured confrontation for one plan: every traffic level
+/// and operational-intensity figure the roofline reasons about.
+struct ModelVsMeasured {
+  Delta flops;
+  Delta tex_bytes;
+  Delta dram_read_bytes;
+  Delta dram_write_bytes;
+  Delta dram_bytes;
+  Delta shm_bytes;
+  Delta oi_dram;
+  Delta oi_tex;
+};
+
+/// Confront the analytic counters with the measured plan metrics.
+ModelVsMeasured compare_counters(const gpumodel::Counters& predicted,
+                                 const PlanMetrics& measured);
+
+/// Spearman rank correlation between two paired samples, with ties
+/// assigned average ranks (Pearson correlation on the rank vectors).
+/// Returns 1 for n < 2 (a single candidate is trivially rank-consistent)
+/// and 0 when either side has zero rank variance but the other does not.
+double spearman(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Measured-counters roofline: the time the device's peak rates need to
+/// move the measured traffic (max over DRAM / tex / shm bandwidth and
+/// compute). No GPU is in the loop, so this is the measured-side ranking
+/// signal for rank correlation: it reranks candidates by what they were
+/// *observed* to do rather than what the model predicted they would do.
+double measured_roofline_s(const PlanMetrics& m,
+                           const gpumodel::DeviceSpec& dev);
+
+/// One tuning candidate in the rank-correlation table, best-model-rank
+/// first.
+struct RankEntry {
+  std::string config;        ///< canonical serialization
+  double model_time_s = 0;   ///< the tuner's ranking signal
+  double measured_time_s = 0;  ///< measured_roofline_s on the rebuilt plan
+};
+
+/// Everything --metrics reports for one kernel of the chosen schedule.
+struct KernelMetricsReport {
+  std::string kernel;
+  int invocations = 1;
+  PlanMetrics measured;
+  gpumodel::Counters predicted;
+  ModelVsMeasured delta;
+  /// Leaderboard candidates reranked by measured roofline time; empty
+  /// when the kernel was not tuned (or the leaderboard had one entry).
+  std::vector<RankEntry> ranking;
+  double rank_correlation = 0;
+  bool has_rank_correlation = false;
+};
+
+/// Schema-versioned metrics document (docs/OBSERVABILITY.md).
+Json metrics_json(const std::string& source, const std::string& strategy,
+                  const std::string& device,
+                  const std::vector<KernelMetricsReport>& kernels);
+
+/// The JSON object for one kernel (also embedded in the run report's
+/// "metrics" section).
+Json kernel_metrics_json(const KernelMetricsReport& k);
+
+/// Human-readable model-vs-measured table for one kernel (what --metrics
+/// prints).
+std::string comparison_table(const KernelMetricsReport& k);
+
+}  // namespace artemis::metrics

@@ -1,0 +1,161 @@
+#include "artemis/metrics/metrics.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "artemis/common/check.hpp"
+#include "artemis/gpumodel/cache_sim.hpp"
+
+namespace artemis::metrics {
+
+namespace {
+
+/// Replay accumulator for one metrics scope (a stage or the aggregate):
+/// folds tagged line-stream entries into request counts, uniqueness sets
+/// and the cache simulation.
+struct Replay {
+  gpumodel::CacheSim sim;
+  std::uint64_t line_bytes;
+  std::int64_t read_requests = 0;
+  std::int64_t write_requests = 0;
+  std::int64_t read_misses = 0;
+  std::unordered_set<std::uint64_t> read_lines;
+  std::unordered_set<std::uint64_t> write_lines;
+
+  Replay(std::int64_t capacity, int line)
+      : sim(capacity, line), line_bytes(static_cast<std::uint64_t>(line)) {}
+
+  void feed(const std::vector<std::uint32_t>& lines) {
+    for (const std::uint32_t entry : lines) {
+      const bool is_write = (entry & sim::kTraceWriteBit) != 0;
+      const std::uint64_t line = entry & ~sim::kTraceWriteBit;
+      const bool hit = sim.access(line * line_bytes);
+      if (is_write) {
+        ++write_requests;
+        write_lines.insert(line);
+      } else {
+        ++read_requests;
+        if (!hit) ++read_misses;
+        read_lines.insert(line);
+      }
+    }
+  }
+
+  void finish(StageMetrics& m) const {
+    const auto lb = static_cast<std::int64_t>(line_bytes);
+    m.read_line_requests = read_requests;
+    m.write_line_requests = write_requests;
+    m.unique_read_lines = static_cast<std::int64_t>(read_lines.size());
+    m.unique_write_lines = static_cast<std::int64_t>(write_lines.size());
+    std::int64_t uni = m.unique_read_lines;
+    for (const std::uint64_t line : write_lines) {
+      if (!read_lines.count(line)) ++uni;
+    }
+    m.unique_lines = uni;
+    m.tex_bytes = read_requests * lb;
+    m.dram_read_bytes = read_misses * lb;
+    m.dram_write_bytes = m.unique_write_lines * lb;
+    m.working_set_bytes = m.unique_lines * lb;
+    m.l2_hit_rate = sim.hit_rate();
+    m.redundant_load_fraction =
+        read_requests > 0
+            ? 1.0 - static_cast<double>(m.unique_read_lines) / read_requests
+            : 0.0;
+  }
+};
+
+void fold_counters(StageMetrics& m, const sim::StageTrace& t) {
+  m.interior_points += t.interior.computed;
+  m.rim_points += t.rim.computed;
+  m.skipped_points += t.interior.skipped + t.rim.skipped;
+  m.interior_flops += t.flops_per_point * t.interior.computed;
+  m.rim_flops += t.flops_per_point * t.rim.computed;
+  m.flops = m.interior_flops + m.rim_flops;
+  m.global_read_elems += t.interior.greads + t.rim.greads;
+  m.global_write_elems += t.interior.gwrites + t.rim.gwrites;
+  m.scratch_read_elems += t.interior.sreads + t.rim.sreads;
+  m.scratch_write_elems += t.interior.swrites + t.rim.swrites;
+  m.shm_bytes = (m.scratch_read_elems + m.scratch_write_elems) *
+                static_cast<std::int64_t>(sizeof(double));
+}
+
+}  // namespace
+
+PlanMetrics measure_plan(const codegen::KernelPlan& plan, sim::GridSet& gs,
+                         const gpumodel::DeviceSpec& dev,
+                         const sim::ExecOptions& base) {
+  ARTEMIS_CHECK_MSG(!base.global_hook,
+                    "measure_plan cannot run with a global-access hook");
+  sim::PlanTrace trace;
+  sim::ExecOptions opts = base;
+  opts.engine = sim::SimEngine::Bytecode;
+  opts.trace = &trace;
+
+  PlanMetrics pm;
+  pm.exec = sim::execute_plan(plan, gs, opts);
+  pm.line_bytes = trace.line_bytes;
+
+  // The replayed cache models the device L2 at the trace's line size.
+  Replay total_replay(dev.l2_bytes, trace.line_bytes);
+  pm.totals.name = "total";
+
+  pm.stages.reserve(trace.stages.size());
+  for (std::size_t s = 0; s < trace.stages.size(); ++s) {
+    const sim::StageTrace& t = trace.stages[s];
+    StageMetrics m;
+    m.name = s < plan.stages.size() ? plan.stages[s].name : "";
+    fold_counters(m, t);
+    Replay replay(dev.l2_bytes, trace.line_bytes);
+    replay.feed(t.lines);
+    replay.finish(m);
+    fold_counters(pm.totals, t);
+    total_replay.feed(t.lines);
+    pm.stages.push_back(std::move(m));
+  }
+  // Materialized-internal write-backs: pure global stores, attributed to
+  // the aggregate only (they happen after the stage sweeps).
+  fold_counters(pm.totals, trace.writeback);
+  total_replay.feed(trace.writeback.lines);
+  total_replay.finish(pm.totals);
+  pm.l2_capacity_bytes = total_replay.sim.capacity_bytes();
+
+  // Per-array attribution: arrays are disjoint, line-aligned, slot-ordered
+  // ranges of the flat address space, so a binary search on the byte
+  // address places every line.
+  if (!trace.arrays.empty()) {
+    std::vector<ArrayMetrics> per_array(trace.arrays.size());
+    std::vector<std::unordered_set<std::uint64_t>> seen(trace.arrays.size());
+    std::vector<std::uint64_t> bases;
+    bases.reserve(trace.arrays.size());
+    for (std::size_t i = 0; i < trace.arrays.size(); ++i) {
+      per_array[i].name = trace.arrays[i].name;
+      bases.push_back(trace.arrays[i].elem_base);
+    }
+    const auto attribute = [&](const std::vector<std::uint32_t>& lines) {
+      for (const std::uint32_t entry : lines) {
+        const bool is_write = (entry & sim::kTraceWriteBit) != 0;
+        const std::uint64_t line = entry & ~sim::kTraceWriteBit;
+        const std::uint64_t addr =
+            line * static_cast<std::uint64_t>(pm.line_bytes);
+        const auto it = std::upper_bound(bases.begin(), bases.end(), addr);
+        const auto idx = static_cast<std::size_t>(it - bases.begin()) - 1;
+        if (is_write) {
+          ++per_array[idx].write_line_requests;
+        } else {
+          ++per_array[idx].read_line_requests;
+        }
+        seen[idx].insert(line);
+      }
+    };
+    for (const auto& t : trace.stages) attribute(t.lines);
+    attribute(trace.writeback.lines);
+    for (std::size_t i = 0; i < per_array.size(); ++i) {
+      per_array[i].working_set_bytes =
+          static_cast<std::int64_t>(seen[i].size()) * pm.line_bytes;
+    }
+    pm.arrays = std::move(per_array);
+  }
+  return pm;
+}
+
+}  // namespace artemis::metrics

@@ -63,6 +63,27 @@ struct Emitter {
         break;  // unary: depth unchanged
     }
     out.max_stack = std::max(out.max_stack, depth);
+    // ir::flop_count's convention: one FLOP per Unary/Binary/Call node
+    // plus one per `+=` read-through accumulate.
+    switch (op) {
+      case BcOp::Neg:
+      case BcOp::Add:
+      case BcOp::Sub:
+      case BcOp::Mul:
+      case BcOp::Div:
+      case BcOp::Sqrt:
+      case BcOp::Fabs:
+      case BcOp::Exp:
+      case BcOp::Log:
+      case BcOp::Min:
+      case BcOp::Max:
+      case BcOp::Pow:
+      case BcOp::StoreAccum:
+        ++out.flops_per_point;
+        break;
+      default:
+        break;
+    }
   }
 
   std::int32_t make_access(const std::string& array,
@@ -224,12 +245,12 @@ inline bool in_box(const BcRegion& b, std::int64_t z, std::int64_t y,
 /// bounds are provably satisfied, so guards compile away; counters are
 /// still maintained per element because pending-buffer hits (which do not
 /// count as reads) are data-dependent.
-template <bool kChecked, bool kHooked>
+template <bool kChecked, bool kHooked, bool kCounted = false>
 bool exec_point(const CompiledStencil& cs, const ArrayView* views,
                 const double* scalars, ExecScratch& st, std::int64_t z,
                 std::int64_t y, std::int64_t x, const BcRegion& commit,
                 bool drop_outside_commit, BcCounters& c,
-                const GlobalAccessHook* hook) {
+                const GlobalAccessHook* hook, StageTrace* trace = nullptr) {
   double* sp = st.stack.data();
   double* locals = st.locals.data();
   PendingWrite* pending = st.pending.data();
@@ -267,12 +288,16 @@ bool exec_point(const CompiledStencil& cs, const ArrayView* views,
                                  "geometry is wrong");
       }
     }
-    value = v.read[view_index(v, cz, cy, cx)];
+    const std::size_t idx = view_index(v, cz, cy, cx);
+    value = v.read[idx];
     if (v.scratch) {
       ++c.sreads;
     } else {
       ++c.greads;
       if constexpr (kHooked) (*hook)(*v.name, cz, cy, cx, false);
+      if constexpr (kCounted) {
+        trace->record(v.elem_base + idx * sizeof(double), /*is_write=*/false);
+      }
     }
     return true;
   };
@@ -382,9 +407,13 @@ bool exec_point(const CompiledStencil& cs, const ArrayView* views,
     ARTEMIS_CHECK_MSG(in_window(v, w.z, w.y, w.x),
                       "grid access (" << w.z << "," << w.y << "," << w.x
                                       << ") out of bounds");
-    v.write[view_index(v, w.z, w.y, w.x)] = w.v;
+    const std::size_t i = view_index(v, w.z, w.y, w.x);
+    v.write[i] = w.v;
     ++c.gwrites;
     if constexpr (kHooked) (*hook)(*v.name, w.z, w.y, w.x, true);
+    if constexpr (kCounted) {
+      trace->record(v.elem_base + i * sizeof(double), /*is_write=*/true);
+    }
   }
   return true;
 }
@@ -462,16 +491,71 @@ BcRegion interior_region(const CompiledStencil& cs,
   return r;
 }
 
+namespace {
+
+/// The interior/rim split sweep shared by the plain and counting paths.
+/// Interior accesses charge `ci`, rim accesses `cr` — the plain path
+/// aliases both to the caller's counter so the split is free; the
+/// counting path keeps them apart for per-block-class metrics.
+template <bool kCounted>
+void run_split_region(const CompiledStencil& cs,
+                      const std::vector<ArrayView>& views,
+                      const double* scalars, const BcRegion& region,
+                      const BcRegion& commit, bool drop_outside_commit,
+                      ExecScratch& st, BcCounters& ci, BcCounters& cr,
+                      StageTrace* trace) {
+  const ArrayView* vp = views.data();
+  const BcRegion in =
+      interior_region(cs, views, region, drop_outside_commit, commit);
+
+  const auto rim_run = [&](std::int64_t z, std::int64_t y, std::int64_t x0,
+                           std::int64_t x1) {
+    for (std::int64_t x = x0; x < x1; ++x) {
+      if (exec_point<true, false, kCounted>(cs, vp, scalars, st, z, y, x,
+                                            commit, drop_outside_commit, cr,
+                                            nullptr, trace)) {
+        ++cr.computed;
+      } else {
+        ++cr.skipped;
+      }
+    }
+  };
+
+  for (std::int64_t z = region.lo[0]; z < region.hi[0]; ++z) {
+    const bool z_in = z >= in.lo[0] && z < in.hi[0];
+    for (std::int64_t y = region.lo[1]; y < region.hi[1]; ++y) {
+      if (!z_in || y < in.lo[1] || y >= in.hi[1]) {
+        rim_run(z, y, region.lo[2], region.hi[2]);
+        continue;
+      }
+      rim_run(z, y, region.lo[2], in.lo[2]);
+      for (std::int64_t x = in.lo[2]; x < in.hi[2]; ++x) {
+        exec_point<false, false, kCounted>(cs, vp, scalars, st, z, y, x,
+                                           commit, drop_outside_commit, ci,
+                                           nullptr, trace);
+      }
+      ci.computed += in.hi[2] - in.lo[2];  // interior points never veto
+      rim_run(z, y, in.hi[2], region.hi[2]);
+    }
+  }
+}
+
+}  // namespace
+
 void run_compiled_region(const CompiledStencil& cs,
                          const std::vector<ArrayView>& views,
                          const double* scalars, const BcRegion& region,
                          const BcRegion& commit, bool drop_outside_commit,
-                         BcCounters& c, const GlobalAccessHook* hook) {
+                         BcCounters& c, const GlobalAccessHook* hook,
+                         StageTrace* trace) {
   if (region.empty()) return;
   ExecScratch st(cs);
   const ArrayView* vp = views.data();
 
   if (hook) {
+    ARTEMIS_CHECK_MSG(trace == nullptr,
+                      "counting mode and the global-access hook are "
+                      "mutually exclusive");
     // Trace mode: every point fully checked and hooked, in row-major
     // order, matching the tree walk's deterministic access stream.
     for (std::int64_t z = region.lo[0]; z < region.hi[0]; ++z) {
@@ -489,37 +573,32 @@ void run_compiled_region(const CompiledStencil& cs,
     return;
   }
 
-  const BcRegion in =
-      interior_region(cs, views, region, drop_outside_commit, commit);
-
-  const auto rim_run = [&](std::int64_t z, std::int64_t y, std::int64_t x0,
-                           std::int64_t x1) {
-    for (std::int64_t x = x0; x < x1; ++x) {
-      if (exec_point<true, false>(cs, vp, scalars, st, z, y, x, commit,
-                                  drop_outside_commit, c, nullptr)) {
-        ++c.computed;
-      } else {
-        ++c.skipped;
-      }
-    }
-  };
-
-  for (std::int64_t z = region.lo[0]; z < region.hi[0]; ++z) {
-    const bool z_in = z >= in.lo[0] && z < in.hi[0];
-    for (std::int64_t y = region.lo[1]; y < region.hi[1]; ++y) {
-      if (!z_in || y < in.lo[1] || y >= in.hi[1]) {
-        rim_run(z, y, region.lo[2], region.hi[2]);
-        continue;
-      }
-      rim_run(z, y, region.lo[2], in.lo[2]);
-      for (std::int64_t x = in.lo[2]; x < in.hi[2]; ++x) {
-        exec_point<false, false>(cs, vp, scalars, st, z, y, x, commit,
-                                 drop_outside_commit, c, nullptr);
-      }
-      c.computed += in.hi[2] - in.lo[2];  // interior points never veto
-      rim_run(z, y, in.hi[2], region.hi[2]);
-    }
+  if (trace != nullptr) {
+    // Counting mode: identical execution, with interior/rim accesses
+    // accumulated apart and the global line stream recorded. The caller's
+    // counter receives the exact same totals as a plain run.
+    trace->flops_per_point = cs.flops_per_point;
+    // Pre-size the line stream: one entry per load plus a write per point
+    // is a tight upper bound (merging only shrinks it), and it keeps the
+    // hot push_back from ever reallocating mid-sweep.
+    const std::int64_t pts = (region.hi[0] - region.lo[0]) *
+                             (region.hi[1] - region.lo[1]) *
+                             (region.hi[2] - region.lo[2]);
+    trace->lines.reserve(trace->lines.size() +
+                         static_cast<std::size_t>(pts) *
+                             (cs.accesses.size() + 1));
+    BcCounters ci, cr;
+    run_split_region<true>(cs, views, scalars, region, commit,
+                           drop_outside_commit, st, ci, cr, trace);
+    trace->interior += ci;
+    trace->rim += cr;
+    c += ci;
+    c += cr;
+    return;
   }
+
+  run_split_region<false>(cs, views, scalars, region, commit,
+                          drop_outside_commit, st, c, c, nullptr);
 }
 
 bool needs_snapshot(const ir::ArrayAccessInfo& ai, int dims, bool recompute) {

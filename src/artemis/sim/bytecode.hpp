@@ -91,6 +91,10 @@ struct CompiledStencil {
   int n_locals = 0;    ///< dense local-slot count
   int max_stack = 0;   ///< value-stack high-water mark
   int n_stores = 0;    ///< pending-write buffer capacity per point
+  /// FLOPs one computed point executes: arithmetic/intrinsic opcodes plus
+  /// one per `+=` read-through, matching ir::flop_count's convention so
+  /// measured FLOP totals are directly comparable to the analytic model.
+  std::int64_t flops_per_point = 0;
 };
 
 /// Compile `stmts` (iterator count `dims`) against the given array and
@@ -113,6 +117,10 @@ struct ArrayView {
   std::uint8_t* written = nullptr;  ///< scratch guard-passed flags, or null
   bool scratch = false;             ///< counts as scratch (not global) traffic
   const std::string* name = nullptr;  ///< for the hook and diagnostics
+  /// Byte base of this array in the counting mode's flat global address
+  /// space (line-aligned, disjoint per array slot). Element (z,y,x) lives
+  /// at elem_base + view_index * sizeof(double); scratch views ignore it.
+  std::uint64_t elem_base = 0;
 };
 
 /// Half-open zyx box.
@@ -151,6 +159,63 @@ struct BcCounters {
   }
 };
 
+/// Cache-line size of the counting mode's flat address space. Matches the
+/// CacheSim default (the L2 sector granularity the model reasons in).
+inline constexpr std::uint64_t kTraceLineBytes = 32;
+
+/// Tag bit marking a write entry in a StageTrace line stream. Entries are
+/// 32-bit (line ids fit easily: the flat address space would need to
+/// exceed 64 GiB to overflow 31 bits — asserted when the layout is
+/// assigned), which halves the counting mode's dominant memory traffic.
+inline constexpr std::uint32_t kTraceWriteBit = 1u << 31;
+
+/// What the low-overhead counting mode records for one stage of one run
+/// (or one block of a run, before the deterministic block-order merge).
+///
+/// The line stream is the global memory traffic at cache-line granularity
+/// in execution order: each entry is a line id of the flat per-array
+/// address space (ArrayView::elem_base), with kTraceWriteBit set on
+/// stores. Consecutive accesses to the same line on the same side
+/// (read/read or write/write) are merged into one entry — the stand-in
+/// for intra-warp coalescing along the unit-stride axis. Merging changes
+/// request counts, never the set of lines touched.
+struct StageTrace {
+  BcCounters interior;  ///< accesses from guard-free interior points
+  BcCounters rim;       ///< accesses from boundary-rim points
+  std::vector<std::uint32_t> lines;  ///< coalesced line stream, tagged
+  std::int64_t flops_per_point = 0;  ///< copied from the compiled stage
+
+  /// Coalescing state; fresh per block so no merge spans a block boundary.
+  std::uint32_t last_read = ~0u;
+  std::uint32_t last_write = ~0u;
+
+  void record(std::uint64_t byte_addr, bool is_write) {
+    const auto line =
+        static_cast<std::uint32_t>(byte_addr / kTraceLineBytes);
+    if (is_write) {
+      if (line == last_write) return;
+      last_write = line;
+      lines.push_back(line | kTraceWriteBit);
+    } else {
+      if (line == last_read) return;
+      last_read = line;
+      lines.push_back(line);
+    }
+  }
+
+  /// Block-order merge: counters sum; the line stream concatenates with a
+  /// coalescing reset at the seam (blocks model distinct thread blocks).
+  StageTrace& operator+=(const StageTrace& o) {
+    interior += o.interior;
+    rim += o.rim;
+    lines.insert(lines.end(), o.lines.begin(), o.lines.end());
+    flops_per_point = o.flops_per_point;
+    last_read = ~0u;
+    last_write = ~0u;
+    return *this;
+  }
+};
+
 /// (array, z, y, x, is_write) for each global-space element access.
 using GlobalAccessHook = std::function<void(
     const std::string&, std::int64_t, std::int64_t, std::int64_t, bool)>;
@@ -176,12 +241,20 @@ BcRegion interior_region(const CompiledStencil& cs,
 /// The domain is split into an interior (bounds checks provably satisfied,
 /// no per-element hook test) and a boundary rim with the fully checked
 /// semantics; when `hook` is non-null everything runs checked + hooked.
+///
+/// `trace` enables the low-overhead counting mode: per-class (interior vs
+/// rim) counters and the coalesced global line stream accumulate into it
+/// while grids, veto behaviour and `counters` stay bit-identical to a
+/// plain run. Mutually exclusive with `hook` (the hook forces the serial
+/// fully-checked path; counting keeps the interior fast path and works
+/// under the parallel block sweep).
 void run_compiled_region(const CompiledStencil& cs,
                          const std::vector<ArrayView>& views,
                          const double* scalars, const BcRegion& region,
                          const BcRegion& commit, bool drop_outside_commit,
                          BcCounters& counters,
-                         const GlobalAccessHook* hook = nullptr);
+                         const GlobalAccessHook* hook = nullptr,
+                         StageTrace* trace = nullptr);
 
 /// Shared snapshot policy for kernel-style execution: must `ai` be copied
 /// before the sweep so every point observes pre-kernel values? True when

@@ -55,6 +55,14 @@ ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
   robust::fault_point("sim.execute", plan.name);
   const bool hooked = static_cast<bool>(opts.global_hook);
   const bool serial = opts.serial || hooked;
+  PlanTrace* trace = opts.trace;
+  if (trace != nullptr) {
+    ARTEMIS_CHECK_MSG(!hooked, "counting mode (ExecOptions::trace) and the "
+                               "global-access hook are mutually exclusive");
+    ARTEMIS_CHECK_MSG(opts.engine == SimEngine::Bytecode,
+                      "counting mode requires the bytecode engine");
+    *trace = PlanTrace{};
+  }
   ExecCounters totals;
   const int dims = plan.dims;
 
@@ -150,6 +158,30 @@ ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
     v.read = snap != snapshots.end() ? snap->second.data() : g.data();
   }
 
+  // Counting mode: lay the arrays out in one flat, disjoint, line-aligned
+  // byte address space (slot order), the coordinate system of the line
+  // streams. Internal arrays keep a base too: their scratch accesses are
+  // never recorded, but materialized write-backs target the global copy.
+  if (trace != nullptr) {
+    std::uint64_t next_base = 0;
+    for (auto& v : base_views) {
+      const std::uint64_t bytes =
+          static_cast<std::uint64_t>(v.wz * v.wy * v.wx) * sizeof(double);
+      v.elem_base = next_base;
+      next_base += (bytes + kTraceLineBytes - 1) / kTraceLineBytes *
+                   kTraceLineBytes;
+      trace->arrays.push_back(
+          {*v.name, v.elem_base,
+           static_cast<std::int64_t>(v.wz * v.wy * v.wx)});
+    }
+    // Line ids are 31-bit in the stream (see kTraceWriteBit); 64 GiB of
+    // flat address space is far beyond any simulated grid set.
+    ARTEMIS_CHECK_MSG(next_base / kTraceLineBytes < (1ull << 31),
+                      "counting-mode address space overflows 31-bit line "
+                      "ids");
+    trace->stages.resize(plan.stages.size());
+  }
+
   // --- one block of the sweep ----------------------------------------------
   // Counters accumulate into a per-block slot so totals reduce in block
   // order, independent of worker scheduling.
@@ -223,10 +255,13 @@ ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
   // Write back internal arrays that are also program outputs: the owned
   // tile of their scratch commits to global memory.
   const auto materialize = [&](std::map<std::string, Scratch>& scratch,
-                               const BcRegion& own, BcCounters& c) {
+                               const BcRegion& own, BcCounters& c,
+                               StageTrace* wb) {
     for (const auto& name : plan.materialized_internals) {
       auto& s = scratch.at(name);
       Grid3D& g = gs.grid(name);
+      const ArrayView& v =
+          base_views[static_cast<std::size_t>(arrays.slot(name))];
       for (std::int64_t z = own.lo[0]; z < own.hi[0]; ++z) {
         for (std::int64_t y = own.lo[1]; y < own.hi[1]; ++y) {
           for (std::int64_t x = own.lo[2]; x < own.hi[2]; ++x) {
@@ -235,13 +270,28 @@ ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
             g.at(z, y, x) = s.at(z, y, x);
             ++c.gwrites;
             if (hooked) opts.global_hook(name, z, y, x, true);
+            if (wb != nullptr) {
+              const std::uint64_t idx =
+                  static_cast<std::uint64_t>((z * v.wy + y) * v.wx + x);
+              wb->record(v.elem_base + idx * sizeof(double),
+                         /*is_write=*/true);
+            }
           }
         }
       }
     }
   };
 
-  const auto run_block_bytecode = [&](std::int64_t block_id, BcCounters& c) {
+  // Per-block counting slots: stage traces plus one write-back trace,
+  // merged in block order after the sweep (same determinism argument as
+  // the counter reduction).
+  struct BlockTrace {
+    std::vector<StageTrace> stages;
+    StageTrace writeback;
+  };
+
+  const auto run_block_bytecode = [&](std::int64_t block_id, BcCounters& c,
+                                      BlockTrace* bt) {
     std::array<std::int64_t, 3> own_lo, own_hi;
     block_geometry(block_id, own_lo, own_hi);
     auto scratch = make_scratch(own_lo, own_hi);
@@ -265,12 +315,14 @@ ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
 
     const BcRegion own = commit_box(own_lo, own_hi);
     const GlobalAccessHook* hook = hooked ? &opts.global_hook : nullptr;
+    if (bt != nullptr) bt->stages.resize(plan.stages.size());
     for (std::size_t s = 0; s < plan.stages.size(); ++s) {
       run_compiled_region(compiled[s], views, scalar_vals.data(),
                           stage_region(s, own_lo, own_hi), own,
-                          /*drop_outside_commit=*/true, c, hook);
+                          /*drop_outside_commit=*/true, c, hook,
+                          bt != nullptr ? &bt->stages[s] : nullptr);
     }
-    materialize(scratch, own, c);
+    materialize(scratch, own, c, bt != nullptr ? &bt->writeback : nullptr);
   };
 
   // The tree-walking oracle: identical semantics, one recursive evaluation
@@ -354,15 +406,20 @@ ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
       }
     }
 
-    materialize(scratch, commit_box(own_lo, own_hi), c);
+    materialize(scratch, commit_box(own_lo, own_hi), c, nullptr);
   };
 
   std::vector<BcCounters> block_counters(
       static_cast<std::size_t>(total_blocks));
+  std::vector<BlockTrace> block_traces(
+      trace != nullptr ? static_cast<std::size_t>(total_blocks) : 0);
   const auto run_block = [&](std::int64_t b) {
     BcCounters c;
     if (opts.engine == SimEngine::Bytecode) {
-      run_block_bytecode(b, c);
+      run_block_bytecode(b, c,
+                         trace != nullptr
+                             ? &block_traces[static_cast<std::size_t>(b)]
+                             : nullptr);
     } else {
       run_block_treewalk(b, c);
     }
@@ -383,7 +440,22 @@ ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
     pool.for_each(total_blocks, run_block);
   }
 
-  // Deterministic reduction: block order, not completion order.
+  // Deterministic reduction: block order, not completion order. Reserve
+  // the concatenated stream sizes up front so the merge copies each
+  // entry exactly once.
+  if (trace != nullptr) {
+    for (std::size_t s = 0; s < trace->stages.size(); ++s) {
+      std::size_t total = 0;
+      for (const auto& bt : block_traces) total += bt.stages[s].lines.size();
+      trace->stages[s].lines.reserve(total);
+    }
+    for (auto& bt : block_traces) {
+      for (std::size_t s = 0; s < trace->stages.size(); ++s) {
+        trace->stages[s] += bt.stages[s];
+      }
+      trace->writeback += bt.writeback;
+    }
+  }
   BcCounters sum;
   for (const auto& c : block_counters) sum += c;
   totals.computed_points = sum.computed;

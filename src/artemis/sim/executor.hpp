@@ -26,6 +26,30 @@ enum class SimEngine {
   TreeWalk,  ///< per-point recursive evaluation via apply_stmts_at_point
 };
 
+/// Counting-mode output for one plan execution: per-stage interior/rim
+/// counters and coalesced line streams, plus the flat address map that
+/// ties line ids back to arrays. Per-block traces are reduced in block-id
+/// order exactly like BcCounters, so the result is deterministic at any
+/// job count. Filled by execute_plan when ExecOptions::trace points here;
+/// gpumodel-free so sim stays a leaf module (metrics/ does cache replay).
+struct PlanTrace {
+  /// One array slot of the flat global address space, slot-ordered.
+  /// elem_base is line-aligned and ranges are disjoint, so any line id in
+  /// a stage stream maps back to exactly one array.
+  struct ArrayInfo {
+    std::string name;
+    std::uint64_t elem_base = 0;  ///< byte base (line-aligned)
+    std::int64_t elems = 0;       ///< storage elements (8 bytes each)
+  };
+
+  int line_bytes = static_cast<int>(kTraceLineBytes);
+  std::vector<ArrayInfo> arrays;
+  std::vector<StageTrace> stages;  ///< one per plan stage, merged
+  /// Global commits of materialized internal arrays (scratch -> grid
+  /// write-back after the stage sweeps); not attributable to one stage.
+  StageTrace writeback;
+};
+
 /// Execution options. The global-access hook exists for trace-driven
 /// cache validation (bench/cache_validation): it receives every
 /// global-space element access (reads and committed writes) in a
@@ -38,6 +62,12 @@ struct ExecOptions {
   SimEngine engine = SimEngine::Bytecode;
   /// (array, z, y, x, is_write) for each global access.
   GlobalAccessHook global_hook;
+  /// Counting mode: when non-null, per-stage measured counters and line
+  /// streams are collected here. Requires the bytecode engine; composes
+  /// with the parallel sweep (unlike the hook) and leaves grids, returned
+  /// counters and journal bytes bit-identical to a plain run. Mutually
+  /// exclusive with global_hook.
+  PlanTrace* trace = nullptr;
 };
 
 /// Execute a kernel plan over real grids, faithfully reproducing the

@@ -132,6 +132,22 @@ Json build_run_report(const ReportMeta& meta,
   tuner.set("cache_misses", counter("tuning_cache.misses"));
   tuner.set("journal_hits", counter("tuner.journal_hits"));
   tuner.set("candidates", events_named(events, "tuner.candidate"));
+  // Search observability: leaderboard-front changes (serial commit order,
+  // so identical at any jobs value) and search-space coverage — what each
+  // sweep enumerated against the unpruned cross product of its knob axes.
+  tuner.set("leaderboard_changes", counter("tuner.leaderboard_changes"));
+  tuner.set("leaderboard_events", events_named(events, "tuner.leaderboard"));
+  Json space = Json::object();
+  const std::int64_t space_enumerated = counter("tuner.space_enumerated");
+  const std::int64_t space_unpruned = counter("tuner.space_unpruned");
+  space.set("enumerated", space_enumerated);
+  space.set("unpruned", space_unpruned);
+  space.set("coverage",
+            space_unpruned > 0 ? static_cast<double>(space_enumerated) /
+                                     static_cast<double>(space_unpruned)
+                               : 1.0);
+  space.set("sweeps", events_named(events, "tuner.space"));
+  tuner.set("space", std::move(space));
   report.set("tuner", std::move(tuner));
 
   // Resilience accounting (docs/ROBUSTNESS.md): what fault injection,

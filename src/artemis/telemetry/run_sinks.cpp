@@ -1,0 +1,103 @@
+#include "artemis/telemetry/run_sinks.hpp"
+
+#include <cstdio>
+#include <exception>
+
+#include "artemis/telemetry/trace_sink.hpp"
+
+namespace artemis::telemetry {
+
+RunSinks::RunSinks(RunSinksOptions opts) : opts_(std::move(opts)) {
+  active_ = !opts_.trace_path.empty() || !opts_.report_path.empty() ||
+            !opts_.metrics_path.empty() || opts_.summary;
+  // Telemetry stays fully disabled (zero-overhead) unless a sink asked
+  // for it.
+  if (active_) Collector::global().enable();
+}
+
+RunSinks::~RunSinks() {
+  if (finalized_ || !active_) return;
+  try {
+    flush(/*completed=*/false);
+  } catch (const std::exception& e) {
+    // Unwinding: nothing more we can do than having tried.
+    std::fprintf(stderr, "artemisc: telemetry flush failed: %s\n", e.what());
+  } catch (...) {
+    std::fprintf(stderr, "artemisc: telemetry flush failed\n");
+  }
+}
+
+bool RunSinks::finalize() {
+  finalized_ = true;
+  if (!active_) return true;
+  return flush(/*completed=*/true);
+}
+
+bool RunSinks::flush(bool completed) {
+  auto& collector = Collector::global();
+  const auto events = collector.snapshot();
+  const auto counters = collector.counters();
+  bool ok = true;
+
+  if (!opts_.trace_path.empty()) {
+    // The trace is a bare record array (Chrome trace-event format), so
+    // the completion marker rides along as one final instant record.
+    Json trace = chrome_trace(events, counters);
+    Json done = Json::object();
+    done.set("name", Json("run.completed"));
+    done.set("cat", Json("run"));
+    done.set("ph", Json("i"));
+    done.set("ts", Json(static_cast<std::int64_t>(0)));
+    done.set("pid", Json(static_cast<std::int64_t>(1)));
+    done.set("tid", Json(static_cast<std::int64_t>(0)));
+    done.set("s", Json("g"));
+    Json args = Json::object();
+    args.set("completed", Json(completed));
+    done.set("args", std::move(args));
+    trace.push_back(std::move(done));
+    if (write_file(opts_.trace_path, trace.dump(1) + "\n")) {
+      std::printf("trace written: %s (%zu events)\n",
+                  opts_.trace_path.c_str(), events.size());
+    } else {
+      std::fprintf(stderr, "artemisc: cannot write trace '%s'\n",
+                   opts_.trace_path.c_str());
+      ok = false;
+    }
+  }
+
+  if (!opts_.report_path.empty()) {
+    const driver::ProgramResult empty;
+    Json report =
+        build_run_report(meta_, result_ ? *result_ : empty, events, counters);
+    report.set("completed", completed);
+    if (metrics_) report.set("metrics", *metrics_);
+    if (write_file(opts_.report_path, report.dump(2) + "\n")) {
+      std::printf("report written: %s\n", opts_.report_path.c_str());
+    } else {
+      std::fprintf(stderr, "artemisc: cannot write report '%s'\n",
+                   opts_.report_path.c_str());
+      ok = false;
+    }
+  }
+
+  if (!opts_.metrics_path.empty()) {
+    // An aborted run that never measured still leaves a parseable
+    // document, marked incomplete.
+    Json doc = metrics_ ? *metrics_ : Json::object();
+    doc.set("completed", completed);
+    if (write_file(opts_.metrics_path, doc.dump(2) + "\n")) {
+      std::printf("metrics written: %s\n", opts_.metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "artemisc: cannot write metrics '%s'\n",
+                   opts_.metrics_path.c_str());
+      ok = false;
+    }
+  }
+
+  if (opts_.summary) {
+    std::printf("\n%s", summary_text(events, counters).c_str());
+  }
+  return ok;
+}
+
+}  // namespace artemis::telemetry

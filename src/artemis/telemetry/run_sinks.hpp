@@ -1,0 +1,70 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "artemis/telemetry/report.hpp"
+
+namespace artemis::telemetry {
+
+/// Where one CLI run's telemetry should land.
+struct RunSinksOptions {
+  std::string trace_path;    ///< Chrome/Perfetto trace-event file
+  std::string report_path;   ///< machine-readable run report
+  std::string metrics_path;  ///< measured-metrics JSON (--metrics)
+  bool summary = false;      ///< print the human-readable summary
+};
+
+/// Scope-exit telemetry flushing for CLI runs.
+///
+/// Construction enables the global collector when any sink was requested;
+/// the destructor flushes every requested sink with whatever was recorded
+/// up to that point. A run that throws therefore still leaves valid —
+/// truncated but parseable — JSON on disk, with `"completed": false` in
+/// each document so downstream tooling can tell an aborted run from a
+/// finished one. The normal path calls finalize(), which flushes with
+/// `"completed": true` and disarms the destructor.
+///
+/// The destructor never throws: flush failures during unwinding are
+/// reported on stderr and swallowed.
+class RunSinks {
+ public:
+  explicit RunSinks(RunSinksOptions opts);
+  ~RunSinks();
+
+  RunSinks(const RunSinks&) = delete;
+  RunSinks& operator=(const RunSinks&) = delete;
+
+  /// True when at least one sink (or the summary) was requested.
+  bool active() const { return active_; }
+
+  /// Report header; settable as soon as strategy/device resolve.
+  void set_meta(ReportMeta meta) { meta_ = std::move(meta); }
+
+  /// The optimization result the report describes. Before this is set a
+  /// flush reports an empty schedule (the run died before the driver
+  /// finished).
+  void set_result(driver::ProgramResult result) {
+    result_ = std::move(result);
+  }
+
+  /// The measured-metrics document (docs/OBSERVABILITY.md). Written to
+  /// `metrics_path` and embedded in the report's "metrics" section.
+  void set_metrics(Json metrics) { metrics_ = std::move(metrics); }
+
+  /// Flush all sinks with `"completed": true` and disarm the destructor.
+  /// Returns false when any sink could not be written.
+  bool finalize();
+
+ private:
+  bool flush(bool completed);
+
+  RunSinksOptions opts_;
+  bool active_ = false;
+  bool finalized_ = false;
+  ReportMeta meta_;
+  std::optional<driver::ProgramResult> result_;
+  std::optional<Json> metrics_;
+};
+
+}  // namespace artemis::telemetry

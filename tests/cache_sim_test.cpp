@@ -80,5 +80,56 @@ TEST(CacheSim, TinyCapacityStillWorks) {
   EXPECT_TRUE(c.access(0));
 }
 
+TEST(CacheSim, SingleLineWorkingSet) {
+  // The smallest possible working set: every address inside one line.
+  // One cold miss, then hits forever, at any associativity.
+  for (const int ways : {1, 2, 16}) {
+    CacheSim c(1 << 20, 32, ways);
+    for (std::uint64_t a = 0; a < 32; ++a) c.access(a);
+    for (int pass = 0; pass < 3; ++pass) {
+      for (std::uint64_t a = 0; a < 32; a += 8) c.access(a);
+    }
+    EXPECT_EQ(c.misses(), 1) << "ways=" << ways;
+    EXPECT_EQ(c.miss_bytes(), 32) << "ways=" << ways;
+  }
+}
+
+TEST(CacheSim, ConflictSetExactlyAssociativitySized) {
+  // `ways` lines all mapping to set 0 fit exactly: after one warm-up
+  // pass every revisit hits, regardless of LRU order.
+  const int ways = 4;
+  CacheSim c(32 * 2 * ways, 32, ways);  // 2 sets
+  const std::uint64_t set_stride = 2 * 32;
+  for (int i = 0; i < ways; ++i) c.access(i * set_stride);
+  EXPECT_EQ(c.misses(), ways);
+  for (int pass = 0; pass < 4; ++pass) {
+    for (int i = 0; i < ways; ++i) {
+      EXPECT_TRUE(c.access(i * set_stride)) << "pass " << pass << " i " << i;
+    }
+  }
+  EXPECT_EQ(c.misses(), ways);  // warm-up misses only
+}
+
+TEST(CacheSim, ConflictSetOneOverAssociativityThrashes) {
+  // ways+1 lines cycling through one set under LRU: the incoming line
+  // always evicts the one needed next, so every access misses.
+  const int ways = 4;
+  CacheSim c(32 * 2 * ways, 32, ways);
+  const std::uint64_t set_stride = 2 * 32;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int i = 0; i < ways + 1; ++i) {
+      EXPECT_FALSE(c.access(i * set_stride)) << "pass " << pass;
+    }
+  }
+  EXPECT_EQ(c.hits(), 0);
+}
+
+TEST(CacheSim, ZeroAccessesReportCleanStats) {
+  CacheSim c(1024, 32, 2);
+  EXPECT_EQ(c.accesses(), 0);
+  EXPECT_EQ(c.hit_rate(), 0.0);
+  EXPECT_EQ(c.miss_bytes(), 0);
+}
+
 }  // namespace
 }  // namespace artemis::gpumodel

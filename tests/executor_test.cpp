@@ -158,6 +158,131 @@ TEST(Executor, CountsComputeAndSkips) {
   EXPECT_EQ(c.global_write_elems, 14 * 14 * 14);
 }
 
+// ---- counting mode ---------------------------------------------------------
+
+void expect_counters_equal(const ExecCounters& a, const ExecCounters& b) {
+  EXPECT_EQ(a.computed_points, b.computed_points);
+  EXPECT_EQ(a.skipped_points, b.skipped_points);
+  EXPECT_EQ(a.global_read_elems, b.global_read_elems);
+  EXPECT_EQ(a.global_write_elems, b.global_write_elems);
+  EXPECT_EQ(a.scratch_read_elems, b.scratch_read_elems);
+  EXPECT_EQ(a.scratch_write_elems, b.scratch_write_elems);
+  EXPECT_EQ(a.blocks, b.blocks);
+}
+
+TEST(Executor, CountingModeLeavesRunBitIdentical) {
+  // Counting mode must be a pure observer: grids and counters stay
+  // bit-identical to the plain run, serial or parallel.
+  const ir::Program prog = dsl::parse(artemis::testing::kJacobiDsl);
+  const auto dev = gpumodel::p100();
+  KernelConfig cfg;
+  cfg.block = {8, 4, 2};
+  const auto plan =
+      codegen::build_plan_for_call(prog, prog.steps[0].call, cfg, dev);
+
+  for (const int jobs : {1, 4}) {
+    GridSet plain = GridSet::from_program(prog, 11);
+    GridSet counted = plain.clone();
+    ExecOptions po;
+    po.jobs = jobs;
+    const ExecCounters cp = execute_plan(plan, plain, po);
+
+    PlanTrace trace;
+    ExecOptions co;
+    co.jobs = jobs;
+    co.trace = &trace;
+    const ExecCounters cc = execute_plan(plan, counted, co);
+
+    expect_counters_equal(cp, cc);
+    for (const auto& [name, grid] : plain.grids()) {
+      EXPECT_EQ(grid->raw(), counted.grid(name).raw())
+          << "jobs=" << jobs << " array " << name;
+    }
+
+    // The trace's own accounting reconciles with the plain counters.
+    ASSERT_EQ(trace.stages.size(), 1u);
+    const StageTrace& st = trace.stages[0];
+    EXPECT_EQ(st.interior.computed + st.rim.computed, cp.computed_points);
+    EXPECT_EQ(st.interior.skipped + st.rim.skipped, cp.skipped_points);
+    EXPECT_EQ(st.interior.greads + st.rim.greads, cp.global_read_elems);
+    EXPECT_EQ(st.interior.gwrites + st.rim.gwrites, cp.global_write_elems);
+    // Order-1 Jacobi: the rim class is exactly the domain shell, fully
+    // guard-vetoed; the interior path never sees the guard at all.
+    EXPECT_GT(st.rim.computed + st.rim.skipped, 0);
+    EXPECT_EQ(st.rim.computed, 0);
+    EXPECT_EQ(st.interior.skipped, 0);
+    EXPECT_GT(st.interior.computed, 0);
+    EXPECT_FALSE(st.lines.empty());
+    EXPECT_GT(st.flops_per_point, 0);
+    ASSERT_FALSE(trace.arrays.empty());
+  }
+}
+
+TEST(Executor, CountingTraceIsJobsInvariant) {
+  // Per-block traces are merged in block-id order, so the concatenated
+  // line stream (and everything derived from it) is identical at any
+  // worker count.
+  const ir::Program prog = dsl::parse(artemis::testing::kJacobiDsl);
+  const auto dev = gpumodel::p100();
+  KernelConfig cfg;
+  cfg.tiling = TilingScheme::StreamSerial;
+  cfg.stream_axis = 2;
+  cfg.block = {8, 4, 1};
+  const auto plan =
+      codegen::build_plan_for_call(prog, prog.steps[0].call, cfg, dev);
+
+  PlanTrace t1, t4;
+  {
+    GridSet gs = GridSet::from_program(prog, 3);
+    ExecOptions o;
+    o.jobs = 1;
+    o.trace = &t1;
+    execute_plan(plan, gs, o);
+  }
+  {
+    GridSet gs = GridSet::from_program(prog, 3);
+    ExecOptions o;
+    o.jobs = 4;
+    o.trace = &t4;
+    execute_plan(plan, gs, o);
+  }
+  ASSERT_EQ(t1.stages.size(), t4.stages.size());
+  for (std::size_t s = 0; s < t1.stages.size(); ++s) {
+    EXPECT_EQ(t1.stages[s].lines, t4.stages[s].lines) << "stage " << s;
+    EXPECT_EQ(t1.stages[s].interior.computed, t4.stages[s].interior.computed);
+    EXPECT_EQ(t1.stages[s].rim.computed, t4.stages[s].rim.computed);
+  }
+  EXPECT_EQ(t1.writeback.lines, t4.writeback.lines);
+}
+
+TEST(Executor, CountingModeDegenerateAxis) {
+  // A 1D program: extent-1 y/z axes must not break the interior/rim
+  // split (the whole domain is rim along the degenerate axes).
+  Rng rng(0xDE6E);
+  stencils::RandomStencilOptions ropts;
+  ropts.dims = 1;
+  ropts.max_order = 1;
+  ropts.max_stages = 1;
+  const ir::Program prog = stencils::random_program(rng, ropts);
+  const auto dev = gpumodel::p100();
+  KernelConfig cfg;
+  cfg.block = {8, 1, 1};
+  const auto plan =
+      codegen::build_plan_for_call(prog, prog.steps[0].call, cfg, dev);
+
+  GridSet plain = GridSet::from_program(prog, 5);
+  GridSet counted = plain.clone();
+  const ExecCounters cp = execute_plan(plan, plain);
+  PlanTrace trace;
+  ExecOptions co;
+  co.trace = &trace;
+  const ExecCounters cc = execute_plan(plan, counted, co);
+  expect_counters_equal(cp, cc);
+  for (const auto& [name, grid] : plain.grids()) {
+    EXPECT_EQ(grid->raw(), counted.grid(name).raw()) << "array " << name;
+  }
+}
+
 // ---- property tests: random programs x random configs ----------------------
 
 struct PropertyCase {

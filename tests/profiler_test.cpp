@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "artemis/codegen/plan_builder.hpp"
 #include "artemis/dsl/parser.hpp"
+#include "artemis/metrics/compare.hpp"
+#include "artemis/metrics/metrics.hpp"
 #include "artemis/profile/profiler.hpp"
+#include "artemis/sim/executor.hpp"
 #include "artemis/stencils/benchmarks.hpp"
 #include "artemis/transform/fusion.hpp"
 #include "test_programs.hpp"
@@ -229,6 +234,37 @@ TEST_F(ProfilerTest, SummaryMentionsVerdicts) {
   const std::string s = rep.summary();
   EXPECT_NE(s.find("OI(dram)"), std::string::npos);
   EXPECT_NE(s.find("OI(shm)"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, MeasuredMetricsAgreeWithBandwidthVerdict) {
+  // The observatory's measured side must reproduce the profiler's
+  // qualitative verdict: a 7-point sweep is DRAM bandwidth-bound, so the
+  // measured OI(dram) sits well below the device ridge point — and the
+  // modeled OI, whatever its absolute divergence, lands on the same side.
+  const auto prog = dsl::parse(artemis::testing::kJacobiDsl);
+  KernelConfig cfg;
+  cfg.block = {8, 8, 4};
+  const auto plan =
+      codegen::build_plan_for_call(prog, prog.steps[0].call, cfg, dev_);
+  const ProfileReport rep = profile_plan(plan, dev_, params_);
+  EXPECT_TRUE(rep.bandwidth_bound_at(Level::Dram));
+
+  sim::GridSet gs = sim::GridSet::from_program(prog, 1);
+  const metrics::PlanMetrics m = metrics::measure_plan(plan, gs, dev_);
+  const double ridge = dev_.peak_dp_flops / dev_.dram_bytes_per_s;
+  EXPECT_GT(m.totals.oi_dram(), 0.0);
+  EXPECT_LT(m.totals.oi_dram(), ridge);
+  EXPECT_LT(rep.oi_dram, ridge);
+
+  // Divergence between the modeled and measured counters is reported as
+  // a bounded signed relative error.
+  const auto predicted = gpumodel::evaluate(plan, dev_, params_).counters;
+  const metrics::ModelVsMeasured d =
+      metrics::compare_counters(predicted, m);
+  EXPECT_LE(std::fabs(d.dram_bytes.rel_error()), 1.0);
+  EXPECT_LE(std::fabs(d.flops.rel_error()), 1.0);
+  // The measured-roofline ranking signal exists and is positive.
+  EXPECT_GT(metrics::measured_roofline_s(m, dev_), 0.0);
 }
 
 }  // namespace

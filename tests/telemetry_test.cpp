@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <vector>
 
 #include "artemis/autotune/tuning_cache.hpp"
@@ -11,6 +14,7 @@
 #include "artemis/driver/driver.hpp"
 #include "artemis/dsl/parser.hpp"
 #include "artemis/telemetry/report.hpp"
+#include "artemis/telemetry/run_sinks.hpp"
 #include "artemis/telemetry/telemetry.hpp"
 #include "artemis/telemetry/trace_sink.hpp"
 #include "test_programs.hpp"
@@ -277,6 +281,116 @@ TEST_F(TelemetryTest, RunReportRoundTripsAndCountersSumConsistently) {
   EXPECT_GE(back["deep_tuning"]["tipping_point"].as_int(), 1);
   EXPECT_GT(back["profile"].size(), 0u);
   EXPECT_GT(back["phases"].size(), 0u);
+}
+
+// ---- RunSinks scope-exit flushing -----------------------------------------
+
+class RunSinksTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = std::string("/tmp/artemis_runsinks_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    trace_ = base_ + "_trace.json";
+    report_ = base_ + "_report.json";
+    metrics_ = base_ + "_metrics.json";
+    cleanup();
+    Collector::global().disable();
+    Collector::global().clear();
+  }
+  void TearDown() override {
+    cleanup();
+    Collector::global().disable();
+    Collector::global().clear();
+  }
+  void cleanup() {
+    std::remove(trace_.c_str());
+    std::remove(report_.c_str());
+    std::remove(metrics_.c_str());
+  }
+  static Json parse_file(const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return Json::parse(buf.str());
+  }
+  std::string base_, trace_, report_, metrics_;
+};
+
+TEST_F(RunSinksTest, InactiveWithoutSinks) {
+  RunSinks sinks({});
+  EXPECT_FALSE(sinks.active());
+  EXPECT_FALSE(enabled());  // telemetry stays zero-overhead
+  EXPECT_TRUE(sinks.finalize());
+}
+
+TEST_F(RunSinksTest, ThrownRunStillLeavesParseableJson) {
+  // The scope-exit guarantee: a run that throws mid-pipeline leaves
+  // valid JSON at every requested path, marked incomplete.
+  try {
+    RunSinks sinks({trace_, report_, metrics_, /*summary=*/false});
+    EXPECT_TRUE(sinks.active());
+    EXPECT_TRUE(enabled());
+    sinks.set_meta({"boom.dsl", "artemis", "P100", 2});
+    counter_add("tuner.enumerated", 3);
+    instant("tuner.leaderboard", "tune");
+    throw Error("pipeline exploded");
+  } catch (const Error&) {
+  }
+
+  // The trace stays a bare record array; the completion marker is the
+  // final run.completed instant.
+  const Json trace = parse_file(trace_);
+  ASSERT_TRUE(trace.is_array());
+  ASSERT_GT(trace.size(), 0u);
+  const Json& done = trace.at(trace.size() - 1);
+  EXPECT_EQ(done["name"].as_string(), "run.completed");
+  EXPECT_FALSE(done["args"]["completed"].as_bool());
+
+  const Json report = parse_file(report_);
+  EXPECT_FALSE(report["completed"].as_bool());
+  EXPECT_EQ(report["report_version"].as_int(), kReportVersion);
+  EXPECT_EQ(report["source"].as_string(), "boom.dsl");
+  // Truncated but structurally whole: the schedule section exists (and
+  // is empty — the driver never finished), and the recorded telemetry
+  // made it out.
+  EXPECT_EQ(report["schedule"]["kernels"].size(), 0u);
+  EXPECT_EQ(report["tuner"]["enumerated"].as_int(), 3);
+
+  const Json metrics = parse_file(metrics_);
+  EXPECT_FALSE(metrics["completed"].as_bool());
+}
+
+TEST_F(RunSinksTest, FinalizeMarksCompletedAndEmbedsMetrics) {
+  {
+    RunSinks sinks({"", report_, metrics_, /*summary=*/false});
+    sinks.set_meta({"ok.dsl", "artemis", "P100", 1});
+    driver::ProgramResult r;
+    r.strategy = "artemis";
+    sinks.set_result(std::move(r));
+    Json m = Json::object();
+    m.set("metrics_version", 1);
+    sinks.set_metrics(std::move(m));
+    EXPECT_TRUE(sinks.finalize());
+  }
+  const Json report = parse_file(report_);
+  EXPECT_TRUE(report["completed"].as_bool());
+  EXPECT_TRUE(report["metrics"].is_object());
+  const Json metrics = parse_file(metrics_);
+  EXPECT_TRUE(metrics["completed"].as_bool());
+  EXPECT_EQ(metrics["metrics_version"].as_int(), 1);
+}
+
+TEST_F(RunSinksTest, DestructorIsIdempotentAfterFinalize) {
+  {
+    RunSinks sinks({"", report_, "", false});
+    sinks.set_meta({"once.dsl", "artemis", "P100", 1});
+    EXPECT_TRUE(sinks.finalize());
+    // Overwrite the file; the destructor must not clobber it again.
+    ASSERT_TRUE(write_file(report_, "{\"sentinel\": true}\n"));
+  }
+  const Json report = parse_file(report_);
+  EXPECT_TRUE(report["sentinel"].as_bool());
 }
 
 // ---- Json round-trip ------------------------------------------------------

@@ -17,9 +17,12 @@
 //   artemisc prog.dsl --trace t.json        Chrome/Perfetto trace of the run
 //   artemisc prog.dsl --report r.json       machine-readable run report
 //   artemisc prog.dsl --summary             human-readable telemetry summary
+//   artemisc prog.dsl --metrics m.json      measured metrics + model-vs-
+//                                           measured divergence
 //   artemisc --verify                       property-based differential fuzz
 //   artemisc prog.dsl --verify              verify one program only
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,12 +36,15 @@
 #include "artemis/common/str.hpp"
 #include "artemis/driver/driver.hpp"
 #include "artemis/dsl/parser.hpp"
+#include "artemis/metrics/compare.hpp"
+#include "artemis/metrics/metrics.hpp"
 #include "artemis/profile/profiler.hpp"
 #include "artemis/robust/fault_injection.hpp"
 #include "artemis/robust/journal.hpp"
 #include "artemis/sim/executor.hpp"
 #include "artemis/sim/reference.hpp"
 #include "artemis/telemetry/report.hpp"
+#include "artemis/telemetry/run_sinks.hpp"
 #include "artemis/telemetry/telemetry.hpp"
 #include "artemis/telemetry/trace_sink.hpp"
 #include "artemis/transform/fusion.hpp"
@@ -76,6 +82,10 @@ int usage(const char* argv0) {
                "       [--report out.json]    machine-readable run report\n"
                "       [--summary]            human-readable telemetry "
                "summary\n"
+               "       [--metrics out.json]   measured per-stage metrics + "
+               "model-vs-\n"
+               "                              measured divergence (clamped "
+               "domain)\n"
                "       [--verify]             property-based differential "
                "fuzzing\n"
                "                              (no <file.dsl>: random sweep; "
@@ -104,27 +114,37 @@ driver::Strategy strategy_by_name(const std::string& name) {
   throw Error(str_cat("unknown strategy '", name, "'"));
 }
 
-/// Rebuild the plan a KernelChoice selected (for --emit-cuda/--profile).
-codegen::KernelPlan rebuild(const ir::Program& prog,
-                            const driver::KernelChoice& k,
-                            const gpumodel::DeviceSpec& dev) {
+/// Rebuild the plan a kernel name + config selects (for --emit-cuda,
+/// --profile and --metrics; --metrics also rebuilds leaderboard runner-up
+/// configs, so the config is a parameter rather than the KernelChoice).
+/// When `plan_prog` is non-null it receives the program the plan's slots
+/// bind against — the time-tiled augmented program for iterative
+/// schedules (with its synthesized ping-pong arrays), the input program
+/// otherwise — which is what grids must be allocated from to execute the
+/// plan.
+codegen::KernelPlan rebuild(const ir::Program& prog, const std::string& name,
+                            const codegen::KernelConfig& config,
+                            const gpumodel::DeviceSpec& dev,
+                            ir::Program* plan_prog = nullptr) {
   // Iterative schedules synthesize their stage lists through
   // time_tile_iterate; spatial schedules bind the flat call list.
   if (prog.steps.size() == 1 &&
       prog.steps[0].kind == ir::Step::Kind::Iterate) {
     const auto tt = transform::time_tile_iterate(prog, prog.steps[0],
-                                                 k.config.time_tile);
+                                                 config.time_tile);
+    if (plan_prog != nullptr) *plan_prog = tt.augmented;
     codegen::BuildOptions opts;
     opts.use_shared_memory = true;
     try {
-      return codegen::build_plan(tt.augmented, tt.stages, k.config, dev,
+      return codegen::build_plan(tt.augmented, tt.stages, config, dev,
                                  opts);
     } catch (const PlanError&) {
       opts.use_shared_memory = false;
-      return codegen::build_plan(tt.augmented, tt.stages, k.config, dev,
+      return codegen::build_plan(tt.augmented, tt.stages, config, dev,
                                  opts);
     }
   }
+  if (plan_prog != nullptr) *plan_prog = prog;
   // Spatial schedules: kernels are contiguous groups of the call chain,
   // named by the joined callee names ("blurx+blury"). Find the matching
   // range and rebuild the fused plan.
@@ -142,19 +162,85 @@ codegen::KernelPlan rebuild(const ir::Program& prog,
     std::string joined;
     for (int j = i; j < n; ++j) {
       joined += (j > i ? "+" : "") + bound[static_cast<std::size_t>(j)].name;
-      if (joined != k.name) continue;
+      if (joined != name) continue;
       std::vector<ir::BoundStencil> stages(
           bound.begin() + i, bound.begin() + j + 1);
       codegen::BuildOptions opts;
       try {
-        return codegen::build_plan(prog, stages, k.config, dev, opts);
+        return codegen::build_plan(prog, stages, config, dev, opts);
       } catch (const PlanError&) {
         opts.use_shared_memory = false;
-        return codegen::build_plan(prog, stages, k.config, dev, opts);
+        return codegen::build_plan(prog, stages, config, dev, opts);
       }
     }
   }
-  throw Error(str_cat("cannot rebuild plan for kernel '", k.name, "'"));
+  throw Error(str_cat("cannot rebuild plan for kernel '", name, "'"));
+}
+
+/// The --metrics measurement domain: a copy of the program with every
+/// size parameter clamped to [8, 64]. Counting-mode execution sweeps
+/// every point of every stage, so paper-size domains (320^3 x 16 steps)
+/// are clamped to something a CLI run measures in milliseconds; the
+/// model is evaluated on the same clamped plans, so the comparison stays
+/// apples-to-apples.
+ir::Program clamp_metrics_domain(const ir::Program& prog) {
+  ir::Program out = prog;
+  for (auto& p : out.params) {
+    p.value = std::max<std::int64_t>(8, std::min<std::int64_t>(p.value, 64));
+  }
+  return out;
+}
+
+/// Measure one kernel of the chosen schedule on the clamped domain and
+/// confront it with the analytic model's prediction for the same plan.
+metrics::KernelMetricsReport measure_kernel(
+    const ir::Program& mprog, const driver::KernelChoice& k,
+    const gpumodel::DeviceSpec& dev, const gpumodel::ModelParams& params,
+    const sim::ExecOptions& base) {
+  metrics::KernelMetricsReport rep;
+  rep.kernel = k.name;
+  rep.invocations = k.invocations;
+
+  ir::Program plan_prog;
+  const auto plan = rebuild(mprog, k.name, k.config, dev, &plan_prog);
+  sim::GridSet gs = sim::GridSet::from_program(plan_prog, 1);
+  rep.measured = metrics::measure_plan(plan, gs, dev, base);
+  rep.predicted = gpumodel::evaluate(plan, dev, params).counters;
+  rep.delta = metrics::compare_counters(rep.predicted, rep.measured);
+
+  // Rank correlation: rerank the tuning leaderboard by measured traffic.
+  // Model times are re-evaluated on the clamped plans so both rankings
+  // describe the same domain.
+  if (k.leaderboard.size() >= 2) {
+    std::vector<double> model_times, measured_times;
+    for (const auto& cand : k.leaderboard) {
+      codegen::KernelConfig cfg = cand.config;
+      cfg.time_tile = k.config.time_tile;
+      try {
+        ir::Program cprog;
+        const auto cplan = rebuild(mprog, k.name, cfg, dev, &cprog);
+        const auto ev = gpumodel::evaluate(cplan, dev, params);
+        if (!ev.valid) continue;
+        sim::GridSet cgs = sim::GridSet::from_program(cprog, 1);
+        const auto pm = metrics::measure_plan(cplan, cgs, dev, base);
+        metrics::RankEntry e;
+        e.config = autotune::serialize_config(cfg);
+        e.model_time_s = ev.time_s;
+        e.measured_time_s = metrics::measured_roofline_s(pm, dev);
+        model_times.push_back(e.model_time_s);
+        measured_times.push_back(e.measured_time_s);
+        rep.ranking.push_back(std::move(e));
+      } catch (const PlanError&) {
+        // A runner-up that cannot build on the clamped domain drops out
+        // of the ranking (it was feasible on the full domain only).
+      }
+    }
+    if (rep.ranking.size() >= 2) {
+      rep.rank_correlation = metrics::spearman(model_times, measured_times);
+      rep.has_rank_correlation = true;
+    }
+  }
+  return rep;
 }
 
 }  // namespace
@@ -167,7 +253,7 @@ int main(int argc, char** argv) {
   std::string device_name = "p100";
   std::string cache_path;
   std::string journal_path, fault_spec;
-  std::string trace_path, report_path;
+  std::string trace_path, report_path, metrics_path;
   bool emit_cuda = false, profile = false, run = false, candidates = false;
   bool compare = false, summary = false, resume = false;
   bool verify_mode = false;
@@ -214,6 +300,8 @@ int main(int argc, char** argv) {
       report_path = argv[++i];
     } else if (arg == "--summary") {
       summary = true;
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else if (arg == "--verify") {
       verify_mode = true;
     } else if (arg == "--seed-count" && i + 1 < argc) {
@@ -282,11 +370,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Telemetry stays fully disabled (zero-overhead) unless a sink asked
-  // for it.
-  const bool telemetry_on =
-      !trace_path.empty() || !report_path.empty() || summary;
-  if (telemetry_on) telemetry::Collector::global().enable();
+  // Sinks with scope-exit flushing: a run that throws below still leaves
+  // valid (truncated but parseable) JSON at every requested path, marked
+  // "completed": false. Constructing the sinks enables telemetry when
+  // any sink asked for it.
+  telemetry::RunSinks sinks(
+      {trace_path, report_path, metrics_path, summary});
 
   try {
     std::ifstream in(path);
@@ -311,6 +400,14 @@ int main(int argc, char** argv) {
     set_default_jobs(jobs);
     strat.tune.jobs = jobs;
     const int resolved_jobs = jobs > 0 ? jobs : default_jobs();
+    sinks.set_meta({path, strat.name, dev.name, resolved_jobs});
+
+    // --metrics reranks the tuning leaderboard by measured traffic; keep
+    // enough runners-up around for the rank correlation to mean
+    // something.
+    if (!metrics_path.empty()) {
+      strat.tune.top_k = std::max(strat.tune.top_k, 10);
+    }
 
     // Fault injection: the CLI flag overrides any ARTEMIS_FAULT_SPEC the
     // environment installed at process start.
@@ -359,7 +456,7 @@ int main(int argc, char** argv) {
                       g.failure.c_str());
         }
       }
-      return 0;
+      return sinks.finalize() ? 0 : 1;
     }
 
     std::printf("artemisc: %s, strategy=%s, device=%s, jobs=%d\n",
@@ -393,6 +490,7 @@ int main(int argc, char** argv) {
     }
 
     const auto r = driver::optimize_program(prog, dev, params, strat);
+    sinks.set_result(r);
 
     if (journal.active()) {
       std::printf("journal: %zu record(s) appended, %zu replayed\n",
@@ -423,7 +521,7 @@ int main(int argc, char** argv) {
 
     if (profile || emit_cuda) {
       for (const auto& k : r.kernels) {
-        const auto plan = rebuild(prog, k, dev);
+        const auto plan = rebuild(prog, k.name, k.config, dev);
         if (profile) {
           const auto rep = profile::profile_plan(plan, dev, params);
           std::printf("\n[%s] %s\n", k.name.c_str(),
@@ -444,6 +542,30 @@ int main(int argc, char** argv) {
         std::printf("\n// ---- fission candidate %zu ----\n%s", i,
                     r.candidate_dsl[i].c_str());
       }
+    }
+
+    if (!metrics_path.empty()) {
+      // Execution observatory: run every chosen kernel in counting mode
+      // on the clamped domain, replay its line stream through the L2
+      // cache simulation, and confront the measurements with the
+      // analytic model (docs/OBSERVABILITY.md).
+      const ir::Program mprog = clamp_metrics_domain(prog);
+      std::vector<metrics::KernelMetricsReport> kernel_reports;
+      std::printf("\nmetrics (domain clamped to [8, 64] per axis):\n");
+      for (const auto& k : r.kernels) {
+        try {
+          auto rep = measure_kernel(mprog, k, dev, params, {});
+          std::printf("%s", metrics::comparison_table(rep).c_str());
+          kernel_reports.push_back(std::move(rep));
+        } catch (const Error& e) {
+          std::fprintf(stderr,
+                       "artemisc: warning: cannot measure kernel '%s' on "
+                       "the clamped domain: %s\n",
+                       k.name.c_str(), e.what());
+        }
+      }
+      sinks.set_metrics(
+          metrics::metrics_json(path, strat.name, dev.name, kernel_reports));
     }
 
     if (run) {
@@ -476,36 +598,7 @@ int main(int argc, char** argv) {
       }
     }
 
-    if (telemetry_on) {
-      auto& collector = telemetry::Collector::global();
-      const auto events = collector.snapshot();
-      const auto counters = collector.counters();
-      if (!trace_path.empty()) {
-        const Json trace = telemetry::chrome_trace(events, counters);
-        if (!telemetry::write_file(trace_path, trace.dump(1) + "\n")) {
-          std::fprintf(stderr, "artemisc: cannot write trace '%s'\n",
-                       trace_path.c_str());
-          return 1;
-        }
-        std::printf("trace written: %s (%zu events)\n", trace_path.c_str(),
-                    events.size());
-      }
-      if (!report_path.empty()) {
-        const telemetry::ReportMeta meta{path, strat.name, dev.name,
-                                         resolved_jobs};
-        const Json report =
-            telemetry::build_run_report(meta, r, events, counters);
-        if (!telemetry::write_file(report_path, report.dump(2) + "\n")) {
-          std::fprintf(stderr, "artemisc: cannot write report '%s'\n",
-                       report_path.c_str());
-          return 1;
-        }
-        std::printf("report written: %s\n", report_path.c_str());
-      }
-      if (summary) {
-        std::printf("\n%s", telemetry::summary_text(events, counters).c_str());
-      }
-    }
+    if (!sinks.finalize()) return 1;
   } catch (const Error& e) {
     std::fprintf(stderr, "artemisc: error: %s\n", e.what());
     return 1;
