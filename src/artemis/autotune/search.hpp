@@ -13,6 +13,13 @@
 
 namespace artemis::autotune {
 
+/// Version of the tuning algorithm, baked into plan-store content keys
+/// (storage::plan_store_key). Bump it whenever a change to the search —
+/// pruning rules, stage structure, evaluation policy — could make a
+/// previously stored plan stale; old plans then miss instead of being
+/// silently reused.
+constexpr int kTunerVersion = 1;
+
 /// Builds a plan for a candidate configuration. Implementations wrap
 /// codegen::build_plan with the appropriate stage list and BuildOptions;
 /// throwing PlanError marks the configuration infeasible.

@@ -1,11 +1,9 @@
 #include "artemis/autotune/tuning_cache.hpp"
 
-#include <filesystem>
-#include <fstream>
 #include <sstream>
-#include <system_error>
 
 #include "artemis/common/check.hpp"
+#include "artemis/common/hash.hpp"
 #include "artemis/common/str.hpp"
 #include "artemis/telemetry/telemetry.hpp"
 
@@ -134,24 +132,56 @@ bool TuningCache::contains(const std::string& key) const {
   return entries_.count(key) > 0;
 }
 
+namespace {
+constexpr const char* kCacheHeaderPrefix = "#artemis-tuning-cache v";
+constexpr int kCacheVersion = 2;
+}  // namespace
+
 std::string TuningCache::save_text() const {
   std::ostringstream os;
-  os.precision(17);
+  os << kCacheHeaderPrefix << kCacheVersion << '\n';
   const std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [key, e] : entries_) {
-    os << key << '\t' << e.time_s << '\t' << e.tflops << '\t'
-       << serialize_config(e.config) << '\n';
+    std::ostringstream row;
+    row.precision(17);
+    row << key << '\t' << e.time_s << '\t' << e.tflops << '\t'
+        << serialize_config(e.config);
+    // Checksum over everything after the crc column, so a torn or
+    // bit-rotted row is detected instead of parsed.
+    os << crc32_hex(crc32(row.str())) << '\t' << row.str() << '\n';
   }
   return os.str();
 }
 
 namespace {
 
-/// Count a malformed row: keep loading around it, but make the skip
-/// visible in counters and (when tracing) the event stream.
-void record_parse_error(CacheLoadReport& report, const std::string& line,
-                        const char* why) {
+/// Why one row (or the whole file) was dropped. Each class has its own
+/// CacheLoadReport field and telemetry counter on top of the shared
+/// tuning_cache.parse_errors total.
+enum class DropClass { Malformed, CrcMismatch, TornTail, VersionSkew };
+
+void record_drop(CacheLoadReport& report, const std::string& line,
+                 DropClass cls, const char* why) {
   ++report.skipped;
+  const char* counter = "tuning_cache.drop.malformed";
+  switch (cls) {
+    case DropClass::Malformed:
+      ++report.malformed;
+      break;
+    case DropClass::CrcMismatch:
+      ++report.crc_mismatch;
+      counter = "tuning_cache.drop.crc_mismatch";
+      break;
+    case DropClass::TornTail:
+      ++report.torn_tail;
+      counter = "tuning_cache.drop.torn_tail";
+      break;
+    case DropClass::VersionSkew:
+      ++report.version_skew;
+      counter = "tuning_cache.drop.version_skew";
+      break;
+  }
+  telemetry::counter_add(counter);
   telemetry::counter_add("tuning_cache.parse_errors");
   if (telemetry::enabled()) {
     telemetry::instant(
@@ -165,11 +195,56 @@ void record_parse_error(CacheLoadReport& report, const std::string& line,
 
 CacheLoadReport TuningCache::load_text(const std::string& text) {
   CacheLoadReport report;
-  for (const auto& line : split(text, '\n')) {
+  auto lines = split(text, '\n');
+
+  // Version header: present => the checksummed v2 grammar; absent =>
+  // the legacy headerless 4-column shape. An unsupported version stops
+  // the load (guessing at a future grammar is worse than a cold cache).
+  bool v2 = false;
+  std::size_t first = 0;
+  while (first < lines.size() && trim(lines[first]).empty()) ++first;
+  if (first < lines.size() &&
+      starts_with(lines[first], kCacheHeaderPrefix)) {
+    const std::string version =
+        lines[first].substr(std::string(kCacheHeaderPrefix).size());
+    if (version != std::to_string(kCacheVersion)) {
+      record_drop(report, lines[first], DropClass::VersionSkew,
+                  "version_skew");
+      return report;
+    }
+    v2 = true;
+    ++first;
+  }
+
+  // A crash can tear the final row of a (legacy, non-atomic) save: a v2
+  // fragment without its newline is dropped as torn, not as corrupt.
+  bool torn = false;
+  if (v2 && !text.empty() && text.back() != '\n') {
+    torn = true;  // the last split() element is the unterminated fragment
+  }
+
+  for (std::size_t i = first; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
     if (trim(line).empty()) continue;
-    const auto cols = split(line, '\t');
-    if (cols.size() != 4) {
-      record_parse_error(report, line, "column_count");
+    if (torn && i + 1 == lines.size()) {
+      record_drop(report, line, DropClass::TornTail, "torn_tail");
+      continue;
+    }
+    auto cols = split(line, '\t');
+    if (v2) {
+      if (cols.size() != 5) {
+        record_drop(report, line, DropClass::Malformed, "column_count");
+        continue;
+      }
+      std::uint32_t want = 0;
+      if (!parse_crc32_hex(cols[0], &want) ||
+          crc32(line.substr(line.find('\t') + 1)) != want) {
+        record_drop(report, line, DropClass::CrcMismatch, "crc_mismatch");
+        continue;
+      }
+      cols.erase(cols.begin());
+    } else if (cols.size() != 4) {
+      record_drop(report, line, DropClass::Malformed, "column_count");
       continue;
     }
     try {
@@ -184,49 +259,50 @@ CacheLoadReport TuningCache::load_text(const std::string& text) {
       ++report.loaded;
     } catch (const Error&) {
       // parse_config rejected the row (unknown key, bad tiling, ...).
-      record_parse_error(report, line, "bad_config");
+      record_drop(report, line, DropClass::Malformed, "bad_config");
     } catch (const std::logic_error&) {
       // std::stod / std::stoi rejected a numeric column. Anything else
       // (bad_alloc, EvalError, ...) is not a parse failure and must
       // propagate.
-      record_parse_error(report, line, "bad_number");
+      record_drop(report, line, DropClass::Malformed, "bad_number");
     }
   }
   return report;
 }
 
-bool TuningCache::save_file(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << save_text();
-  return static_cast<bool>(out);
+bool TuningCache::save_file(const std::string& path,
+                            storage::Vfs* vfs) const {
+  storage::Vfs& fs = vfs != nullptr ? *vfs : storage::real_vfs();
+  try {
+    // Crash-safe publish: the previous cache file stays intact until the
+    // new one is complete, fsynced, and renamed into place.
+    storage::atomic_write_file(fs, path, save_text());
+  } catch (const storage::VfsError&) {
+    telemetry::counter_add("tuning_cache.save_errors");
+    return false;
+  }
+  return true;
 }
 
-CacheLoadReport TuningCache::load_file(const std::string& path) {
-  std::error_code ec;
-  if (std::filesystem::is_directory(path, ec)) {
-    // ifstream on a directory can open and silently read as empty on
-    // some platforms; classify it as an I/O error, not an empty cache.
+CacheLoadReport TuningCache::load_file(const std::string& path,
+                                       storage::Vfs* vfs) {
+  storage::Vfs& fs = vfs != nullptr ? *vfs : storage::real_vfs();
+  std::optional<std::string> text;
+  try {
+    text = fs.read(path);
+  } catch (const storage::VfsError&) {
+    // Unreadable (permissions, a directory, injected EIO, ...): an I/O
+    // error, not an empty cache.
     CacheLoadReport report;
     report.status = CacheLoadReport::Status::IoError;
     return report;
   }
-  std::ifstream in(path);
-  if (!in) {
+  if (!text.has_value()) {
     CacheLoadReport report;
-    report.status = std::filesystem::exists(path, ec)
-                        ? CacheLoadReport::Status::IoError
-                        : CacheLoadReport::Status::Missing;
+    report.status = CacheLoadReport::Status::Missing;
     return report;
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  if (in.bad()) {
-    CacheLoadReport report;
-    report.status = CacheLoadReport::Status::IoError;
-    return report;
-  }
-  return load_text(buf.str());
+  return load_text(*text);
 }
 
 }  // namespace artemis::autotune

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "artemis/codegen/plan.hpp"
+#include "artemis/storage/vfs.hpp"
 
 namespace artemis::autotune {
 
@@ -23,8 +24,12 @@ struct CacheEntry {
 
 /// Outcome of loading a cache file or text blob. Distinguishes a missing
 /// file (normal on the first run) from an unreadable one (permissions,
-/// I/O failure), and counts the records merged vs. the malformed rows
-/// skipped so partial corruption is visible instead of silent.
+/// I/O failure), and counts the records merged vs. the rows dropped —
+/// broken down by *why* each row was dropped, because the reasons demand
+/// different reactions: crc_mismatch means the medium corrupts data,
+/// torn_tail means a crash interrupted a save, version_skew means another
+/// binary generation owns the file, malformed means someone hand-edited
+/// it. `skipped` stays the total across all four.
 struct CacheLoadReport {
   enum class Status {
     Ok,       ///< read completed (possibly with skipped rows)
@@ -32,8 +37,12 @@ struct CacheLoadReport {
     IoError,  ///< file exists but could not be opened or read
   };
   Status status = Status::Ok;
-  int loaded = 0;   ///< records merged into the cache
-  int skipped = 0;  ///< malformed rows ignored (tuning_cache.parse_errors)
+  int loaded = 0;        ///< records merged into the cache
+  int skipped = 0;       ///< total rows dropped (= sum of the below)
+  int crc_mismatch = 0;  ///< v2 rows whose checksum failed
+  int torn_tail = 0;     ///< unterminated final fragment (crash mid-save)
+  int version_skew = 0;  ///< header from an unsupported format version
+  int malformed = 0;     ///< rows that did not parse
   bool ok() const { return status == Status::Ok; }
 };
 
@@ -43,9 +52,16 @@ struct CacheLoadReport {
 /// amortized over the stencil invocations" — this is where the amortized
 /// results live between runs.
 ///
-/// File format: one entry per line,
-///   <key> \t <time_s> \t <tflops> \t <serialized config>
-/// Unknown or malformed lines are skipped on load (forward compatibility).
+/// File format (v2): a version header, then one checksummed entry per
+/// line,
+///   #artemis-tuning-cache v2
+///   <crc32 hex> \t <key> \t <time_s> \t <tflops> \t <serialized config>
+/// where the checksum covers everything after the first tab. Loading
+/// also accepts the legacy headerless v1 shape (no checksum column).
+/// Malformed, checksum-failed, or torn rows are dropped and counted by
+/// class (forward compatibility and crash tolerance); an unsupported
+/// version header stops the load and reports version skew instead of
+/// misparsing a future format.
 ///
 /// All member functions are thread-safe: parallel tuning shards may
 /// get()/put() concurrently while another thread saves a snapshot.
@@ -68,11 +84,16 @@ class TuningCache {
   std::string save_text() const;
   CacheLoadReport load_text(const std::string& text);
 
-  /// File convenience wrappers. save_file overwrites; load_file merges
+  /// File convenience wrappers over a Vfs (nullptr = the real
+  /// filesystem). save_file publishes atomically — write to a sibling
+  /// temp, fsync, rename over `path` — so a crash mid-save leaves the
+  /// previous cache intact, never a half-written file. load_file merges
   /// and reports (without throwing) whether the file was missing,
-  /// unreadable, or loaded — and how many rows were skipped.
-  bool save_file(const std::string& path) const;
-  CacheLoadReport load_file(const std::string& path);
+  /// unreadable, or loaded — and how many rows were dropped, by class.
+  bool save_file(const std::string& path,
+                 storage::Vfs* vfs = nullptr) const;
+  CacheLoadReport load_file(const std::string& path,
+                            storage::Vfs* vfs = nullptr);
 
  private:
   mutable std::mutex mu_;  ///< guards entries_

@@ -1,0 +1,104 @@
+#include "artemis/common/hash.hpp"
+
+#include <array>
+#include <cctype>
+
+#include "artemis/common/str.hpp"
+
+namespace artemis {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+/// SplitMix64 finalizer, same avalanche step the fault-injection hash
+/// uses: cheap, well-mixed, platform-stable.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(const std::string& s) { return crc32(s.data(), s.size()); }
+
+std::string crc32_hex(std::uint32_t crc) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[crc & 0xFu];
+    crc >>= 4;
+  }
+  return out;
+}
+
+bool parse_crc32_hex(const std::string& s, std::uint32_t* out) {
+  if (s.size() != 8) return false;
+  std::uint32_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint32_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+ContentHasher::ContentHasher()
+    : lo_(kFnvOffset), hi_(mix64(kFnvOffset)) {}
+
+void ContentHasher::update(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    lo_ = (lo_ ^ p[i]) * kFnvPrime;
+    hi_ = mix64(hi_ ^ p[i]);
+  }
+}
+
+void ContentHasher::update(const std::string& s) {
+  update(s.data(), s.size());
+}
+
+std::string ContentHasher::hex_digest() const {
+  static const char* digits = "0123456789abcdef";
+  // Finalize copies so the hasher stays usable for further updates.
+  const std::uint64_t a = mix64(lo_);
+  const std::uint64_t b = mix64(hi_ ^ lo_);
+  std::string out;
+  out.reserve(32);
+  for (int i = 15; i >= 0; --i) out += digits[(a >> (4 * i)) & 0xFu];
+  for (int i = 15; i >= 0; --i) out += digits[(b >> (4 * i)) & 0xFu];
+  return out;
+}
+
+}  // namespace artemis

@@ -1,0 +1,122 @@
+#include "artemis/ir/content_hash.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace artemis::ir {
+
+namespace {
+
+/// Every field is emitted as `<tag>:<value>;` so adjacent fields can never
+/// run together ("ab"+"c" vs "a"+"bc") and an absent optional hashes
+/// differently from a present-but-empty one.
+class Writer {
+ public:
+  explicit Writer(ContentHasher& h) : h_(h) {}
+
+  void field(const char* tag, const std::string& value) {
+    h_.update(tag, std::strlen(tag));
+    h_.update(":", 1);
+    const std::string len = std::to_string(value.size());
+    h_.update(len);  // length-prefixed, platform-independent
+    h_.update("=", 1);
+    h_.update(value);
+    h_.update(";", 1);
+  }
+  void field(const char* tag, std::int64_t value) {
+    field(tag, std::to_string(value));
+  }
+  void field(const char* tag, double value) {
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    field(tag, os.str());
+  }
+
+ private:
+  ContentHasher& h_;
+};
+
+std::string stmt_text(const Stmt& s, const std::vector<std::string>& iters) {
+  std::ostringstream os;
+  if (s.declares_local) os << "local ";
+  os << s.lhs_name;
+  for (const auto& ix : s.lhs_indices) {
+    os << '[';
+    if (ix.iter >= 0) {
+      os << iters[static_cast<std::size_t>(ix.iter)];
+      if (ix.offset != 0) os << (ix.offset > 0 ? "+" : "") << ix.offset;
+    } else {
+      os << ix.offset;
+    }
+    os << ']';
+  }
+  os << (s.accumulate ? " += " : " = ") << to_string(*s.rhs, iters);
+  return os.str();
+}
+
+void hash_steps(const std::vector<Step>& steps, Writer& w) {
+  w.field("steps", static_cast<std::int64_t>(steps.size()));
+  for (const auto& step : steps) {
+    switch (step.kind) {
+      case Step::Kind::Call: {
+        std::string sig = step.call.callee;
+        for (const auto& a : step.call.args) sig += "," + a;
+        w.field("call", sig);
+        break;
+      }
+      case Step::Kind::Swap:
+        w.field("swap", step.swap.a + "," + step.swap.b);
+        break;
+      case Step::Kind::Iterate:
+        w.field("iterate", step.iterations);
+        hash_steps(step.body, w);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+void hash_program(const Program& prog, ContentHasher& h) {
+  Writer w(h);
+  for (const auto& p : prog.params) {
+    w.field("param", p.name);
+    w.field("value", p.value);
+  }
+  for (const auto& it : prog.iterators) w.field("iter", it);
+  for (const auto& a : prog.arrays) {
+    std::string sig = a.name;
+    for (const auto& d : a.dims) sig += "[" + d + "]";
+    w.field("array", sig);
+  }
+  for (const auto& s : prog.scalars) w.field("scalar", s.name);
+  for (const auto& c : prog.copyin) w.field("copyin", c);
+  for (const auto& c : prog.copyout) w.field("copyout", c);
+  for (const auto& sd : prog.stencils) {
+    w.field("stencil", sd.name);
+    for (const auto& p : sd.params) w.field("formal", p);
+    for (const auto& st : sd.stmts) {
+      w.field("stmt", stmt_text(st, prog.iterators));
+    }
+    // std::map iteration is name-ordered, hence canonical.
+    for (const auto& [name, space] : sd.resources.spaces) {
+      w.field("assign", name + "=" + mem_space_name(space));
+    }
+    if (sd.pragma.stream_iter) w.field("stream", *sd.pragma.stream_iter);
+    for (const auto b : sd.pragma.block) w.field("block", b);
+    for (const auto& [it, f] : sd.pragma.unroll) {
+      w.field("unroll", it + "=" + std::to_string(f));
+    }
+    if (sd.pragma.occupancy) w.field("occ", *sd.pragma.occupancy);
+  }
+  hash_steps(prog.steps, w);
+}
+
+std::string content_hash(const Program& prog) {
+  ContentHasher h;
+  hash_program(prog, h);
+  return h.hex_digest();
+}
+
+}  // namespace artemis::ir

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "artemis/common/hash.hpp"
+#include "artemis/ir/program.hpp"
+
+namespace artemis::ir {
+
+/// Feed the canonical structural serialization of a program into `h`.
+/// The serialization walks the IR directly — declarations, stencil bodies
+/// (statements rendered through the expression printer), pragmas, resource
+/// assignments, and the step tree — in declaration order with typed field
+/// tags, so two sources that parse to the same IR hash identically no
+/// matter how they were formatted, while any semantic difference (an
+/// offset, a coefficient, a pragma, an iteration count) changes the digest.
+void hash_program(const Program& prog, ContentHasher& h);
+
+/// 32-hex-digit canonical content hash of a program. This is the
+/// program-identity half of a plan-store key; storage::plan_store_key
+/// combines it with the device spec and tuner version.
+std::string content_hash(const Program& prog);
+
+}  // namespace artemis::ir

@@ -34,18 +34,6 @@ std::uint64_t hash_str(const std::string& s, std::uint64_t h) {
   return h;
 }
 
-/// Uniform in [0, 1), a pure function of the coordinates. `lane`
-/// decorrelates the different decisions (crash vs. stall vs. perturb)
-/// taken at the same coordinates.
-double uniform_at(const FaultSpec& spec, const char* site,
-                  const std::string& key, int attempt, std::uint64_t lane) {
-  std::uint64_t h = mix(spec.seed ^ (lane * 0x9e3779b97f4a7c15ull));
-  h = hash_str(site, h);
-  h = hash_str(key, h);
-  h = mix(h ^ static_cast<std::uint64_t>(attempt));
-  return static_cast<double>(h >> 11) * 0x1.0p-53;
-}
-
 double parse_prob(const std::string& key, const std::string& val) {
   double p = 0;
   try {
@@ -62,6 +50,16 @@ double parse_prob(const std::string& key, const std::string& val) {
 }
 
 }  // namespace
+
+double fault_uniform(const FaultSpec& spec, const char* site,
+                     const std::string& key, int attempt,
+                     std::uint64_t lane) {
+  std::uint64_t h = mix(spec.seed ^ (lane * 0x9e3779b97f4a7c15ull));
+  h = hash_str(site, h);
+  h = hash_str(key, h);
+  h = mix(h ^ static_cast<std::uint64_t>(attempt));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
 
 FaultSpec parse_fault_spec(const std::string& text) {
   FaultSpec spec;
@@ -94,10 +92,27 @@ FaultSpec parse_fault_spec(const std::string& text) {
       }
     } else if (key == "site") {
       spec.site = val;
+    } else if (key == "fs.fail") {
+      spec.fs_fail_p = parse_prob(key, val);
+    } else if (key == "fs.enospc") {
+      spec.fs_enospc_p = parse_prob(key, val);
+    } else if (key == "fs.short") {
+      spec.fs_short_p = parse_prob(key, val);
+    } else if (key == "fs.crash_at") {
+      try {
+        spec.fs_crash_at = std::stoll(val);
+      } catch (const std::exception&) {
+        spec.fs_crash_at = -2;
+      }
+      if (spec.fs_crash_at < 0) {
+        throw Error(str_cat("fault-spec: 'fs.crash_at' must be an integer "
+                            ">= 0, got '", val, "'"));
+      }
     } else {
       throw Error(str_cat("fault-spec: unknown key '", key,
                           "' (known: crash, timeout, perturb, jitter, "
-                          "stall_ms, seed, site)"));
+                          "stall_ms, seed, site, fs.fail, fs.enospc, "
+                          "fs.short, fs.crash_at)"));
     }
   }
   return spec;
@@ -112,11 +127,11 @@ FaultAction FaultPlan::decide(const char* site, const std::string& key,
                               int attempt) const {
   if (!site_enabled(site)) return FaultAction::None;
   if (spec_.crash_p > 0 &&
-      uniform_at(spec_, site, key, attempt, 1) < spec_.crash_p) {
+      fault_uniform(spec_, site, key, attempt, 1) < spec_.crash_p) {
     return FaultAction::Crash;
   }
   if (spec_.timeout_p > 0 &&
-      uniform_at(spec_, site, key, attempt, 2) < spec_.timeout_p) {
+      fault_uniform(spec_, site, key, attempt, 2) < spec_.timeout_p) {
     return FaultAction::Stall;
   }
   return FaultAction::None;
@@ -127,10 +142,10 @@ double FaultPlan::perturb_time(const char* site, const std::string& key,
                                double time_s) const {
   if (spec_.perturb_p <= 0 || !site_enabled(site)) return time_s;
   const std::uint64_t lane = 3 + 2 * static_cast<std::uint64_t>(trial);
-  if (uniform_at(spec_, site, key, attempt, lane) >= spec_.perturb_p) {
+  if (fault_uniform(spec_, site, key, attempt, lane) >= spec_.perturb_p) {
     return time_s;
   }
-  const double u = uniform_at(spec_, site, key, attempt, lane + 1);
+  const double u = fault_uniform(spec_, site, key, attempt, lane + 1);
   g_counters.perturbs.fetch_add(1, std::memory_order_relaxed);
   return time_s * (1.0 + spec_.jitter * (2.0 * u - 1.0));
 }

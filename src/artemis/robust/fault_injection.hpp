@@ -26,14 +26,40 @@ struct FaultSpec {
   std::uint64_t seed = 0;  ///< hash seed; same seed => same faults
   std::string site = "";   ///< substring filter on site names ("" = all)
 
+  /// --- fs.* fault points, consumed by storage::FaultVfs --------------------
+  /// Grammar: `fs.fail=P,fs.enospc=P,fs.short=P,fs.crash_at=K`. The fs
+  /// sites ("fs.create", "fs.write", "fs.sync", "fs.rename", "fs.remove",
+  /// "fs.mkdir") honor the same `site=` substring filter, and decisions
+  /// are the same pure hash of (seed, site, path, op index) — an fs fault
+  /// hits the same operation in every run with the same seed.
+  double fs_fail_p = 0;    ///< probability a mutating fs op throws EIO
+  double fs_enospc_p = 0;  ///< probability a write throws ENOSPC (torn)
+  double fs_short_p = 0;   ///< probability a write is short (torn, then EIO)
+  std::int64_t fs_crash_at = -1;  ///< whole-process crash at mutating op K
+
+  /// Evaluation-level faults (the PR-2 fault points). fs faults are
+  /// deliberately excluded: they arm FaultVfs, not the eval fault points.
   bool any_faults() const {
     return crash_p > 0 || timeout_p > 0 || perturb_p > 0;
+  }
+  bool any_fs_faults() const {
+    return fs_fail_p > 0 || fs_enospc_p > 0 || fs_short_p > 0 ||
+           fs_crash_at >= 0;
   }
 };
 
 /// Parse the fault-spec grammar above. Throws artemis::Error (with the
 /// offending token in the message) on unknown keys or malformed values.
 FaultSpec parse_fault_spec(const std::string& text);
+
+/// The deterministic decision draw: uniform in [0, 1), a pure function of
+/// (spec.seed, site, key, attempt, lane). Exposed so storage::FaultVfs can
+/// make fs.* decisions with exactly the same hash discipline the eval
+/// fault points use. `lane` decorrelates independent decisions taken at
+/// the same coordinates.
+double fault_uniform(const FaultSpec& spec, const char* site,
+                     const std::string& key, int attempt,
+                     std::uint64_t lane);
 
 /// Running totals of the decisions the installed plan has made. The
 /// counters are relaxed atomics so concurrent tuning shards can hit

@@ -96,18 +96,20 @@ JournalLoadResult TuningJournal::open(const std::string& path,
                                       const std::string& run_key,
                                       bool resume) {
   entries_.clear();
-  recorded_ = 0;
-  out_.close();
+  {
+    const std::lock_guard<std::mutex> lock(write_mu_);
+    recorded_ = 0;
+    out_.reset();
+  }
 
   JournalLoadResult res;
   std::string text;
-  {
-    std::ifstream in(path);
-    if (in) {
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      text = buf.str();
-    }
+  try {
+    text = vfs().read(path).value_or("");
+  } catch (const storage::VfsError& e) {
+    res.status = JournalLoadResult::Status::IoError;
+    res.message = str_cat("cannot read journal '", path, "': ", e.what());
+    return res;
   }
 
   if (resume) {
@@ -117,30 +119,31 @@ JournalLoadResult TuningJournal::open(const std::string& path,
     res.status = JournalLoadResult::Status::Fresh;
   }
 
-  if (res.status == JournalLoadResult::Status::Replayed) {
-    // Heal a torn tail before appending: rewrite the clean prefix so the
-    // next record starts on its own line.
-    if (res.torn_tail) {
-      const auto last_nl = text.rfind('\n');
-      std::ofstream rewrite(path, std::ios::trunc);
-      if (!rewrite) {
-        res.status = JournalLoadResult::Status::IoError;
-        res.message = str_cat("cannot rewrite journal '", path, "'");
-        entries_.clear();
-        return res;
+  try {
+    std::unique_ptr<storage::VfsFile> out;
+    if (res.status == JournalLoadResult::Status::Replayed) {
+      // Heal a torn tail before appending, crash-safely: republish the
+      // clean prefix via write-temp + fsync + rename (truncating in
+      // place would turn a second crash into total journal loss).
+      if (res.torn_tail) {
+        const auto last_nl = text.rfind('\n');
+        storage::atomic_write_file(vfs(), path,
+                                   text.substr(0, last_nl + 1));
       }
-      rewrite << text.substr(0, last_nl + 1);
+      out = vfs().create(path, /*truncate=*/false);
+    } else {
+      // Fresh start (explicitly requested, missing file, or an
+      // incompatible journal being replaced).
+      out = vfs().create(path, /*truncate=*/true);
+      out->write(header_line(run_key) + "\n");
+      out->sync();
     }
-    out_.open(path, std::ios::app);
-  } else {
-    // Fresh start (explicitly requested, missing file, or an
-    // incompatible journal being replaced).
-    out_.open(path, std::ios::trunc);
-    if (out_) out_ << header_line(run_key) << '\n' << std::flush;
-  }
-  if (!out_) {
+    const std::lock_guard<std::mutex> lock(write_mu_);
+    out_ = std::move(out);
+  } catch (const storage::VfsError& e) {
     res.status = JournalLoadResult::Status::IoError;
-    res.message = str_cat("cannot open journal '", path, "' for append");
+    res.message =
+        str_cat("cannot open journal '", path, "' for append: ", e.what());
     entries_.clear();
   }
   return res;
@@ -155,20 +158,33 @@ std::optional<JournalRecord> TuningJournal::lookup(
 
 void TuningJournal::record(const std::string& key, const std::string& status,
                            double time_s, double tflops) {
-  if (!out_.is_open()) return;
   ARTEMIS_CHECK_MSG(key.find('\t') == std::string::npos &&
                         key.find('\n') == std::string::npos,
                     "journal keys must not contain tabs or newlines");
   std::ostringstream os;
   os.precision(17);
   os << status << '\t' << time_s << '\t' << tflops << '\t' << key << '\n';
-  // Write-ahead: the record reaches the OS before its result is used, so
-  // a kill at any later instant cannot lose this evaluation. The lock
-  // keeps concurrent appends whole-line atomic.
+  // Write-ahead: the record is appended AND fsynced before its result is
+  // used, so even power loss at any later instant cannot lose this
+  // evaluation. The lock keeps concurrent appends whole-line atomic. A
+  // failing filesystem deactivates the journal instead of aborting the
+  // run; FsCrash (injected whole-machine crash) always propagates.
+  bool failed = false;
   {
     const std::lock_guard<std::mutex> lock(write_mu_);
-    out_ << os.str() << std::flush;
-    ++recorded_;
+    if (out_ == nullptr) return;
+    try {
+      out_->write(os.str());
+      out_->sync();
+      ++recorded_;
+    } catch (const storage::VfsError&) {
+      out_.reset();
+      failed = true;
+    }
+  }
+  if (failed) {
+    telemetry::counter_add("journal.write_errors");
+    return;
   }
   telemetry::counter_add("journal.records");
 }

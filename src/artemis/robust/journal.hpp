@@ -1,10 +1,12 @@
 #pragma once
 
-#include <fstream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+
+#include "artemis/storage/vfs.hpp"
 
 namespace artemis::robust {
 
@@ -41,11 +43,15 @@ struct JournalLoadResult {
 ///   #artemis-tuning-journal v1 key=<run key>
 ///   <status> \t <time_s> \t <tflops> \t <candidate key>
 ///
-/// Every record is flushed before its result is consumed, so a run
-/// killed at any instant loses at most the record being written; the
-/// loader tolerates that torn final line (and any malformed interior
-/// lines) by dropping and reporting them instead of rejecting the file.
-/// Duplicate candidate keys are legal; the later record wins.
+/// Durability guarantee: every record is written AND fsynced before
+/// record() returns — not merely flushed to the OS — so a machine that
+/// loses power at any instant loses at most the one record being
+/// written; the loader tolerates that torn final line (and any malformed
+/// interior lines) by dropping and reporting them instead of rejecting
+/// the file. Torn-tail healing is itself crash-safe: the clean prefix is
+/// republished via write-temp + fsync + atomic rename, never by
+/// truncating the journal in place. Duplicate candidate keys are legal;
+/// the later record wins.
 ///
 /// Concurrency: open() is single-threaded setup; after it, lookup() is
 /// lock-free (the replay map is immutable for the life of the run) and
@@ -57,7 +63,10 @@ class TuningJournal {
  public:
   static constexpr int kVersion = 1;
 
+  /// Default: the real filesystem. Tests and the crash-consistency
+  /// harness inject a MemVfs or FaultVfs instead.
   TuningJournal() = default;
+  explicit TuningJournal(storage::Vfs& vfs) : vfs_(&vfs) {}
 
   /// Open the journal for appending. With `resume` set, records from a
   /// compatible existing journal (same version and run key) are loaded
@@ -68,15 +77,21 @@ class TuningJournal {
   JournalLoadResult open(const std::string& path,
                          const std::string& run_key, bool resume);
 
-  /// True once open() succeeded and records can be appended.
-  bool active() const { return out_.is_open(); }
+  /// True once open() succeeded and records can be appended. A journal
+  /// whose filesystem starts failing mid-run deactivates itself (tuning
+  /// continues without write-ahead protection) rather than aborting.
+  bool active() const {
+    const std::lock_guard<std::mutex> lock(write_mu_);
+    return out_ != nullptr;
+  }
 
   /// Replayable record for a candidate key, if a prior run evaluated it.
   std::optional<JournalRecord> lookup(const std::string& key) const;
 
-  /// Write-ahead one evaluation outcome: appended and flushed
-  /// immediately. Keys must not contain tabs or newlines. No-op when the
-  /// journal is not active. Thread-safe.
+  /// Write-ahead one evaluation outcome: appended and fsynced before
+  /// returning. Keys must not contain tabs or newlines. No-op when the
+  /// journal is not active; a write failure deactivates the journal
+  /// (counted as journal.write_errors). Thread-safe.
   void record(const std::string& key, const std::string& status,
               double time_s, double tflops);
 
@@ -87,9 +102,14 @@ class TuningJournal {
   }
 
  private:
+  storage::Vfs& vfs() const {
+    return vfs_ != nullptr ? *vfs_ : storage::real_vfs();
+  }
+
   std::map<std::string, JournalRecord> entries_;  ///< loaded for replay
+  storage::Vfs* vfs_ = nullptr;  ///< nullptr = real_vfs() (non-owning)
   mutable std::mutex write_mu_;  ///< guards out_ and recorded_
-  std::ofstream out_;
+  std::unique_ptr<storage::VfsFile> out_;
   std::size_t recorded_ = 0;
 };
 

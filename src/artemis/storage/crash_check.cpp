@@ -1,0 +1,112 @@
+#include "artemis/storage/crash_check.hpp"
+
+#include <sstream>
+
+#include "artemis/common/str.hpp"
+
+namespace artemis::storage {
+
+std::string CrashSweepReport::summary() const {
+  std::ostringstream os;
+  os << "checked " << states << " crash states over " << ops << " ops: ";
+  if (ok()) {
+    os << "OK";
+    return os.str();
+  }
+  os << failures.size() << " FAILED";
+  const std::size_t show = std::min<std::size_t>(failures.size(), 3);
+  for (std::size_t i = 0; i < show; ++i) {
+    os << "\n  [op " << failures[i].op_index << " variant "
+       << failures[i].variant << "] " << failures[i].what;
+  }
+  if (failures.size() > show) {
+    os << "\n  ... and " << failures.size() - show << " more";
+  }
+  return os.str();
+}
+
+std::vector<std::uint64_t> default_crash_variants() {
+  return {0, 1, 2, 3, 4};
+}
+
+CrashSweepReport crash_sweep(const std::vector<VfsOp>& trace,
+                             const std::vector<std::uint64_t>& variants,
+                             const CrashInvariant& check) {
+  CrashSweepReport report;
+  report.ops = trace.size();
+  for (std::size_t k = 0; k <= trace.size(); ++k) {
+    for (const std::uint64_t variant : variants) {
+      ++report.states;
+      auto vfs = replay_prefix(trace, k, variant);
+      std::string what;
+      try {
+        what = check(*vfs);
+      } catch (const std::exception& e) {
+        what = str_cat("invariant threw: ", e.what());
+      }
+      if (!what.empty()) {
+        report.failures.push_back({k, variant, std::move(what)});
+      }
+    }
+  }
+  return report;
+}
+
+std::string check_plan_store_state(
+    MemVfs& vfs, const std::string& root,
+    const std::map<std::string, PlanRecord>& expected) {
+  // 1. Published records: decodable, faithful, and never unexpected.
+  //    (Published = visible under objects/ — the commit point is rename,
+  //    so anything visible must be complete and correct.)
+  const std::string objects = str_cat(root, "/objects");
+  for (const auto& shard : vfs.list(objects)) {
+    for (const auto& name : vfs.list(str_cat(objects, "/", shard))) {
+      const auto bytes = vfs.read(str_cat(objects, "/", shard, "/", name));
+      if (!bytes.has_value()) {
+        return str_cat("published object ", name, " unreadable");
+      }
+      PlanRecord rec;
+      const DecodeStatus status = decode_plan_record(*bytes, &rec);
+      if (status != DecodeStatus::Ok) {
+        return str_cat("published object ", name, " decodes as ",
+                       decode_status_name(status));
+      }
+      const auto want = expected.find(rec.key);
+      if (want == expected.end()) {
+        return str_cat("published object ", name,
+                       " has a key the workload never put");
+      }
+      if (encode_plan_record(rec) != encode_plan_record(want->second)) {
+        return str_cat("published object ", name,
+                       " differs from what was put");
+      }
+    }
+  }
+
+  // 2-3. Recovery opens cleanly and every published key still hits.
+  try {
+    PlanStore store(vfs, root);
+    for (const auto& key : store.keys()) {
+      if (!store.get(key).has_value()) {
+        return str_cat("published key ", key, " missed after recovery");
+      }
+    }
+
+    // 4. The recovered store still accepts and serves new plans.
+    PlanRecord probe;
+    probe.key = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa";
+    probe.config = "probe";
+    probe.time_s = 1.0;
+    probe.tflops = 2.0;
+    if (!store.put(probe)) return "probe put failed after recovery";
+    const auto back = store.get(probe.key);
+    if (!back.has_value() || back->config != "probe") {
+      return "probe get failed after recovery";
+    }
+  } catch (const std::exception& e) {
+    return str_cat("recovery threw: ", e.what());
+  }
+  return "";
+}
+
+}  // namespace artemis::storage

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "artemis/storage/plan_store.hpp"
+#include "artemis/storage/vfs.hpp"
+
+namespace artemis::storage {
+
+/// One crash state that violated the invariant.
+struct CrashCheckFailure {
+  std::size_t op_index = 0;   ///< the workload crashed before op k
+  std::uint64_t variant = 0;  ///< which writeback variant (MemVfs::crash)
+  std::string what;           ///< the invariant's complaint
+};
+
+struct CrashSweepReport {
+  std::size_t ops = 0;     ///< recorded trace length
+  std::size_t states = 0;  ///< (k, variant) recovery states checked
+  std::vector<CrashCheckFailure> failures;
+  bool ok() const { return failures.empty(); }
+  /// "checked 312 crash states over 52 ops: OK" or the first failures.
+  std::string summary() const;
+};
+
+/// An invariant over one recovered filesystem. Returns "" when satisfied,
+/// a human-readable complaint otherwise. May mutate the filesystem (run
+/// recovery, do probe writes): each invocation gets its own replayed
+/// MemVfs.
+using CrashInvariant = std::function<std::string(MemVfs&)>;
+
+/// The mini-ALICE sweep: for every prefix [0, k) of `trace` (k = 0..N)
+/// and every writeback variant, rebuild the filesystem a crash at that
+/// instant could leave behind (replay_prefix) and run `check` on it.
+/// Exhaustive over crash points by construction — if this passes, no
+/// single power-cut instant in the recorded workload breaks the invariant
+/// under any of the modeled writeback behaviors.
+CrashSweepReport crash_sweep(const std::vector<VfsOp>& trace,
+                             const std::vector<std::uint64_t>& variants,
+                             const CrashInvariant& check);
+
+/// The variants used by default: nothing-written-back (0),
+/// everything-written-back (1), and three hash-mixed partial writebacks.
+std::vector<std::uint64_t> default_crash_variants();
+
+/// The plan store's recovery invariant, for composing into a
+/// CrashInvariant. Checks, on the recovered filesystem rooted at `root`:
+///
+///   1. every published record decodes Ok and is byte-faithful to the
+///      entry in `expected` with the same key (zero corrupted or
+///      mutated entries — at most the in-flight record is missing);
+///   2. opening the store succeeds (recovery sweeps temps, never throws);
+///   3. after recovery every published key get()s back Ok;
+///   4. a fresh put/get round-trips (the store still works).
+///
+/// Returns "" or the first violation.
+std::string check_plan_store_state(
+    MemVfs& vfs, const std::string& root,
+    const std::map<std::string, PlanRecord>& expected);
+
+}  // namespace artemis::storage

@@ -1,0 +1,370 @@
+#include "artemis/storage/plan_store.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "artemis/common/hash.hpp"
+#include "artemis/common/str.hpp"
+#include "artemis/ir/content_hash.hpp"
+#include "artemis/telemetry/telemetry.hpp"
+
+namespace artemis::storage {
+
+namespace {
+
+constexpr const char* kMagic = "#artemis-plan";
+
+bool is_hex_key(const std::string& key) {
+  if (key.size() != 32) return false;
+  return std::all_of(key.begin(), key.end(), [](char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+  });
+}
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string encode_plan_record(const PlanRecord& rec) {
+  std::ostringstream payload;
+  payload << "key=" << rec.key << "\n";
+  payload << "config=" << rec.config << "\n";
+  payload << "time_s=" << fmt_double(rec.time_s) << "\n";
+  payload << "tflops=" << fmt_double(rec.tflops) << "\n";
+  for (const auto& [k, v] : rec.meta) {  // map order => canonical bytes
+    payload << "meta." << k << "=" << v << "\n";
+  }
+  const std::string body = payload.str();
+  return str_cat(kMagic, " v", kPlanRecordVersion, " len=", body.size(),
+                 " crc=", crc32_hex(crc32(body)), "\n", body);
+}
+
+const char* decode_status_name(DecodeStatus s) {
+  switch (s) {
+    case DecodeStatus::Ok: return "ok";
+    case DecodeStatus::Torn: return "torn";
+    case DecodeStatus::CrcMismatch: return "crc_mismatch";
+    case DecodeStatus::VersionSkew: return "version_skew";
+    case DecodeStatus::Malformed: return "malformed";
+  }
+  return "?";
+}
+
+DecodeStatus decode_plan_record(const std::string& bytes, PlanRecord* out) {
+  if (bytes.empty()) return DecodeStatus::Torn;
+  const auto nl = bytes.find('\n');
+  if (nl == std::string::npos) {
+    // No complete header line. If what is there is a prefix of a valid
+    // header, the write was torn; otherwise it was never a plan record.
+    const std::string magic(kMagic);
+    return bytes.compare(0, std::min(bytes.size(), magic.size()), magic, 0,
+                         std::min(bytes.size(), magic.size())) == 0
+               ? DecodeStatus::Torn
+               : DecodeStatus::Malformed;
+  }
+  const std::string header = bytes.substr(0, nl);
+  std::istringstream hs(header);
+  std::string magic, version, len_field, crc_field;
+  hs >> magic >> version >> len_field >> crc_field;
+  if (magic != kMagic) return DecodeStatus::Malformed;
+  if (version != str_cat("v", kPlanRecordVersion)) {
+    return version.size() > 1 && version[0] == 'v'
+               ? DecodeStatus::VersionSkew
+               : DecodeStatus::Malformed;
+  }
+  if (len_field.rfind("len=", 0) != 0 || crc_field.rfind("crc=", 0) != 0) {
+    return DecodeStatus::Malformed;
+  }
+  std::size_t len = 0;
+  try {
+    len = std::stoull(len_field.substr(4));
+  } catch (const std::exception&) {
+    return DecodeStatus::Malformed;
+  }
+  std::uint32_t want_crc = 0;
+  if (!parse_crc32_hex(crc_field.substr(4), &want_crc)) {
+    return DecodeStatus::Malformed;
+  }
+  const std::string body = bytes.substr(nl + 1);
+  if (body.size() < len) return DecodeStatus::Torn;
+  if (body.size() > len) return DecodeStatus::Malformed;
+  if (crc32(body) != want_crc) return DecodeStatus::CrcMismatch;
+
+  PlanRecord rec;
+  bool have_key = false, have_config = false;
+  for (const auto& line : split(body, '\n')) {
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) return DecodeStatus::Malformed;
+    const std::string k = line.substr(0, eq);
+    const std::string v = line.substr(eq + 1);
+    if (k == "key") {
+      rec.key = v;
+      have_key = true;
+    } else if (k == "config") {
+      rec.config = v;
+      have_config = true;
+    } else if (k == "time_s") {
+      try { rec.time_s = std::stod(v); } catch (const std::exception&) {
+        return DecodeStatus::Malformed;
+      }
+    } else if (k == "tflops") {
+      try { rec.tflops = std::stod(v); } catch (const std::exception&) {
+        return DecodeStatus::Malformed;
+      }
+    } else if (k.rfind("meta.", 0) == 0) {
+      rec.meta[k.substr(5)] = v;
+    }
+    // Unknown same-version fields are ignored: minor additions stay
+    // readable by older binaries.
+  }
+  if (!have_key || !have_config) return DecodeStatus::Malformed;
+  if (out != nullptr) *out = std::move(rec);
+  return DecodeStatus::Ok;
+}
+
+std::string plan_store_key(const ir::Program& prog,
+                           const std::string& device,
+                           int tuner_version) {
+  ContentHasher h;
+  ir::hash_program(prog, h);
+  h.update(str_cat("|device:", device.size(), "=", device, ";tuner=",
+                   tuner_version, ";"));
+  return h.hex_digest();
+}
+
+// --- PlanStore -------------------------------------------------------------
+
+std::string PlanStore::shard_of(const std::string& key) {
+  return key.size() >= 2 ? key.substr(0, 2) : std::string("00");
+}
+
+std::string PlanStore::object_path(const std::string& key) const {
+  return str_cat(root_, "/objects/", shard_of(key), "/", key, ".plan");
+}
+
+PlanStore::PlanStore(Vfs& vfs, std::string root)
+    : vfs_(vfs), root_(std::move(root)) {
+  try {
+    vfs_.mkdirs(str_cat(root_, "/objects"));
+    vfs_.mkdirs(str_cat(root_, "/tmp"));
+    vfs_.mkdirs(str_cat(root_, "/quarantine"));
+  } catch (const VfsError&) {
+    // A disk that cannot even hold the skeleton degrades the store to a
+    // pass-through: every put fails (counted), every get misses.
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.io_errors;
+    telemetry::counter_add("plan_store.io_errors");
+    return;
+  }
+  // Crash recovery: anything still in tmp/ is an in-flight write whose
+  // process died before the rename — by construction it was never
+  // visible, so deleting it is the whole recovery story.
+  for (const auto& name : vfs_.list(str_cat(root_, "/tmp"))) {
+    try {
+      if (vfs_.remove(str_cat(root_, "/tmp/", name))) {
+        const std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.recovered_tmp;
+        telemetry::counter_add("plan_store.recovered_tmp");
+      }
+    } catch (const VfsError&) {
+      // Leave it for the next open or compact().
+    }
+  }
+}
+
+bool PlanStore::put(const PlanRecord& rec) {
+  ARTEMIS_CHECK_MSG(is_hex_key(rec.key),
+                    "plan key must be 32 hex digits, got '" << rec.key
+                                                            << "'");
+  std::uint64_t seq = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    seq = tmp_seq_++;
+  }
+  const std::string tmp = str_cat(root_, "/tmp/", rec.key, ".",
+                                  vfs_.process_tag(), ".", seq, ".tmp");
+  const std::string shard_dir = str_cat(root_, "/objects/",
+                                        shard_of(rec.key));
+  try {
+    auto f = vfs_.create(tmp, /*truncate=*/true);
+    f->write(encode_plan_record(rec));
+    f->sync();
+    f->close();
+    vfs_.mkdirs(shard_dir);
+    vfs_.rename(tmp, object_path(rec.key));
+    vfs_.sync_dir(shard_dir);
+  } catch (const VfsError&) {
+    try {
+      vfs_.remove(tmp);
+    } catch (const VfsError&) {
+      // open()/compact() sweeps it later.
+    }
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.put_failures;
+    telemetry::counter_add("plan_store.put_failures");
+    return false;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.puts;
+  telemetry::counter_add("plan_store.puts");
+  return true;
+}
+
+void PlanStore::count_drop(DecodeStatus why) {
+  // Callers hold mu_.
+  switch (why) {
+    case DecodeStatus::Ok:
+      return;
+    case DecodeStatus::Torn:
+      ++stats_.drop_torn;
+      telemetry::counter_add("plan_store.drop.torn");
+      return;
+    case DecodeStatus::CrcMismatch:
+      ++stats_.drop_crc_mismatch;
+      telemetry::counter_add("plan_store.drop.crc_mismatch");
+      return;
+    case DecodeStatus::VersionSkew:
+      ++stats_.drop_version_skew;
+      telemetry::counter_add("plan_store.drop.version_skew");
+      return;
+    case DecodeStatus::Malformed:
+      ++stats_.drop_malformed;
+      telemetry::counter_add("plan_store.drop.malformed");
+      return;
+  }
+}
+
+void PlanStore::quarantine_object(const std::string& key, DecodeStatus why) {
+  const std::string dst = str_cat(root_, "/quarantine/", key, ".",
+                                  decode_status_name(why), ".plan");
+  try {
+    vfs_.rename(object_path(key), dst);
+    vfs_.sync_dir(str_cat(root_, "/quarantine"));
+  } catch (const VfsError&) {
+    // Best effort: the object stays where it is and will be re-classified
+    // (and re-counted) next time it is read. compact() retries the move.
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.quarantined;
+  telemetry::counter_add("plan_store.quarantined");
+}
+
+std::optional<PlanRecord> PlanStore::get(const std::string& key) {
+  std::optional<std::string> bytes;
+  try {
+    bytes = vfs_.read(object_path(key));
+  } catch (const VfsError&) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.io_errors;
+    ++stats_.misses;
+    telemetry::counter_add("plan_store.io_errors");
+    telemetry::counter_add("plan_store.misses");
+    return std::nullopt;
+  }
+  if (!bytes.has_value()) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    telemetry::counter_add("plan_store.misses");
+    return std::nullopt;
+  }
+  PlanRecord rec;
+  DecodeStatus status = decode_plan_record(*bytes, &rec);
+  if (status == DecodeStatus::Ok && rec.key != key) {
+    status = DecodeStatus::Malformed;  // record filed under the wrong name
+  }
+  if (status != DecodeStatus::Ok) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      count_drop(status);
+      ++stats_.misses;
+      telemetry::counter_add("plan_store.misses");
+    }
+    quarantine_object(key, status);
+    return std::nullopt;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.hits;
+  telemetry::counter_add("plan_store.hits");
+  return rec;
+}
+
+std::vector<std::string> PlanStore::keys() {
+  std::vector<std::string> out;
+  const std::string objects = str_cat(root_, "/objects");
+  for (const auto& shard : vfs_.list(objects)) {
+    for (const auto& name : vfs_.list(str_cat(objects, "/", shard))) {
+      if (name.size() > 5 && name.substr(name.size() - 5) == ".plan") {
+        out.push_back(name.substr(0, name.size() - 5));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+PlanStore::CompactionReport PlanStore::compact() {
+  CompactionReport report;
+  bool stale = false;
+  auto lock = vfs_.try_lock(str_cat(root_, "/store.lock"), &stale);
+  if (lock == nullptr) return report;  // a live process is compacting
+  report.ran = true;
+  report.stale_lock_reclaimed = stale;
+  {
+    const std::lock_guard<std::mutex> guard(mu_);
+    ++stats_.compactions;
+    telemetry::counter_add("plan_store.compactions");
+    if (stale) {
+      ++stats_.stale_locks_reclaimed;
+      telemetry::counter_add("plan_store.stale_locks_reclaimed");
+    }
+  }
+  const auto sweep = [&](const std::string& dir, int* counter) {
+    for (const auto& name : vfs_.list(dir)) {
+      try {
+        if (vfs_.remove(str_cat(dir, "/", name))) ++*counter;
+      } catch (const VfsError&) {
+        // Leave it; compaction is advisory.
+      }
+    }
+  };
+  sweep(str_cat(root_, "/tmp"), &report.removed_tmp);
+  sweep(str_cat(root_, "/quarantine"), &report.removed_quarantine);
+  for (const auto& key : keys()) {
+    ++report.scanned;
+    std::optional<std::string> bytes;
+    try {
+      bytes = vfs_.read(object_path(key));
+    } catch (const VfsError&) {
+      continue;
+    }
+    if (!bytes.has_value()) continue;  // raced with a concurrent writer
+    PlanRecord rec;
+    DecodeStatus status = decode_plan_record(*bytes, &rec);
+    if (status == DecodeStatus::Ok && rec.key != key) {
+      status = DecodeStatus::Malformed;
+    }
+    if (status != DecodeStatus::Ok) {
+      {
+        const std::lock_guard<std::mutex> guard(mu_);
+        count_drop(status);
+      }
+      quarantine_object(key, status);
+      ++report.quarantined;
+    }
+  }
+  return report;
+}
+
+PlanStoreStats PlanStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace artemis::storage

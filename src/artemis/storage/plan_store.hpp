@@ -1,0 +1,156 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "artemis/ir/program.hpp"
+#include "artemis/storage/vfs.hpp"
+
+namespace artemis::storage {
+
+/// On-disk record schema version. Bumped when the payload grammar changes
+/// incompatibly; readers classify newer records as VersionSkew instead of
+/// guessing.
+constexpr int kPlanRecordVersion = 1;
+
+/// One persisted tuning plan: the best kernel configuration found for a
+/// (program, device, tuner-version) content key, with its measured
+/// performance and free-form provenance metadata.
+struct PlanRecord {
+  std::string key;     ///< 32-hex content key (plan_store_key)
+  std::string config;  ///< autotune::serialize_config line
+  double time_s = 0;
+  double tflops = 0;
+  std::map<std::string, std::string> meta;  ///< provenance (device, ...)
+};
+
+/// Encode a record in the durable format:
+///
+///   #artemis-plan v1 len=<payload bytes> crc=<8 hex>\n
+///   key=...\n config=...\n time_s=...\n tflops=...\n meta.<k>=<v>\n...
+///
+/// The header carries the exact payload length and its CRC-32, so a
+/// reader can tell a torn tail (fewer bytes than promised) from
+/// corruption (bytes present, checksum wrong) from a version it does not
+/// speak. Records are only ever published whole via atomic rename.
+std::string encode_plan_record(const PlanRecord& rec);
+
+/// Why a decode rejected (or accepted) a byte string. The distinctions
+/// drive separate telemetry counters: lots of Torn means crashes are
+/// happening, CrcMismatch means the medium corrupts data, VersionSkew
+/// means old and new binaries share a store.
+enum class DecodeStatus {
+  Ok,
+  Torn,         ///< shorter than the header promises (torn write/crash)
+  CrcMismatch,  ///< full length present but checksum fails
+  VersionSkew,  ///< a schema version this reader does not speak
+  Malformed,    ///< not a plan record at all / required fields missing
+};
+
+const char* decode_status_name(DecodeStatus s);
+
+/// Classify `bytes` and, on Ok, parse into *out (out may be null to just
+/// classify). Never throws.
+DecodeStatus decode_plan_record(const std::string& bytes, PlanRecord* out);
+
+/// The content key a plan is stored under: the structural hash of the
+/// canonical IR (ir::hash_program — whitespace/formatting/comment
+/// insensitive) extended with the device name and tuner version. Same
+/// program text, same device, same tuner => same key, across platforms.
+std::string plan_store_key(const ir::Program& prog,
+                           const std::string& device,
+                           int tuner_version);
+
+/// Running counters of everything observable about one PlanStore. Mirrored
+/// into telemetry under `plan_store.*` as they change.
+struct PlanStoreStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t put_failures = 0;    ///< put aborted by a VfsError
+  std::uint64_t io_errors = 0;       ///< reads that threw (counted as miss)
+  std::uint64_t recovered_tmp = 0;   ///< orphan temps swept at open()
+  std::uint64_t quarantined = 0;     ///< bad records moved aside
+  std::uint64_t drop_torn = 0;
+  std::uint64_t drop_crc_mismatch = 0;
+  std::uint64_t drop_version_skew = 0;
+  std::uint64_t drop_malformed = 0;
+  std::uint64_t stale_locks_reclaimed = 0;
+  std::uint64_t compactions = 0;
+};
+
+/// Content-addressed durable store of tuning plans.
+///
+/// Layout under `root`:
+///
+///   store.lock                  maintenance lock (flock + holder tag)
+///   tmp/                        in-flight writes (unique per process+seq)
+///   quarantine/                 records that failed to decode, kept for
+///                               post-mortem instead of deleted
+///   objects/<hh>/<key>.plan     the records, sharded by the first two
+///                               hex digits of the key
+///
+/// put() is write-to-temp, fsync, atomic-rename, fsync-parent: a crash at
+/// any operation leaves either the old record, the new record, or an
+/// orphan temp that open() sweeps — never a half-record at the published
+/// path. put()/get() take no lock (rename is the commit point; concurrent
+/// writers of the same key race benignly, last rename wins whole). Only
+/// compact() takes the store lock.
+///
+/// VfsError is absorbed into counters (a broken disk degrades the store
+/// to a pass-through, it never breaks tuning). FsCrash always propagates:
+/// the simulated machine is dead.
+class PlanStore {
+ public:
+  /// Binds the store to `root` under `vfs` and runs crash recovery:
+  /// creates the directory skeleton and sweeps orphan temp files.
+  PlanStore(Vfs& vfs, std::string root);
+
+  /// Durably publish `rec` under rec.key. Returns false (and counts) if
+  /// a filesystem error prevented it.
+  bool put(const PlanRecord& rec);
+
+  /// Fetch the record for `key`, verifying integrity. A record that fails
+  /// verification is quarantined and reported as a miss.
+  std::optional<PlanRecord> get(const std::string& key);
+
+  /// All keys currently published (scans every shard).
+  std::vector<std::string> keys();
+
+  struct CompactionReport {
+    bool ran = false;  ///< false = another live process holds the lock
+    bool stale_lock_reclaimed = false;
+    int removed_tmp = 0;      ///< leftover temps deleted
+    int removed_quarantine = 0;
+    int scanned = 0;          ///< published records verified
+    int quarantined = 0;      ///< published records that failed the scan
+  };
+
+  /// Maintenance under the store lock: delete leftover temps, drain the
+  /// quarantine, re-verify every published record (quarantining any that
+  /// no longer decode). Skips (ran=false) when a live process holds the
+  /// lock; reclaims and reports a stale lock from a dead one.
+  CompactionReport compact();
+
+  PlanStoreStats stats() const;
+
+  const std::string& root() const { return root_; }
+  std::string object_path(const std::string& key) const;
+  static std::string shard_of(const std::string& key);
+
+ private:
+  void quarantine_object(const std::string& key, DecodeStatus why);
+  void count_drop(DecodeStatus why);
+
+  Vfs& vfs_;
+  std::string root_;
+  mutable std::mutex mu_;  ///< guards stats_ and temp-name sequencing
+  PlanStoreStats stats_;
+  std::uint64_t tmp_seq_ = 0;
+};
+
+}  // namespace artemis::storage

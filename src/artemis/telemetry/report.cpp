@@ -165,12 +165,43 @@ Json build_run_report(const ReportMeta& meta,
   resilience.set("journal_records", counter("journal.records"));
   resilience.set("journal_replayed", counter("journal.replayed"));
   resilience.set("journal_parse_errors", counter("journal.parse_errors"));
+  resilience.set("journal_write_errors", counter("journal.write_errors"));
   resilience.set("cache_parse_errors",
                  counter("tuning_cache.parse_errors"));
+  // Cache drop breakdown: the same rows counted by cache_parse_errors,
+  // classified by why each was dropped.
+  Json cache_drops = Json::object();
+  cache_drops.set("crc_mismatch", counter("tuning_cache.drop.crc_mismatch"));
+  cache_drops.set("torn_tail", counter("tuning_cache.drop.torn_tail"));
+  cache_drops.set("version_skew", counter("tuning_cache.drop.version_skew"));
+  cache_drops.set("malformed", counter("tuning_cache.drop.malformed"));
+  resilience.set("cache_drops", std::move(cache_drops));
   resilience.set("dropped_candidates",
                  counter("driver.dropped_candidates"));
   resilience.set("dropped", events_named(events, "driver.candidate_dropped"));
   report.set("resilience", std::move(resilience));
+
+  // Durable plan store accounting (docs/ROBUSTNESS.md, --store): cache
+  // traffic, crash recovery, and the integrity classification of every
+  // record the store refused to serve.
+  Json storage = Json::object();
+  storage.set("hits", counter("plan_store.hits"));
+  storage.set("misses", counter("plan_store.misses"));
+  storage.set("puts", counter("plan_store.puts"));
+  storage.set("put_failures", counter("plan_store.put_failures"));
+  storage.set("io_errors", counter("plan_store.io_errors"));
+  storage.set("recovered_tmp", counter("plan_store.recovered_tmp"));
+  storage.set("quarantined", counter("plan_store.quarantined"));
+  Json store_drops = Json::object();
+  store_drops.set("torn", counter("plan_store.drop.torn"));
+  store_drops.set("crc_mismatch", counter("plan_store.drop.crc_mismatch"));
+  store_drops.set("version_skew", counter("plan_store.drop.version_skew"));
+  store_drops.set("malformed", counter("plan_store.drop.malformed"));
+  storage.set("drops", std::move(store_drops));
+  storage.set("stale_locks_reclaimed",
+              counter("plan_store.stale_locks_reclaimed"));
+  storage.set("compactions", counter("plan_store.compactions"));
+  report.set("storage", std::move(storage));
 
   // Parallel-tuning accounting: the shard count the driver requested and
   // what the work-stealing pools actually did. The tuning outcome is

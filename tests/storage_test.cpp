@@ -1,0 +1,492 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "artemis/common/hash.hpp"
+#include "artemis/dsl/parser.hpp"
+#include "artemis/ir/content_hash.hpp"
+#include "artemis/robust/fault_injection.hpp"
+#include "artemis/storage/plan_store.hpp"
+#include "artemis/storage/vfs.hpp"
+
+namespace artemis::storage {
+namespace {
+
+// --- hashing primitives ----------------------------------------------------
+
+TEST(Crc32, KnownVector) {
+  // The canonical CRC-32 check value.
+  const std::string s = "123456789";
+  EXPECT_EQ(crc32(s), 0xcbf43926u);
+  EXPECT_EQ(crc32_hex(crc32(s)), "cbf43926");
+}
+
+TEST(Crc32, HexRoundTrip) {
+  std::uint32_t out = 0;
+  ASSERT_TRUE(parse_crc32_hex("deadbeef", &out));
+  EXPECT_EQ(out, 0xdeadbeefu);
+  EXPECT_FALSE(parse_crc32_hex("deadbee", &out));    // too short
+  EXPECT_FALSE(parse_crc32_hex("deadbeefa", &out));  // too long
+  EXPECT_FALSE(parse_crc32_hex("deadbeeg", &out));   // not hex
+  EXPECT_FALSE(parse_crc32_hex("DEADBEEF", &out));   // canonical = lowercase
+}
+
+TEST(ContentHasher, DeterministicAndSensitive) {
+  ContentHasher a, b;
+  a.update("hello");
+  b.update("hel");
+  b.update("lo");
+  EXPECT_EQ(a.hex_digest(), b.hex_digest());  // chunking-invariant
+  EXPECT_EQ(a.hex_digest().size(), 32u);
+  ContentHasher c;
+  c.update("hellp");
+  EXPECT_NE(a.hex_digest(), c.hex_digest());
+}
+
+// --- IR content hash -------------------------------------------------------
+
+constexpr const char* kProg = R"(
+parameter N=64;
+iterator k, j, i;
+double u[N,N,N], un[N,N,N];
+copyin u;
+stencil s (UN, U) {
+  UN[k][j][i] = 0.5*(U[k][j][i+1] + U[k][j][i-1]);
+}
+iterate 4 {
+  s (un, u);
+  swap (un, u);
+}
+copyout u;
+)";
+
+TEST(IrContentHash, FormattingInsensitive) {
+  const auto a = dsl::parse(kProg);
+  // Same program, different whitespace and comments.
+  std::string mangled = kProg;
+  mangled.insert(0, "// a comment\n\n");
+  const auto b = dsl::parse(mangled);
+  EXPECT_EQ(ir::content_hash(a), ir::content_hash(b));
+  EXPECT_EQ(ir::content_hash(a).size(), 32u);
+}
+
+TEST(IrContentHash, SemanticChangesChangeTheHash) {
+  const std::string base = kProg;
+  const auto h0 = ir::content_hash(dsl::parse(base));
+  // A coefficient change.
+  std::string coeff = base;
+  coeff.replace(coeff.find("0.5"), 3, "0.6");
+  EXPECT_NE(ir::content_hash(dsl::parse(coeff)), h0);
+  // An offset change.
+  std::string off = base;
+  off.replace(off.find("i+1"), 3, "i+2");
+  EXPECT_NE(ir::content_hash(dsl::parse(off)), h0);
+  // An iteration-count change.
+  std::string iters = base;
+  iters.replace(iters.find("iterate 4"), 9, "iterate 5");
+  EXPECT_NE(ir::content_hash(dsl::parse(iters)), h0);
+}
+
+TEST(PlanStoreKey, DeviceAndTunerVersionAreIdentity) {
+  const auto prog = dsl::parse(kProg);
+  const auto a = plan_store_key(prog, "P100", 1);
+  EXPECT_EQ(a, plan_store_key(prog, "P100", 1));
+  EXPECT_NE(a, plan_store_key(prog, "V100", 1));
+  EXPECT_NE(a, plan_store_key(prog, "P100", 2));
+  EXPECT_EQ(a.size(), 32u);
+}
+
+// --- record codec ----------------------------------------------------------
+
+PlanRecord sample_record() {
+  PlanRecord rec;
+  rec.key = "0123456789abcdef0123456789abcdef";
+  rec.config = "block=8,8,4 unroll=1,1,1";
+  rec.time_s = 1.25e-3;
+  rec.tflops = 3.5;
+  rec.meta["device"] = "P100";
+  rec.meta["strategy"] = "artemis";
+  return rec;
+}
+
+TEST(PlanRecordCodec, RoundTrips) {
+  const PlanRecord rec = sample_record();
+  const std::string bytes = encode_plan_record(rec);
+  PlanRecord back;
+  ASSERT_EQ(decode_plan_record(bytes, &back), DecodeStatus::Ok);
+  EXPECT_EQ(back.key, rec.key);
+  EXPECT_EQ(back.config, rec.config);
+  EXPECT_DOUBLE_EQ(back.time_s, rec.time_s);
+  EXPECT_DOUBLE_EQ(back.tflops, rec.tflops);
+  EXPECT_EQ(back.meta, rec.meta);
+  // Encoding is canonical: encode(decode(x)) == x.
+  EXPECT_EQ(encode_plan_record(back), bytes);
+}
+
+TEST(PlanRecordCodec, ClassifiesEveryFailureMode) {
+  const std::string bytes = encode_plan_record(sample_record());
+  // Every strict prefix is Torn or Malformed — never Ok, never CrcMismatch
+  // presented as Ok.
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    const DecodeStatus s = decode_plan_record(bytes.substr(0, n), nullptr);
+    EXPECT_TRUE(s == DecodeStatus::Torn || s == DecodeStatus::Malformed)
+        << "prefix of " << n << " bytes decoded as "
+        << decode_status_name(s);
+  }
+  // A flipped payload byte is a checksum failure.
+  std::string flipped = bytes;
+  flipped[bytes.size() - 2] ^= 0x20;
+  EXPECT_EQ(decode_plan_record(flipped, nullptr), DecodeStatus::CrcMismatch);
+  // A future version is skew, not garbage.
+  std::string skew = bytes;
+  skew.replace(skew.find(" v1 "), 4, " v9 ");
+  EXPECT_EQ(decode_plan_record(skew, nullptr), DecodeStatus::VersionSkew);
+  // Arbitrary bytes are malformed.
+  EXPECT_EQ(decode_plan_record("not a record\nat all\n", nullptr),
+            DecodeStatus::Malformed);
+  EXPECT_EQ(decode_plan_record("", nullptr), DecodeStatus::Torn);
+}
+
+// --- MemVfs ----------------------------------------------------------------
+
+TEST(MemVfs, DataIsVolatileUntilSync) {
+  MemVfs vfs;
+  auto f = vfs.create("wal", false);
+  f->write("synced");
+  f->sync();
+  f->write("-volatile");
+  EXPECT_EQ(vfs.read("wal").value(), "synced-volatile");
+  vfs.crash(0);  // nothing written back
+  EXPECT_EQ(vfs.read("wal").value(), "synced");
+  // Variant 1: everything made it.
+  auto g = vfs.create("wal2", false);
+  g->write("abc");
+  vfs.crash(1);
+  EXPECT_EQ(vfs.read("wal2").value(), "abc");
+}
+
+TEST(MemVfs, NamespaceOpsAreDurable) {
+  MemVfs vfs;
+  vfs.mkdirs("a/b");
+  auto f = vfs.create("a/b/x", true);
+  f->write("data");
+  f->sync();
+  vfs.rename("a/b/x", "a/b/y");
+  vfs.crash(0);
+  EXPECT_FALSE(vfs.exists("a/b/x"));
+  EXPECT_EQ(vfs.read("a/b/y").value(), "data");
+  EXPECT_TRUE(vfs.exists("a/b"));
+}
+
+TEST(MemVfs, CreateRequiresParentDirectory) {
+  MemVfs vfs;
+  EXPECT_THROW(vfs.create("no/such/dir/file", true), VfsError);
+  vfs.mkdirs("no/such/dir");
+  EXPECT_NO_THROW(vfs.create("no/such/dir/file", true));
+  // Rename into a missing directory is also a protocol bug.
+  EXPECT_THROW(vfs.rename("no/such/dir/file", "absent/file"), VfsError);
+}
+
+TEST(MemVfs, ListsSortedBasenames) {
+  MemVfs vfs;
+  vfs.mkdirs("d");
+  vfs.create("d/b", true);
+  vfs.create("d/a", true);
+  vfs.mkdirs("d/sub");
+  EXPECT_EQ(vfs.list("d"), (std::vector<std::string>{"a", "b", "sub"}));
+  EXPECT_TRUE(vfs.list("absent").empty());
+}
+
+TEST(MemVfs, CrashVariantsAreDeterministic) {
+  const auto build = [] {
+    auto vfs = std::make_unique<MemVfs>();
+    auto f = vfs->create("t", true);
+    f->write("0123456789");  // all unsynced
+    return vfs;
+  };
+  for (const std::uint64_t variant : {0ull, 2ull, 3ull, 4ull}) {
+    auto a = build();
+    auto b = build();
+    a->crash(variant);
+    b->crash(variant);
+    EXPECT_EQ(a->read("t").value(), b->read("t").value())
+        << "variant " << variant;
+  }
+}
+
+TEST(MemVfs, TraceReplayReproducesState) {
+  MemVfs vfs;
+  vfs.set_record_trace(true);
+  vfs.mkdirs("d");
+  auto f = vfs.create("d/x", true);
+  f->write("hello");
+  f->sync();
+  vfs.rename("d/x", "d/y");
+  const auto trace = vfs.trace();
+  ASSERT_GE(trace.size(), 5u);
+  auto replayed = replay_prefix(trace, trace.size(), 0);
+  EXPECT_EQ(replayed->read("d/y").value(), "hello");
+  // A prefix that stops before the rename sees the old name.
+  auto earlier = replay_prefix(trace, trace.size() - 1, 1);
+  EXPECT_EQ(earlier->read("d/x").value(), "hello");
+  EXPECT_FALSE(earlier->exists("d/y"));
+}
+
+TEST(MemVfs, StaleLockDetection) {
+  MemVfs vfs;
+  bool stale = false;
+  {
+    auto lock = vfs.try_lock("store.lock", &stale);
+    ASSERT_NE(lock, nullptr);
+    EXPECT_FALSE(stale);
+    // Second acquisition while held fails (live holder).
+    EXPECT_EQ(vfs.try_lock("store.lock", &stale), nullptr);
+  }
+  // Clean release: re-acquisition is not stale.
+  auto lock2 = vfs.try_lock("store.lock", &stale);
+  ASSERT_NE(lock2, nullptr);
+  EXPECT_FALSE(stale);
+  // A crash drops the flock but leaves the holder tag in the file.
+  vfs.crash(0);
+  auto lock3 = vfs.try_lock("store.lock", &stale);
+  ASSERT_NE(lock3, nullptr);
+  EXPECT_TRUE(stale);
+}
+
+TEST(AtomicWriteFile, PublishesWholeOrNotAtAll) {
+  MemVfs vfs;
+  vfs.set_record_trace(true);
+  vfs.install_file("cfg", "old");
+  atomic_write_file(vfs, "cfg", "new content");
+  EXPECT_EQ(vfs.read("cfg").value(), "new content");
+  // Replay every crash prefix: the file is always exactly old or new.
+  const auto trace = vfs.trace();
+  for (std::size_t k = 0; k <= trace.size(); ++k) {
+    for (const std::uint64_t variant : {0ull, 1ull, 3ull}) {
+      auto state = replay_prefix(trace, k, variant);
+      // install_file bypasses the trace, so seed the old file first.
+      if (!state->exists("cfg") || state->read("cfg")->empty()) {
+        continue;  // prefix before installation is out of scope
+      }
+      const std::string got = state->read("cfg").value();
+      EXPECT_TRUE(got == "old" || got == "new content")
+          << "k=" << k << " variant=" << variant << " got '" << got << "'";
+    }
+  }
+}
+
+// --- PlanStore -------------------------------------------------------------
+
+TEST(PlanStore, PutGetRoundTrip) {
+  MemVfs vfs;
+  PlanStore store(vfs, "store");
+  const PlanRecord rec = sample_record();
+  EXPECT_FALSE(store.get(rec.key).has_value());  // miss first
+  ASSERT_TRUE(store.put(rec));
+  const auto back = store.get(rec.key);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->config, rec.config);
+  EXPECT_EQ(back->meta, rec.meta);
+  EXPECT_EQ(store.keys(), std::vector<std::string>{rec.key});
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.puts, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(PlanStore, OverwriteSameKeyLastWins) {
+  MemVfs vfs;
+  PlanStore store(vfs, "store");
+  PlanRecord rec = sample_record();
+  ASSERT_TRUE(store.put(rec));
+  rec.tflops = 9.0;
+  ASSERT_TRUE(store.put(rec));
+  EXPECT_DOUBLE_EQ(store.get(rec.key)->tflops, 9.0);
+  EXPECT_EQ(store.keys().size(), 1u);
+}
+
+TEST(PlanStore, CorruptRecordIsQuarantinedAndClassified) {
+  MemVfs vfs;
+  PlanStore store(vfs, "store");
+  const PlanRecord rec = sample_record();
+  ASSERT_TRUE(store.put(rec));
+  // Corrupt the published object in place (bit rot).
+  std::string bytes = vfs.read(store.object_path(rec.key)).value();
+  bytes[bytes.size() - 2] ^= 0x01;
+  vfs.install_file(store.object_path(rec.key), bytes);
+  EXPECT_FALSE(store.get(rec.key).has_value());
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.drop_crc_mismatch, 1u);
+  EXPECT_EQ(stats.quarantined, 1u);
+  // The bad record moved aside: a fresh get is a clean miss, and the
+  // evidence is preserved under quarantine/.
+  EXPECT_FALSE(vfs.exists(store.object_path(rec.key)));
+  EXPECT_EQ(vfs.list("store/quarantine").size(), 1u);
+  // The store still accepts a replacement.
+  ASSERT_TRUE(store.put(rec));
+  EXPECT_TRUE(store.get(rec.key).has_value());
+}
+
+TEST(PlanStore, TornRecordClassifiedSeparately) {
+  MemVfs vfs;
+  PlanStore store(vfs, "store");
+  const PlanRecord rec = sample_record();
+  ASSERT_TRUE(store.put(rec));
+  const std::string bytes = vfs.read(store.object_path(rec.key)).value();
+  vfs.install_file(store.object_path(rec.key),
+                   bytes.substr(0, bytes.size() / 2));
+  EXPECT_FALSE(store.get(rec.key).has_value());
+  EXPECT_EQ(store.stats().drop_torn, 1u);
+  EXPECT_EQ(store.stats().drop_crc_mismatch, 0u);
+}
+
+TEST(PlanStore, OpenSweepsOrphanTemps) {
+  MemVfs vfs;
+  {
+    PlanStore first(vfs, "store");
+    // Simulate a crash mid-put: an orphan temp left behind.
+    vfs.install_file("store/tmp/orphan.pid:1.0.tmp", "partial bytes");
+  }
+  PlanStore second(vfs, "store");
+  EXPECT_EQ(second.stats().recovered_tmp, 1u);
+  EXPECT_TRUE(vfs.list("store/tmp").empty());
+}
+
+TEST(PlanStore, CompactReclaimsStaleLockAndDrainsQuarantine) {
+  MemVfs vfs;
+  PlanStore store(vfs, "store");
+  const PlanRecord rec = sample_record();
+  ASSERT_TRUE(store.put(rec));
+  // Plant a corrupt object and quarantine it via get().
+  std::string bytes = vfs.read(store.object_path(rec.key)).value();
+  bytes[bytes.size() - 2] ^= 0x01;
+  vfs.install_file(store.object_path(rec.key), bytes);
+  ASSERT_FALSE(store.get(rec.key).has_value());
+  ASSERT_EQ(vfs.list("store/quarantine").size(), 1u);
+  // A previous holder died while holding the lock.
+  {
+    bool stale = false;
+    auto held = vfs.try_lock("store/store.lock", &stale);
+    ASSERT_NE(held, nullptr);
+    vfs.crash(1);  // drops the flock, keeps the tag bytes
+  }
+  const auto report = store.compact();
+  EXPECT_TRUE(report.ran);
+  EXPECT_TRUE(report.stale_lock_reclaimed);
+  EXPECT_EQ(report.removed_quarantine, 1);
+  EXPECT_TRUE(vfs.list("store/quarantine").empty());
+  EXPECT_EQ(store.stats().stale_locks_reclaimed, 1u);
+  EXPECT_EQ(store.stats().compactions, 1u);
+}
+
+TEST(PlanStore, CompactSkipsWhenLockIsHeldByLiveProcess) {
+  MemVfs vfs;
+  PlanStore store(vfs, "store");
+  bool stale = false;
+  auto held = vfs.try_lock("store/store.lock", &stale);
+  ASSERT_NE(held, nullptr);
+  const auto report = store.compact();
+  EXPECT_FALSE(report.ran);
+  EXPECT_EQ(store.stats().compactions, 0u);
+}
+
+TEST(PlanStore, RejectsNonHexKeys) {
+  MemVfs vfs;
+  PlanStore store(vfs, "store");
+  PlanRecord rec = sample_record();
+  rec.key = "../../../etc/passwd";
+  EXPECT_THROW(store.put(rec), Error);
+}
+
+// --- FaultVfs --------------------------------------------------------------
+
+robust::FaultSpec fs_spec(const std::string& text) {
+  return robust::parse_fault_spec(text);
+}
+
+TEST(FaultSpecGrammar, ParsesFsKeys) {
+  const auto spec =
+      fs_spec("fs.fail=0.25,fs.enospc=0.5,fs.short=0.75,fs.crash_at=12");
+  EXPECT_DOUBLE_EQ(spec.fs_fail_p, 0.25);
+  EXPECT_DOUBLE_EQ(spec.fs_enospc_p, 0.5);
+  EXPECT_DOUBLE_EQ(spec.fs_short_p, 0.75);
+  EXPECT_EQ(spec.fs_crash_at, 12);
+  EXPECT_TRUE(spec.any_fs_faults());
+  EXPECT_FALSE(spec.any_faults());  // fs keys do not arm eval faults
+  EXPECT_THROW(fs_spec("fs.crash_at=-1"), Error);
+  EXPECT_THROW(fs_spec("fs.crash_at=soon"), Error);
+  EXPECT_THROW(fs_spec("fs.fail=2"), Error);
+  EXPECT_THROW(fs_spec("fs.frobnicate=1"), Error);
+}
+
+TEST(FaultVfs, InjectedEioDegradesPutGracefully) {
+  MemVfs mem;
+  FaultVfs vfs(mem, fs_spec("fs.fail=1,seed=1"));
+  PlanStore store(vfs, "store");  // mkdirs fail -> recovery list is empty
+  EXPECT_FALSE(store.put(sample_record()));
+  EXPECT_EQ(store.stats().put_failures, 1u);
+  EXPECT_GT(vfs.counters().failures.load(), 0u);
+  EXPECT_FALSE(store.get(sample_record().key).has_value());
+}
+
+TEST(FaultVfs, DecisionsAreDeterministic) {
+  const auto run = [](std::uint64_t seed) {
+    MemVfs mem;
+    FaultVfs vfs(mem, [&] {
+      auto s = fs_spec("fs.enospc=0.3,fs.short=0.2");
+      s.seed = seed;
+      return s;
+    }());
+    PlanStore store(vfs, "store");
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 20; ++i) {
+      PlanRecord rec = sample_record();
+      rec.key[0] = "0123456789abcdef"[i % 16];
+      outcomes.push_back(store.put(rec));
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(7), run(7));  // same seed => identical fault pattern
+  EXPECT_NE(run(7), run(8));  // different seed => different pattern
+}
+
+TEST(FaultVfs, EnospcTearsButNeverPublishes) {
+  MemVfs mem;
+  FaultVfs vfs(mem, fs_spec("fs.enospc=1,seed=3"));
+  PlanStore store(vfs, "store");
+  const PlanRecord rec = sample_record();
+  EXPECT_FALSE(store.put(rec));
+  EXPECT_GT(vfs.counters().enospc.load(), 0u);
+  // The torn bytes never reached the published path.
+  EXPECT_FALSE(mem.exists(store.object_path(rec.key)));
+  EXPECT_FALSE(store.get(rec.key).has_value());
+}
+
+TEST(FaultVfs, CrashAtKillsEverythingAfterK) {
+  MemVfs mem;
+  FaultVfs vfs(mem, fs_spec("fs.crash_at=2"));
+  EXPECT_NO_THROW(vfs.mkdirs("a"));  // op 0
+  EXPECT_NO_THROW(vfs.mkdirs("b"));  // op 1
+  EXPECT_THROW(vfs.mkdirs("c"), FsCrash);  // op 2: dead
+  EXPECT_TRUE(vfs.crashed());
+  EXPECT_THROW(vfs.read("a"), FsCrash);  // reads die too
+  EXPECT_THROW(vfs.exists("a"), FsCrash);
+  vfs.reboot();
+  EXPECT_FALSE(vfs.crashed());
+  EXPECT_NO_THROW(vfs.exists("a"));
+}
+
+TEST(FaultVfs, ShortWriteLeavesPrefixThenFails) {
+  MemVfs mem;
+  FaultVfs vfs(mem, fs_spec("fs.short=1,seed=5"));
+  vfs.mkdirs(".");  // no-op, counted
+  auto f = vfs.create("x", true);
+  EXPECT_THROW(f->write("0123456789abcdef"), VfsError);
+  EXPECT_EQ(vfs.counters().short_writes.load(), 1u);
+  const std::string left = mem.read("x").value();
+  EXPECT_GT(left.size(), 0u);
+  EXPECT_LT(left.size(), 16u);  // a strict prefix landed
+}
+
+}  // namespace
+}  // namespace artemis::storage

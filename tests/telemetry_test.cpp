@@ -215,8 +215,8 @@ TEST_F(TelemetryTest, RunReportRoundTripsAndCountersSumConsistently) {
   const std::vector<std::string> expected_keys = {
       "report_version", "source",          "strategy", "device",
       "schedule",       "fusion_schedule", "hints",    "deep_tuning",
-      "tuner",          "resilience",      "parallel", "profile",
-      "phases"};
+      "tuner",          "resilience",      "storage",  "parallel",
+      "profile",        "phases"};
   ASSERT_EQ(back.members().size(), expected_keys.size());
   for (std::size_t i = 0; i < expected_keys.size(); ++i) {
     EXPECT_EQ(back.members()[i].first, expected_keys[i]) << i;

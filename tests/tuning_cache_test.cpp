@@ -4,6 +4,8 @@
 
 #include "artemis/autotune/tuning_cache.hpp"
 #include "artemis/common/check.hpp"
+#include "artemis/common/hash.hpp"
+#include "artemis/storage/vfs.hpp"
 
 namespace artemis::autotune {
 namespace {
@@ -162,6 +164,108 @@ TEST(TuningCache, RejectsKeysWithSeparators) {
   TuningCache cache;
   EXPECT_THROW(cache.put("bad\tkey", {KernelConfig{}, 1, 1}), Error);
   EXPECT_THROW(cache.put("bad\nkey", {KernelConfig{}, 1, 1}), Error);
+}
+
+// ---- v2 durable format: header, per-row CRC, drop classification ------------
+
+TEST(TuningCacheV2, SaveTextEmitsVersionedChecksummedRows) {
+  TuningCache cache;
+  cache.put("k", {KernelConfig{}, 1e-3, 0.5});
+  const std::string text = cache.save_text();
+  ASSERT_EQ(text.rfind("#artemis-tuning-cache v2\n", 0), 0u);
+  const auto row_start = text.find('\n') + 1;
+  const auto first_tab = text.find('\t', row_start);
+  ASSERT_NE(first_tab, std::string::npos);
+  // The leading column is the CRC-32 of everything after the first tab.
+  const std::string crc_col =
+      text.substr(row_start, first_tab - row_start);
+  const std::string rest =
+      text.substr(first_tab + 1, text.size() - first_tab - 2);  // sans \n
+  EXPECT_EQ(crc_col, crc32_hex(crc32(rest)));
+}
+
+TEST(TuningCacheV2, CrcMismatchRowDroppedAndClassified) {
+  TuningCache good;
+  good.put("victim", {KernelConfig{}, 1e-3, 0.5});
+  good.put("intact", {fancy_config(), 2e-3, 0.6});
+  std::string text = good.save_text();
+  // Bit-rot the "victim" row's payload without touching its checksum.
+  // The CRC is checked before the row is parsed, so any payload byte
+  // works.
+  const auto row = text.find("\tvictim\t");
+  ASSERT_NE(row, std::string::npos);
+  const auto nl = text.find('\n', row);
+  ASSERT_NE(nl, std::string::npos);
+  text[nl - 1] = text[nl - 1] == 'x' ? 'y' : 'x';
+  TuningCache cache;
+  const auto report = cache.load_text(text);
+  EXPECT_EQ(report.loaded, 1);
+  EXPECT_EQ(report.skipped, 1);
+  EXPECT_EQ(report.crc_mismatch, 1);
+  EXPECT_EQ(report.torn_tail + report.version_skew + report.malformed, 0);
+  EXPECT_FALSE(cache.contains("victim"));
+  EXPECT_TRUE(cache.contains("intact"));
+}
+
+TEST(TuningCacheV2, TornTailDroppedAndClassified) {
+  // Keys chosen so the to-be-torn row sorts (and is saved) last.
+  TuningCache good;
+  good.put("a-whole", {KernelConfig{}, 1e-3, 0.5});
+  good.put("z-torn", {fancy_config(), 2e-3, 0.6});
+  std::string text = good.save_text();
+  text.resize(text.size() - 10);  // crash mid-append: no final newline
+  TuningCache cache;
+  const auto report = cache.load_text(text);
+  EXPECT_EQ(report.loaded, 1);
+  EXPECT_EQ(report.skipped, 1);
+  EXPECT_EQ(report.torn_tail, 1);
+  EXPECT_EQ(report.crc_mismatch, 0);
+  EXPECT_TRUE(cache.contains("a-whole"));
+  EXPECT_FALSE(cache.contains("z-torn"));
+}
+
+TEST(TuningCacheV2, UnsupportedVersionStopsLoadAsSkew) {
+  TuningCache cache;
+  const auto report = cache.load_text(
+      "#artemis-tuning-cache v99\nsomething from the future\n");
+  EXPECT_EQ(report.loaded, 0);
+  EXPECT_EQ(report.version_skew, 1);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(TuningCacheV2, LegacyHeaderlessV1StillLoads) {
+  TuningCache cache;
+  const auto report = cache.load_text(
+      "old/key\t1e-3\t0.5\t" + serialize_config(KernelConfig{}) + "\n");
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.loaded, 1);
+  EXPECT_EQ(report.skipped, 0);
+  EXPECT_TRUE(cache.contains("old/key"));
+}
+
+TEST(TuningCacheV2, FailedSaveLeavesPreviousFileIntact) {
+  // Regression for the pre-Vfs save: a truncate-overwrite save that hits
+  // ENOSPC midway used to leave a half-written cache. Publishing through
+  // write-temp + rename must leave the old file byte-identical instead.
+  storage::MemVfs mem;
+  TuningCache old_cache;
+  old_cache.put("old/key", {KernelConfig{}, 1e-3, 0.5});
+  ASSERT_TRUE(old_cache.save_file("cache.db", &mem));
+  const std::string before = mem.read("cache.db").value();
+
+  robust::FaultSpec spec;
+  spec.fs_enospc_p = 1.0;  // every write hits a full disk
+  storage::FaultVfs faulty(mem, spec);
+  TuningCache bigger;
+  bigger.put("new/key", {fancy_config(), 2e-3, 0.6});
+  EXPECT_FALSE(bigger.save_file("cache.db", &faulty));
+  EXPECT_EQ(mem.read("cache.db").value(), before)
+      << "a failed save must not touch the published cache";
+  // The aborted temp file was cleaned up, not leaked.
+  for (const auto& name : mem.list(".")) {
+    EXPECT_EQ(name.find(".tmp-"), std::string::npos)
+        << "leaked temp file: " << name;
+  }
 }
 
 }  // namespace

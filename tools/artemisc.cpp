@@ -28,6 +28,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "artemis/autotune/search.hpp"
 #include "artemis/autotune/tuning_cache.hpp"
 #include "artemis/baselines/baselines.hpp"
 #include "artemis/codegen/cuda_emitter.hpp"
@@ -43,6 +44,8 @@
 #include "artemis/robust/journal.hpp"
 #include "artemis/sim/executor.hpp"
 #include "artemis/sim/reference.hpp"
+#include "artemis/storage/plan_store.hpp"
+#include "artemis/storage/vfs.hpp"
 #include "artemis/telemetry/report.hpp"
 #include "artemis/telemetry/run_sinks.hpp"
 #include "artemis/telemetry/telemetry.hpp"
@@ -67,12 +70,16 @@ int usage(const char* argv0) {
                "       [--compare]            all five generators (Fig. 5 "
                "row)\n"
                "       [--tuning-cache file]  persist/reuse tuned schedules\n"
+               "       [--store dir]          durable content-addressed plan "
+               "store\n"
                "       [--journal file]       crash-safe tuning journal "
                "(WAL)\n"
                "       [--resume]             replay a prior journal before "
                "tuning\n"
                "       [--fault-spec spec]    inject faults, e.g. "
                "crash=0.2,timeout=0.05,seed=42\n"
+               "                              (fs.fail/fs.enospc/fs.short/"
+               "fs.crash_at hit the store)\n"
                "       [--jobs N]             tuning parallelism (default: "
                "hardware threads;\n"
                "                              same plan as --jobs 1 for "
@@ -251,7 +258,7 @@ int main(int argc, char** argv) {
   std::string path;
   std::string strategy_name = "artemis";
   std::string device_name = "p100";
-  std::string cache_path;
+  std::string cache_path, store_path;
   std::string journal_path, fault_spec;
   std::string trace_path, report_path, metrics_path;
   bool emit_cuda = false, profile = false, run = false, candidates = false;
@@ -276,6 +283,8 @@ int main(int argc, char** argv) {
       candidates = true;
     } else if (arg == "--tuning-cache" && i + 1 < argc) {
       cache_path = argv[++i];
+    } else if (arg == "--store" && i + 1 < argc) {
+      store_path = argv[++i];
     } else if (arg == "--journal" && i + 1 < argc) {
       journal_path = argv[++i];
     } else if (arg == "--resume") {
@@ -416,10 +425,24 @@ int main(int argc, char** argv) {
       std::printf("fault injection armed: %s\n", fault_spec.c_str());
     }
 
+    // Every durable artifact (plan store, tuning cache, journal) writes
+    // through one Vfs. When the installed fault plan carries fs.* keys,
+    // that Vfs injects filesystem faults deterministically.
+    storage::Vfs* vfs = &storage::real_vfs();
+    std::unique_ptr<storage::FaultVfs> fault_vfs;
+    if (const robust::FaultPlan* plan = robust::current_fault_plan();
+        plan != nullptr && plan->spec().any_fs_faults()) {
+      fault_vfs =
+          std::make_unique<storage::FaultVfs>(storage::real_vfs(),
+                                              plan->spec());
+      vfs = fault_vfs.get();
+      std::printf("fs fault injection armed\n");
+    }
+
     // Crash-safe tuning journal, keyed like the tuning cache (source
     // hash + strategy + device) so --resume never replays records from a
     // different input.
-    robust::TuningJournal journal;
+    robust::TuningJournal journal(*vfs);
     if (!journal_path.empty()) {
       const std::string run_key =
           str_cat(std::hash<std::string>{}(buf.str()), "/", strat.name, "/",
@@ -468,7 +491,7 @@ int main(int argc, char** argv) {
     autotune::TuningCache cache;
     std::string cache_key;
     if (!cache_path.empty()) {
-      const auto cl = cache.load_file(cache_path);
+      const auto cl = cache.load_file(cache_path, vfs);
       if (cl.status == autotune::CacheLoadReport::Status::IoError) {
         std::fprintf(stderr,
                      "artemisc: warning: tuning cache '%s' is unreadable; "
@@ -477,8 +500,11 @@ int main(int argc, char** argv) {
       } else if (cl.skipped > 0) {
         std::fprintf(stderr,
                      "artemisc: warning: tuning cache '%s': skipped %d "
-                     "corrupt row(s), loaded %d\n",
-                     cache_path.c_str(), cl.skipped, cl.loaded);
+                     "corrupt row(s) (%d crc, %d torn, %d version, %d "
+                     "malformed), loaded %d\n",
+                     cache_path.c_str(), cl.skipped, cl.crc_mismatch,
+                     cl.torn_tail, cl.version_skew, cl.malformed,
+                     cl.loaded);
       }
       cache_key = str_cat(std::hash<std::string>{}(buf.str()), "/",
                           strat.name, "/", dev.name);
@@ -486,6 +512,24 @@ int main(int argc, char** argv) {
         std::printf("tuning cache hit (%s): reusing %s\n",
                     cache_path.c_str(),
                     autotune::serialize_config(hit->config).c_str());
+      }
+    }
+
+    // Durable plan store: content-addressed by the canonical IR hash +
+    // device + tuner version, so a hit survives reformatting the source
+    // while any semantic change misses.
+    std::optional<storage::PlanStore> store;
+    std::string store_key;
+    if (!store_path.empty()) {
+      store.emplace(*vfs, store_path);
+      store_key =
+          storage::plan_store_key(prog, dev.name, autotune::kTunerVersion);
+      if (const auto hit = store->get(store_key)) {
+        std::printf("plan store hit (%s): %s @ %.4f TFLOPS\n",
+                    store_path.c_str(), hit->config.c_str(), hit->tflops);
+      } else {
+        std::printf("plan store miss (%s): key %s\n", store_path.c_str(),
+                    store_key.c_str());
       }
     }
 
@@ -499,9 +543,30 @@ int main(int argc, char** argv) {
 
     if (!cache_path.empty() && !r.kernels.empty()) {
       cache.put(cache_key, {r.kernels[0].config, r.time_s, r.tflops});
-      if (cache.save_file(cache_path)) {
+      if (cache.save_file(cache_path, vfs)) {
         std::printf("tuning cache updated: %s (%zu entries)\n",
                     cache_path.c_str(), cache.size());
+      }
+    }
+
+    if (store.has_value() && !r.kernels.empty()) {
+      storage::PlanRecord rec;
+      rec.key = store_key;
+      rec.config = autotune::serialize_config(r.kernels[0].config);
+      rec.time_s = r.time_s;
+      rec.tflops = r.tflops;
+      rec.meta["device"] = dev.name;
+      rec.meta["strategy"] = strat.name;
+      rec.meta["tuner_version"] = std::to_string(autotune::kTunerVersion);
+      if (store->put(rec)) {
+        std::printf("plan store updated: %s/objects/%s/%s.plan\n",
+                    store_path.c_str(),
+                    storage::PlanStore::shard_of(store_key).c_str(),
+                    store_key.c_str());
+      } else {
+        std::fprintf(stderr,
+                     "artemisc: warning: plan store put failed; the "
+                     "previous plan (if any) is intact\n");
       }
     }
 
