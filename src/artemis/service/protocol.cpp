@@ -1,0 +1,106 @@
+#include "artemis/service/protocol.hpp"
+
+#include "artemis/common/check.hpp"
+#include "artemis/common/str.hpp"
+
+namespace artemis::service {
+
+std::string encode_frame(const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw Error(str_cat("frame payload of ", payload.size(),
+                        " bytes exceeds the ", kMaxFrameBytes,
+                        "-byte limit"));
+  }
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out.push_back(static_cast<char>((n >> 24) & 0xff));
+  out.push_back(static_cast<char>((n >> 16) & 0xff));
+  out.push_back(static_cast<char>((n >> 8) & 0xff));
+  out.push_back(static_cast<char>(n & 0xff));
+  out += payload;
+  return out;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  if (failed_) return;
+  buf_.append(data, n);
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (failed_ || buf_.size() < 4) return std::nullopt;
+  const auto b = [this](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(buf_[i]));
+  };
+  const std::uint32_t len = (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+  if (len > kMaxFrameBytes) {
+    failed_ = true;
+    error_ = str_cat("length prefix ", len, " exceeds the ", kMaxFrameBytes,
+                     "-byte frame limit");
+    buf_.clear();
+    return std::nullopt;
+  }
+  if (buf_.size() < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+  std::string payload = buf_.substr(4, len);
+  buf_.erase(0, 4 + static_cast<std::size_t>(len));
+  return payload;
+}
+
+std::optional<Request> parse_request(const std::string& payload,
+                                     std::string* code, std::string* message,
+                                     Json* id) {
+  *code = "";
+  *message = "";
+  *id = Json();
+  Json doc;
+  try {
+    doc = Json::parse(payload);
+  } catch (const Error& e) {
+    *code = errc::kBadJson;
+    *message = e.what();
+    return std::nullopt;
+  }
+  if (!doc.is_object()) {
+    *code = errc::kBadRequest;
+    *message = "request must be a JSON object";
+    return std::nullopt;
+  }
+  if (doc.contains("id")) *id = doc["id"];
+  if (!doc.contains("method") || !doc["method"].is_string()) {
+    *code = errc::kBadRequest;
+    *message = "request requires a string 'method'";
+    return std::nullopt;
+  }
+  if (doc.contains("params") && !doc["params"].is_object()) {
+    *code = errc::kBadRequest;
+    *message = "'params' must be an object when present";
+    return std::nullopt;
+  }
+  Request req;
+  req.id = *id;
+  req.method = doc["method"].as_string();
+  if (doc.contains("params")) req.params = doc["params"];
+  return req;
+}
+
+Json make_response(const Json& id, Json result) {
+  Json out = Json::object();
+  out.set("id", id);
+  out.set("ok", Json(true));
+  out.set("result", std::move(result));
+  return out;
+}
+
+Json make_error(const Json& id, const std::string& code,
+                const std::string& message) {
+  Json err = Json::object();
+  err.set("code", Json(code));
+  err.set("message", Json(message));
+  Json out = Json::object();
+  out.set("id", id);
+  out.set("ok", Json(false));
+  out.set("error", std::move(err));
+  return out;
+}
+
+}  // namespace artemis::service

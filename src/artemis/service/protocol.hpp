@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "artemis/common/json.hpp"
+
+namespace artemis::service {
+
+/// Wire protocol version, echoed by the stats endpoint. Bumped on any
+/// incompatible change to the frame or message grammar.
+constexpr int kProtocolVersion = 1;
+
+/// Hard ceiling on one frame's payload. A length prefix above this is a
+/// framing error (the connection cannot resync past it), not a request.
+constexpr std::uint32_t kMaxFrameBytes = 8u << 20;  // 8 MiB
+
+/// Frame one payload: 4-byte big-endian payload length, then the payload
+/// bytes (UTF-8 JSON). Throws artemis::Error when payload exceeds
+/// kMaxFrameBytes.
+std::string encode_frame(const std::string& payload);
+
+/// Incremental decoder for the length-prefixed stream. Feed bytes as they
+/// arrive; next() pops complete payloads in order. An oversized length
+/// prefix poisons the decoder — error() explains, no further frames
+/// decode, and the connection must be closed (there is no way to find
+/// the next frame boundary). Truncated trailing bytes are not an error
+/// until the peer closes: buffered() reports how many are pending.
+class FrameDecoder {
+ public:
+  void feed(const char* data, std::size_t n);
+  void feed(const std::string& bytes) { feed(bytes.data(), bytes.size()); }
+
+  /// One complete payload, or nullopt (need more bytes / poisoned).
+  std::optional<std::string> next();
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+  /// Bytes received but not yet consumed by a complete frame. Nonzero at
+  /// connection close means the final frame was torn.
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+  bool failed_ = false;
+  std::string error_;
+};
+
+/// Error codes carried in response `error.code`. Stable strings: clients
+/// and the fuzz harness switch on them.
+namespace errc {
+inline constexpr const char* kBadFrame = "bad_frame";
+inline constexpr const char* kBadJson = "bad_json";
+inline constexpr const char* kBadRequest = "bad_request";
+inline constexpr const char* kUnknownMethod = "unknown_method";
+inline constexpr const char* kCompileError = "compile_error";
+inline constexpr const char* kTuneError = "tune_error";
+inline constexpr const char* kShuttingDown = "shutting_down";
+inline constexpr const char* kInternal = "internal";
+}  // namespace errc
+
+/// A parsed request: `{"id": <any>, "method": "<name>", "params": {...}}`.
+/// `id` is echoed verbatim in the response (null when absent), `params`
+/// defaults to an empty object.
+struct Request {
+  Json id;
+  std::string method;
+  Json params = Json::object();
+};
+
+/// Parse and validate a request payload. On failure returns nullopt and
+/// sets *code/*message to the structured error to respond with (the id,
+/// when recoverable, is written to *id so the error can still be
+/// correlated).
+std::optional<Request> parse_request(const std::string& payload,
+                                     std::string* code, std::string* message,
+                                     Json* id);
+
+/// Build the success / error response envelopes:
+///   {"id": ..., "ok": true,  "result": {...}}
+///   {"id": ..., "ok": false, "error": {"code": "...", "message": "..."}}
+Json make_response(const Json& id, Json result);
+Json make_error(const Json& id, const std::string& code,
+                const std::string& message);
+
+}  // namespace artemis::service

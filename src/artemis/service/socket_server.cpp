@@ -1,0 +1,192 @@
+#include "artemis/service/socket_server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "artemis/common/str.hpp"
+
+namespace artemis::service {
+
+namespace {
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw Error(str_cat("socket path '", path, "' exceeds the ",
+                        sizeof(addr.sun_path) - 1, "-character limit"));
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// write() the whole buffer, riding out EINTR and partial writes.
+bool write_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(ArtemisService& service, std::string socket_path)
+    : service_(service), path_(std::move(socket_path)) {
+  const sockaddr_un addr = make_addr(path_);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw Error(str_cat("socket(): ", std::strerror(errno)));
+  }
+  ::unlink(path_.c_str());  // replace a stale socket from a dead daemon
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error(str_cat("bind('", path_, "'): ", std::strerror(err)));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error(str_cat("listen('", path_, "'): ", std::strerror(err)));
+  }
+}
+
+SocketServer::~SocketServer() {
+  stop();
+  for (auto& t : conns_) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::unlink(path_.c_str());
+}
+
+void SocketServer::stop() { stop_.store(true, std::memory_order_release); }
+
+void SocketServer::serve() {
+  while (!stop_.load(std::memory_order_acquire) &&
+         !service_.shutdown_requested()) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int r = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (r == 0) continue;  // timeout: re-check the shutdown flag
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    conns_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+  for (auto& t : conns_) {
+    if (t.joinable()) t.join();
+  }
+  conns_.clear();
+}
+
+void SocketServer::serve_connection(int fd) {
+  FrameDecoder decoder;
+  char buf[4096];
+  for (;;) {
+    while (auto payload = decoder.next()) {
+      const std::string response = service_.handle(*payload);
+      const std::string frame = encode_frame(response);
+      if (!write_all(fd, frame.data(), frame.size())) {
+        ::close(fd);
+        return;
+      }
+    }
+    if (decoder.failed()) {
+      // One parting structured error, then hang up: past a bad length
+      // prefix there is no frame boundary to recover to.
+      const std::string err =
+          make_error(Json(), errc::kBadFrame, decoder.error()).dump();
+      const std::string frame = encode_frame(err);
+      write_all(fd, frame.data(), frame.size());
+      ::close(fd);
+      return;
+    }
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      return;
+    }
+    decoder.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+UnixClient::UnixClient(const std::string& socket_path) {
+  const sockaddr_un addr = make_addr(socket_path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw Error(str_cat("socket(): ", std::strerror(errno)));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw Error(
+        str_cat("connect('", socket_path, "'): ", std::strerror(err)));
+  }
+}
+
+UnixClient::~UnixClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UnixClient::send_raw(const std::string& bytes) {
+  if (!write_all(fd_, bytes.data(), bytes.size())) {
+    throw Error(str_cat("send: ", std::strerror(errno)));
+  }
+}
+
+bool UnixClient::read_response(std::string* payload) {
+  char buf[4096];
+  for (;;) {
+    if (auto p = decoder_.next()) {
+      *payload = std::move(*p);
+      return true;
+    }
+    if (decoder_.failed()) {
+      throw Error(str_cat("response framing error: ", decoder_.error()));
+    }
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    decoder_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+std::string UnixClient::round_trip(const std::string& payload) {
+  send_raw(encode_frame(payload));
+  std::string response;
+  if (!read_response(&response)) {
+    throw Error("server closed the connection before responding");
+  }
+  return response;
+}
+
+Json UnixClient::call(const Json& request) {
+  return Json::parse(round_trip(request.dump()));
+}
+
+}  // namespace artemis::service

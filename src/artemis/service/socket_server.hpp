@@ -1,0 +1,79 @@
+#pragma once
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "artemis/service/service.hpp"
+
+namespace artemis::service {
+
+/// Unix-domain-socket transport for ArtemisService. Owns the listening
+/// socket; each accepted connection is served by its own thread running
+/// the frame loop (decode frame → ArtemisService::handle → encode
+/// response frame). A framing error (oversized length prefix) gets one
+/// final bad_frame error response and the connection is closed — the
+/// stream cannot be resynced. The accept loop polls so a shutdown
+/// request accepted on any connection stops the server promptly.
+class SocketServer {
+ public:
+  /// Binds and listens on `socket_path`, replacing a stale socket file.
+  /// Throws artemis::Error when the address is unavailable.
+  SocketServer(ArtemisService& service, std::string socket_path);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Runs the accept loop on the calling thread until a shutdown request
+  /// is served (or stop() is called), then drains connection threads.
+  void serve();
+
+  /// Asks the accept loop to exit. Safe from any thread / signal context
+  /// is NOT supported (uses no async-signal-safe primitives) — call from
+  /// a connection or test thread.
+  void stop();
+
+  const std::string& socket_path() const { return path_; }
+
+ private:
+  void serve_connection(int fd);
+
+  ArtemisService& service_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> conns_;
+};
+
+/// Blocking client for the framed protocol; used by artemis_client and
+/// the service stress test. Not thread-safe: one request in flight.
+class UnixClient {
+ public:
+  /// Connects to a listening daemon; throws artemis::Error on failure.
+  explicit UnixClient(const std::string& socket_path);
+  ~UnixClient();
+
+  UnixClient(const UnixClient&) = delete;
+  UnixClient& operator=(const UnixClient&) = delete;
+
+  /// One round trip: frame and send `payload`, block for one response
+  /// frame, return its payload. Throws artemis::Error on connection loss
+  /// or framing failure.
+  std::string round_trip(const std::string& payload);
+
+  /// Structured round trip: dump request, parse response.
+  Json call(const Json& request);
+
+  /// Send raw pre-framed (or deliberately malformed) bytes; fuzz helper.
+  void send_raw(const std::string& bytes);
+  /// Read one response frame after send_raw. Returns false on EOF
+  /// (server closed the connection) instead of throwing.
+  bool read_response(std::string* payload);
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace artemis::service

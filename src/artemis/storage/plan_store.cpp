@@ -28,6 +28,21 @@ std::string fmt_double(double v) {
   return os.str();
 }
 
+/// Owner tag of an in-flight temp, from its name
+/// `<key>.<tag>.<seq>.tmp` (keys are hex, tags are dot-free, so the
+/// first and the second-to-last dots delimit the tag). nullopt for names
+/// that never came from put() — those are junk, not in-flight writes.
+std::optional<std::string> tmp_owner_tag(const std::string& name) {
+  if (name.size() < 5 || name.compare(name.size() - 4, 4, ".tmp") != 0) {
+    return std::nullopt;
+  }
+  const std::string stem = name.substr(0, name.size() - 4);
+  const auto first = stem.find('.');
+  const auto last = stem.rfind('.');
+  if (first == std::string::npos || last <= first + 1) return std::nullopt;
+  return stem.substr(first + 1, last - first - 1);
+}
+
 }  // namespace
 
 std::string encode_plan_record(const PlanRecord& rec) {
@@ -162,20 +177,36 @@ PlanStore::PlanStore(Vfs& vfs, std::string root)
     telemetry::counter_add("plan_store.io_errors");
     return;
   }
-  // Crash recovery: anything still in tmp/ is an in-flight write whose
-  // process died before the rename — by construction it was never
-  // visible, so deleting it is the whole recovery story.
-  for (const auto& name : vfs_.list(str_cat(root_, "/tmp"))) {
+  // Crash recovery: a temp in tmp/ whose owner is dead (or is this very
+  // process, reopening after a failed run) is an in-flight write that
+  // lost its writer before the rename — never visible, safe to delete.
+  // A temp owned by a *live* other process is a concurrent put() racing
+  // this open; deleting it would make that writer's commit rename fail,
+  // so it is left strictly alone (the two-process startup race).
+  const int recovered = sweep_tmp();
+  if (recovered > 0) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stats_.recovered_tmp += static_cast<std::uint64_t>(recovered);
+    telemetry::counter_add("plan_store.recovered_tmp", recovered);
+  }
+}
+
+int PlanStore::sweep_tmp() {
+  const std::string dir = str_cat(root_, "/tmp");
+  const std::string own = vfs_.process_tag();
+  int removed = 0;
+  for (const auto& name : vfs_.list(dir)) {
+    const auto owner = tmp_owner_tag(name);
+    if (owner.has_value() && *owner != own && vfs_.tag_alive(*owner)) {
+      continue;  // a live writer's in-flight put
+    }
     try {
-      if (vfs_.remove(str_cat(root_, "/tmp/", name))) {
-        const std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.recovered_tmp;
-        telemetry::counter_add("plan_store.recovered_tmp");
-      }
+      if (vfs_.remove(str_cat(dir, "/", name))) ++removed;
     } catch (const VfsError&) {
       // Leave it for the next open or compact().
     }
   }
+  return removed;
 }
 
 bool PlanStore::put(const PlanRecord& rec) {
@@ -325,17 +356,19 @@ PlanStore::CompactionReport PlanStore::compact() {
       telemetry::counter_add("plan_store.stale_locks_reclaimed");
     }
   }
-  const auto sweep = [&](const std::string& dir, int* counter) {
-    for (const auto& name : vfs_.list(dir)) {
-      try {
-        if (vfs_.remove(str_cat(dir, "/", name))) ++*counter;
-      } catch (const VfsError&) {
-        // Leave it; compaction is advisory.
+  // tmp/ honors writer liveness (a live process may be mid-put right
+  // now, maintenance lock or not — put() is deliberately lockless);
+  // quarantine/ holds only already-condemned records and sweeps whole.
+  report.removed_tmp = sweep_tmp();
+  for (const auto& name : vfs_.list(str_cat(root_, "/quarantine"))) {
+    try {
+      if (vfs_.remove(str_cat(root_, "/quarantine/", name))) {
+        ++report.removed_quarantine;
       }
+    } catch (const VfsError&) {
+      // Leave it; compaction is advisory.
     }
-  };
-  sweep(str_cat(root_, "/tmp"), &report.removed_tmp);
-  sweep(str_cat(root_, "/quarantine"), &report.removed_quarantine);
+  }
   for (const auto& key : keys()) {
     ++report.scanned;
     std::optional<std::string> bytes;

@@ -143,6 +143,11 @@ class PlanStore {
   static std::string shard_of(const std::string& key);
 
  private:
+  /// Delete reclaimable temps under tmp/: those this process owns plus
+  /// those whose owner Vfs::tag_alive rules dead. A live other process's
+  /// in-flight temp is preserved (deleting it would fail that put's
+  /// commit rename). Returns the number removed.
+  int sweep_tmp();
   void quarantine_object(const std::string& key, DecodeStatus why);
   void count_drop(DecodeStatus why);
 

@@ -1,6 +1,7 @@
 #include "artemis/storage/vfs.hpp"
 
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/file.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -190,6 +191,22 @@ class RealVfs : public Vfs {
 
   std::string process_tag() const override {
     return str_cat("pid:", ::getpid());
+  }
+
+  bool tag_alive(const std::string& tag) override {
+    // Only "pid:<N>" tags can be judged; anything else is conservatively
+    // alive. kill(pid, 0) probes existence: ESRCH proves death, EPERM
+    // proves life (the process exists, just not ours to signal).
+    if (tag.rfind("pid:", 0) != 0) return true;
+    pid_t pid = 0;
+    try {
+      const unsigned long v = std::stoul(tag.substr(4));
+      pid = static_cast<pid_t>(v);
+      if (pid <= 0 || static_cast<unsigned long>(pid) != v) return true;
+    } catch (const std::exception&) {
+      return true;
+    }
+    return ::kill(pid, 0) == 0 || errno != ESRCH;
   }
 };
 
@@ -381,6 +398,27 @@ std::unique_ptr<VfsLock> MemVfs::try_lock(const std::string& path,
   });
 }
 
+void MemVfs::set_process_tag(std::string tag) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  live_tags_.insert(tag);
+  tag_ = std::move(tag);
+}
+
+void MemVfs::mark_tag_dead(const std::string& tag) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  live_tags_.erase(tag);
+  // The kernel releases a dead process's flocks; the lock files keep
+  // whatever tag the holder wrote (stale-lock evidence).
+  for (auto it = held_locks_.begin(); it != held_locks_.end();) {
+    it = it->second == tag ? held_locks_.erase(it) : std::next(it);
+  }
+}
+
+bool MemVfs::tag_alive(const std::string& tag) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return tag == tag_ || live_tags_.count(tag) > 0;
+}
+
 std::vector<VfsOp> MemVfs::trace() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return trace_;
@@ -446,6 +484,11 @@ void MemVfs::crash(std::uint64_t variant) {
     f.synced = f.data.size();
   }
   held_locks_.clear();  // the kernel releases a dead process's flocks
+  // Machine death kills every simulated process. The current tag is
+  // immediately live again: crash tests reuse one MemVfs as "the machine
+  // after reboot", and the reopened process is the one doing the asking.
+  live_tags_.clear();
+  live_tags_.insert(tag_);
 }
 
 void MemVfs::install_file(const std::string& path,
@@ -629,6 +672,11 @@ std::unique_ptr<VfsLock> FaultVfs::try_lock(const std::string& path,
                                             bool* stale_reclaimed) {
   check_crashed();
   return base_.try_lock(path, stale_reclaimed);
+}
+
+bool FaultVfs::tag_alive(const std::string& tag) {
+  check_crashed();
+  return base_.tag_alive(tag);
 }
 
 void FaultVfs::reboot() {

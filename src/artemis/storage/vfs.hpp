@@ -110,6 +110,18 @@ class Vfs {
   /// Identity written into lock files and used to make temp names unique
   /// per process ("pid:1234").
   virtual std::string process_tag() const = 0;
+
+  /// Is the process a tag names still alive? Recovery sweeps use this to
+  /// distinguish a dead writer's orphan temp (reclaimable) from a live
+  /// concurrent writer's in-flight temp (must not be touched — deleting
+  /// it would fail that writer's commit rename). The default is
+  /// deliberately conservative: a tag this Vfs cannot interpret is
+  /// treated as alive, so at worst an orphan lingers until its owner's
+  /// pid can be ruled dead — never the reverse.
+  virtual bool tag_alive(const std::string& tag) {
+    (void)tag;
+    return true;
+  }
 };
 
 /// The process-global real (POSIX) filesystem.
@@ -177,10 +189,18 @@ class MemVfs : public Vfs {
   std::unique_ptr<VfsLock> try_lock(const std::string& path,
                                     bool* stale_reclaimed) override;
   std::string process_tag() const override { return tag_; }
+  bool tag_alive(const std::string& tag) override;
 
   /// Change the simulated process identity (for multi-process tests: two
-  /// "processes" are two tags sharing one MemVfs).
-  void set_process_tag(std::string tag) { tag_ = std::move(tag); }
+  /// "processes" are two tags sharing one MemVfs). The new tag joins the
+  /// live set; previous tags stay alive until mark_tag_dead.
+  void set_process_tag(std::string tag);
+
+  /// Simulate one tagged process dying (without machine loss): its tag
+  /// stops answering alive and its held locks are released by the
+  /// "kernel", lock-file contents left in place — exactly what a real
+  /// SIGKILL leaves behind.
+  void mark_tag_dead(const std::string& tag);
 
   void set_record_trace(bool on) { record_ = on; }
   std::vector<VfsOp> trace() const;
@@ -217,6 +237,7 @@ class MemVfs : public Vfs {
   std::vector<VfsOp> trace_;
   bool record_ = false;
   std::string tag_ = "pid:mem";
+  std::set<std::string> live_tags_{"pid:mem"};
 };
 
 /// Rebuild the filesystem state a crash at operation `k` of `trace` could
@@ -267,6 +288,7 @@ class FaultVfs : public Vfs {
   std::unique_ptr<VfsLock> try_lock(const std::string& path,
                                     bool* stale_reclaimed) override;
   std::string process_tag() const override { return base_.process_tag(); }
+  bool tag_alive(const std::string& tag) override;
 
   const FsFaultCounters& counters() const { return counters_; }
   /// Mutating ops seen so far (the fs.crash_at coordinate).

@@ -1,8 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "artemis/driver/context.hpp"
 #include "artemis/driver/driver.hpp"
 #include "artemis/dsl/parser.hpp"
 #include "artemis/stencils/benchmarks.hpp"
+#include "artemis/storage/vfs.hpp"
+#include "test_programs.hpp"
 
 namespace artemis::driver {
 namespace {
@@ -152,6 +162,140 @@ TEST_F(DriverTest, AllBenchmarksRunUnderAllStrategies) {
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// ArtemisContext reentrancy: the library must hold no process-global
+// mutable state, so independent contexts driven from interleaved threads
+// produce exactly the plans sequential runs do.
+// ---------------------------------------------------------------------------
+
+std::string context_tune_bytes(const char* device, const char* source) {
+  storage::MemVfs vfs;
+  ContextOptions opts;
+  opts.device = device_by_name(device);
+  opts.vfs = &vfs;
+  opts.store_root = "store";
+  opts.jobs = 1;
+  ArtemisContext ctx(opts);
+  return ctx.tune(source).plan_bytes;
+}
+
+TEST(DriverContextTest, InterleavedContextsMatchSequentialPlans) {
+  const std::string seq_p100 =
+      context_tune_bytes("p100", testing::kJacobiDsl);
+  const std::string seq_v100 = context_tune_bytes("v100", testing::kDagDsl);
+  ASSERT_FALSE(seq_p100.empty());
+  ASSERT_NE(seq_p100, seq_v100);
+
+  for (int round = 0; round < 3; ++round) {
+    std::string got_p100, got_v100;
+    std::thread a([&] {
+      got_p100 = context_tune_bytes("p100", testing::kJacobiDsl);
+    });
+    std::thread b([&] {
+      got_v100 = context_tune_bytes("v100", testing::kDagDsl);
+    });
+    a.join();
+    b.join();
+    EXPECT_EQ(got_p100, seq_p100) << "round " << round;
+    EXPECT_EQ(got_v100, seq_v100) << "round " << round;
+  }
+}
+
+TEST(DriverContextTest, OneContextServesConcurrentTunesLikeSequential) {
+  const std::string ref_jacobi =
+      context_tune_bytes("p100", testing::kJacobiDsl);
+  const std::string ref_dag = context_tune_bytes("p100", testing::kDagDsl);
+
+  storage::MemVfs vfs;
+  ContextOptions opts;
+  opts.vfs = &vfs;
+  opts.store_root = "store";
+  opts.cache_path = "cache/tuning.cache";
+  opts.jobs = 1;
+  ArtemisContext ctx(opts);
+  std::string got_jacobi, got_dag;
+  std::thread a([&] { got_jacobi = ctx.tune(testing::kJacobiDsl).plan_bytes; });
+  std::thread b([&] { got_dag = ctx.tune(testing::kDagDsl).plan_bytes; });
+  a.join();
+  b.join();
+  EXPECT_EQ(got_jacobi, ref_jacobi);
+  EXPECT_EQ(got_dag, ref_dag);
+
+  const auto stats = ctx.stats();
+  EXPECT_EQ(stats.tunes, 2u);
+  EXPECT_EQ(stats.tuner_runs, 2u);
+  ASSERT_NE(ctx.store(), nullptr);
+  EXPECT_EQ(ctx.store()->keys().size(), 2u);
+}
+
+#ifdef ARTEMIS_SOURCE_DIR
+// Source-level tripwire behind the reentrancy guarantee: no mutable
+// static data — `static`/`thread_local` variables at namespace or
+// function scope — anywhere in the driver library or the service layer.
+// Immutable statics (`static const`/`static constexpr`) and static
+// member *functions* (their declarations carry a parameter list) are
+// fine; stateful ones are exactly what would make two contexts
+// interfere.
+TEST(DriverContextTest, NoMutableStaticStateInDriverOrService) {
+  namespace fs = std::filesystem;
+  const std::string roots[] = {
+      std::string(ARTEMIS_SOURCE_DIR) + "/artemis/driver",
+      std::string(ARTEMIS_SOURCE_DIR) + "/artemis/service"};
+  std::vector<std::string> violations;
+  int files_scanned = 0;
+  for (const auto& root : roots) {
+    ASSERT_TRUE(fs::is_directory(root)) << root;
+    for (const auto& entry : fs::directory_iterator(root)) {
+      const std::string path = entry.path().string();
+      if (path.size() < 4 || (path.substr(path.size() - 4) != ".cpp" &&
+                              path.substr(path.size() - 4) != ".hpp")) {
+        continue;
+      }
+      ++files_scanned;
+      std::ifstream in(path);
+      ASSERT_TRUE(in.good()) << path;
+      std::string line;
+      int lineno = 0;
+      while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t comment = line.find("//");
+        std::string code =
+            comment == std::string::npos ? line : line.substr(0, comment);
+        for (const char* keyword : {"static", "thread_local"}) {
+          const std::size_t pos = code.find(keyword);
+          if (pos == std::string::npos) continue;
+          // Token boundaries: reject static_cast / static_assert /
+          // identifiers merely containing the keyword.
+          const std::size_t end = pos + std::string(keyword).size();
+          if (pos > 0 && (std::isalnum(code[pos - 1]) || code[pos - 1] == '_'))
+            continue;
+          if (end < code.size() &&
+              (std::isalnum(code[end]) || code[end] == '_'))
+            continue;
+          // Immutable statics are allowed.
+          std::size_t after = end;
+          while (after < code.size() && std::isspace(code[after])) ++after;
+          if (code.compare(after, 5, "const") == 0) continue;
+          // A parameter list on the same line marks a static member
+          // function declaration, which carries no state.
+          if (code.find('(', end) != std::string::npos) continue;
+          violations.push_back(path + ":" + std::to_string(lineno) + ": " +
+                               line);
+        }
+      }
+    }
+  }
+  EXPECT_GE(files_scanned, 8);
+  EXPECT_TRUE(violations.empty())
+      << "mutable static state in the reentrant layers:\n"
+      << [&] {
+           std::ostringstream os;
+           for (const auto& v : violations) os << "  " << v << "\n";
+           return os.str();
+         }();
+}
+#endif  // ARTEMIS_SOURCE_DIR
 
 }  // namespace
 }  // namespace artemis::driver

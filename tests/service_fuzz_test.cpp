@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "artemis/common/json.hpp"
+#include "artemis/service/protocol.hpp"
+#include "artemis/service/service.hpp"
+#include "artemis/service/socket_server.hpp"
+#include "artemis/storage/vfs.hpp"
+#include "test_programs.hpp"
+
+// Adversarial-input tests for the daemon protocol: truncated frames,
+// oversized length prefixes, garbage bytes, malformed JSON and unknown
+// methods must all produce structured errors (or a clean connection
+// close) — never a crash, a hang, or a counter that stops adding up.
+
+namespace artemis::service {
+namespace {
+
+using storage::MemVfs;
+
+ServiceOptions service_options(storage::Vfs& vfs) {
+  ServiceOptions opts;
+  opts.context.vfs = &vfs;
+  opts.context.store_root = "store";
+  opts.journal_dir = "wal";
+  return opts;
+}
+
+std::string frame_with_declared_length(std::uint32_t declared,
+                                       const std::string& payload) {
+  std::string out;
+  out.push_back(static_cast<char>((declared >> 24) & 0xff));
+  out.push_back(static_cast<char>((declared >> 16) & 0xff));
+  out.push_back(static_cast<char>((declared >> 8) & 0xff));
+  out.push_back(static_cast<char>(declared & 0xff));
+  out += payload;
+  return out;
+}
+
+TEST(ServiceFuzzTest, FrameRoundTripsAtAwkwardSizes) {
+  std::mt19937 rng(20260808);
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{4},
+        std::size_t{4095}, std::size_t{4096}, std::size_t{70000}}) {
+    std::string payload(n, '\0');
+    for (auto& c : payload) c = static_cast<char>(rng() & 0xff);
+    FrameDecoder dec;
+    // Feed byte-by-byte for small frames to exercise every resume point.
+    const std::string wire = encode_frame(payload);
+    if (n < 8) {
+      for (const char c : wire) {
+        dec.feed(&c, 1);
+      }
+    } else {
+      dec.feed(wire);
+    }
+    const auto out = dec.next();
+    ASSERT_TRUE(out.has_value()) << "size " << n;
+    EXPECT_EQ(*out, payload);
+    EXPECT_EQ(dec.buffered(), 0u);
+    EXPECT_FALSE(dec.failed());
+  }
+}
+
+TEST(ServiceFuzzTest, TruncatedFrameIsPendingNotFailed) {
+  FrameDecoder dec;
+  const std::string wire = encode_frame("{\"method\":\"stats\"}");
+  dec.feed(wire.substr(0, wire.size() - 5));
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_FALSE(dec.failed());
+  EXPECT_GT(dec.buffered(), 0u);
+  // The remaining bytes complete the frame.
+  dec.feed(wire.substr(wire.size() - 5));
+  EXPECT_TRUE(dec.next().has_value());
+}
+
+TEST(ServiceFuzzTest, OversizedLengthPrefixPoisonsTheDecoder) {
+  FrameDecoder dec;
+  dec.feed(frame_with_declared_length(kMaxFrameBytes + 1, "xxxx"));
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.failed());
+  EXPECT_FALSE(dec.error().empty());
+  // Poisoned for good: further bytes are ignored.
+  dec.feed(encode_frame("{}"));
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.failed());
+}
+
+TEST(ServiceFuzzTest, RandomBytesNeverCrashTheDecoder) {
+  std::mt19937 rng(0xa27e315u);
+  for (int round = 0; round < 200; ++round) {
+    FrameDecoder dec;
+    const int chunks = 1 + static_cast<int>(rng() % 8);
+    for (int c = 0; c < chunks; ++c) {
+      std::string junk(rng() % 300, '\0');
+      for (auto& ch : junk) ch = static_cast<char>(rng() & 0xff);
+      dec.feed(junk);
+      // Drain whatever the decoder believes are frames; payloads are
+      // attacker-controlled garbage and must simply come back as bytes.
+      while (dec.next().has_value()) {
+      }
+    }
+  }
+}
+
+TEST(ServiceFuzzTest, MalformedPayloadsGetStructuredErrors) {
+  MemVfs vfs;
+  ArtemisService svc(service_options(vfs));
+  const struct {
+    const char* payload;
+    const char* code;
+  } cases[] = {
+      {"", "bad_json"},
+      {"{", "bad_json"},
+      {"not json at all", "bad_json"},
+      {"\xff\xfe\x00garbage", "bad_json"},
+      {"[1,2,3]", "bad_request"},
+      {"42", "bad_request"},
+      {"\"a string\"", "bad_request"},
+      {"{}", "bad_request"},
+      {"{\"method\": 7}", "bad_request"},
+      {"{\"method\": \"tune\", \"params\": []}", "bad_request"},
+      {"{\"method\": \"tune\", \"params\": {}}", "bad_request"},
+      {"{\"method\": \"tune\", \"params\": {\"source\": 3}}", "bad_request"},
+      {"{\"method\": \"levitate\", \"params\": {}}", "unknown_method"},
+      {"{\"method\": \"tune\", \"params\": {\"source\": \"slartibartfast\"}}",
+       "compile_error"},
+  };
+  std::uint64_t handled = 0;
+  for (const auto& c : cases) {
+    const Json resp = Json::parse(svc.handle(c.payload));
+    ++handled;
+    ASSERT_FALSE(resp["ok"].as_bool()) << c.payload;
+    EXPECT_EQ(resp["error"]["code"].as_string(), c.code) << c.payload;
+    EXPECT_FALSE(resp["error"]["message"].as_string().empty());
+  }
+  const auto s = svc.stats_snapshot();
+  EXPECT_EQ(s.requests, handled);
+  EXPECT_EQ(s.errors, handled);
+  EXPECT_EQ(s.tuner_runs, 0u);
+}
+
+TEST(ServiceFuzzTest, RequestIdIsEchoedVerbatimIncludingWeirdShapes) {
+  MemVfs vfs;
+  ArtemisService svc(service_options(vfs));
+  for (const char* id :
+       {"17", "\"abc\"", "null", "[1,2]", "{\"nested\": true}"}) {
+    const std::string payload =
+        std::string("{\"id\": ") + id + ", \"method\": \"stats\"}";
+    const Json resp = Json::parse(svc.handle(payload));
+    EXPECT_EQ(resp["id"].dump(), Json::parse(id).dump()) << payload;
+    EXPECT_TRUE(resp["ok"].as_bool());
+  }
+}
+
+TEST(ServiceFuzzTest, RandomRequestsAlwaysAnswerAndCountersAddUp) {
+  MemVfs vfs;
+  ArtemisService svc(service_options(vfs));
+  std::mt19937 rng(0x5eed);
+  const char* methods[] = {"compile", "tune",  "run",   "stats",
+                           "",        "TUNE",  "tune ", "x"};
+  std::uint64_t sent = 0, failures = 0;
+  for (int i = 0; i < 120; ++i) {
+    Json req = Json::object();
+    if (rng() % 4 != 0) req.set("id", Json(static_cast<int>(rng() % 100)));
+    req.set("method", Json(methods[rng() % 8]));
+    Json params = Json::object();
+    switch (rng() % 4) {
+      case 0:
+        break;  // no source
+      case 1:
+        params.set("source", Json(artemis::testing::kJacobiDsl));
+        break;
+      case 2:
+        params.set("source", Json("parameter L=;"));
+        break;
+      default:
+        params.set("source", Json(static_cast<int>(rng() % 7)));
+        break;
+    }
+    req.set("params", std::move(params));
+    const Json resp = Json::parse(svc.handle(req.dump()));
+    ++sent;
+    ASSERT_TRUE(resp.contains("ok"));
+    if (!resp["ok"].as_bool()) {
+      ++failures;
+      EXPECT_FALSE(resp["error"]["code"].as_string().empty());
+    } else {
+      EXPECT_TRUE(resp.contains("result"));
+    }
+  }
+  const auto s = svc.stats_snapshot();
+  EXPECT_EQ(s.requests, sent);
+  EXPECT_EQ(s.errors, failures);
+}
+
+// Wire-level adversaries against a live daemon.
+class ServiceWireFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "artemis_fuzz_" +
+            std::to_string(::getpid()) + ".sock";
+    svc_ = std::make_unique<ArtemisService>(service_options(vfs_));
+    server_ = std::make_unique<SocketServer>(*svc_, path_);
+    thread_ = std::thread([this] { server_->serve(); });
+  }
+
+  void TearDown() override {
+    server_->stop();
+    thread_.join();
+    server_.reset();
+    svc_.reset();
+  }
+
+  MemVfs vfs_;
+  std::string path_;
+  std::unique_ptr<ArtemisService> svc_;
+  std::unique_ptr<SocketServer> server_;
+  std::thread thread_;
+};
+
+TEST_F(ServiceWireFuzzTest, OversizedPrefixGetsOneErrorThenHangup) {
+  UnixClient client(path_);
+  client.send_raw(frame_with_declared_length(0xffffffffu, ""));
+  std::string payload;
+  ASSERT_TRUE(client.read_response(&payload));
+  const Json resp = Json::parse(payload);
+  EXPECT_FALSE(resp["ok"].as_bool());
+  EXPECT_EQ(resp["error"]["code"].as_string(), "bad_frame");
+  // The server hangs up: the next read is EOF, not a hang.
+  EXPECT_FALSE(client.read_response(&payload));
+}
+
+TEST_F(ServiceWireFuzzTest, TruncatedFrameThenHangupIsHarmless) {
+  {
+    UnixClient client(path_);
+    client.send_raw(frame_with_declared_length(600, "only these bytes"));
+    // Close with the frame forever incomplete.
+  }
+  // The daemon is still healthy for the next client.
+  UnixClient client(path_);
+  const Json resp =
+      client.call(Json::parse("{\"id\": 1, \"method\": \"stats\"}"));
+  ASSERT_TRUE(resp["ok"].as_bool());
+}
+
+TEST_F(ServiceWireFuzzTest, GarbagePayloadKeepsTheConnectionUsable) {
+  UnixClient client(path_);
+  // A well-framed frame full of junk: framing stays in sync, so the
+  // structured bad_json error arrives and the SAME connection then
+  // serves a valid request.
+  const std::string junk("\x00\x01garbage\xff\x7f{]", 13);
+  EXPECT_EQ(Json::parse(client.round_trip(junk))["error"]["code"].as_string(),
+            "bad_json");
+  const Json resp =
+      client.call(Json::parse("{\"id\": 2, \"method\": \"stats\"}"));
+  EXPECT_TRUE(resp["ok"].as_bool());
+}
+
+TEST_F(ServiceWireFuzzTest, RandomFramedGarbageNeverKillsTheDaemon) {
+  std::mt19937 rng(0xfa22);
+  for (int round = 0; round < 25; ++round) {
+    UnixClient client(path_);
+    const int frames = 1 + static_cast<int>(rng() % 4);
+    for (int f = 0; f < frames; ++f) {
+      std::string junk(rng() % 200, '\0');
+      for (auto& c : junk) c = static_cast<char>(rng() & 0xff);
+      std::string payload;
+      try {
+        payload = client.round_trip(junk);
+      } catch (const Error&) {
+        break;  // connection torn down mid-conversation: acceptable
+      }
+      const Json resp = Json::parse(payload);
+      ASSERT_TRUE(resp.contains("ok"));
+      EXPECT_FALSE(resp["ok"].as_bool());
+    }
+  }
+  // After all the abuse the daemon still answers arithmetic.
+  UnixClient client(path_);
+  const Json resp =
+      client.call(Json::parse("{\"id\": 9, \"method\": \"stats\"}"));
+  ASSERT_TRUE(resp["ok"].as_bool());
+  EXPECT_EQ(resp["result"]["service"]["tuner_runs"].as_int(), 0);
+}
+
+}  // namespace
+}  // namespace artemis::service

@@ -352,6 +352,93 @@ TEST(PlanStore, OpenSweepsOrphanTemps) {
   EXPECT_TRUE(vfs.list("store/tmp").empty());
 }
 
+// Two daemons starting on one store must not eat each other's in-flight
+// put temps: the startup sweep (and compact) may only reclaim a temp
+// whose owning process is provably dead. This was a real race — before
+// liveness checking, daemon B's open() would delete live daemon A's
+// temp, failing A's commit rename.
+TEST(PlanStore, StartupSweepSparesLiveWritersTemps) {
+  MemVfs vfs;
+  vfs.set_process_tag("pid:a");
+  PlanStore a(vfs, "store");
+  // Daemon A is mid-put: its temp is written but not yet renamed.
+  const std::string a_tmp =
+      "store/tmp/" + sample_record().key + ".pid:a.0.tmp";
+  vfs.install_file(a_tmp, "a's in-flight bytes");
+
+  // Daemon B starts while A is alive: the temp must survive B's sweep.
+  vfs.set_process_tag("pid:b");
+  PlanStore b(vfs, "store");
+  EXPECT_TRUE(vfs.exists(a_tmp));
+  EXPECT_EQ(b.stats().recovered_tmp, 0u);
+  // ... and survive B's compaction too.
+  const auto report = b.compact();
+  EXPECT_TRUE(report.ran);
+  EXPECT_EQ(report.removed_tmp, 0);
+  EXPECT_TRUE(vfs.exists(a_tmp));
+  // Both daemons keep publishing normally around the in-flight temp.
+  ASSERT_TRUE(b.put(sample_record()));
+  EXPECT_TRUE(b.get(sample_record().key).has_value());
+
+  // A dies mid-put; the next startup reclaims its orphan.
+  vfs.mark_tag_dead("pid:a");
+  vfs.set_process_tag("pid:c");
+  PlanStore c(vfs, "store");
+  EXPECT_FALSE(vfs.exists(a_tmp));
+  EXPECT_EQ(c.stats().recovered_tmp, 1u);
+}
+
+TEST(PlanStore, SweepReclaimsUnattributableTemps) {
+  MemVfs vfs;
+  {
+    PlanStore first(vfs, "store");
+    // Files whose names carry no parseable owner tag belong to no live
+    // process by construction; conservative liveness doesn't apply, and
+    // tmp/ is store-private, so both get reclaimed.
+    vfs.install_file("store/tmp/garbage-no-owner.tmp", "junk");
+    vfs.install_file("store/tmp/not-even-a-temp", "junk");
+  }
+  PlanStore second(vfs, "store");
+  EXPECT_EQ(second.stats().recovered_tmp, 2u);
+  EXPECT_TRUE(vfs.list("store/tmp").empty());
+}
+
+TEST(MemVfs, TagLivenessFollowsProcessLifecycle) {
+  MemVfs vfs;
+  EXPECT_TRUE(vfs.tag_alive("pid:mem"));       // the default identity
+  EXPECT_FALSE(vfs.tag_alive("pid:stranger"));  // never registered
+  vfs.set_process_tag("pid:x");
+  EXPECT_TRUE(vfs.tag_alive("pid:x"));
+  EXPECT_TRUE(vfs.tag_alive("pid:mem"));  // older identities stay alive
+  vfs.mark_tag_dead("pid:mem");
+  EXPECT_FALSE(vfs.tag_alive("pid:mem"));
+  // Machine death kills every simulated process; the post-reboot
+  // process (the current tag) is alive again.
+  vfs.set_process_tag("pid:y");
+  vfs.crash(0);
+  EXPECT_TRUE(vfs.tag_alive("pid:y"));
+  EXPECT_FALSE(vfs.tag_alive("pid:x"));
+}
+
+TEST(MemVfs, DeadTagsHeldLocksAreReleased) {
+  MemVfs vfs;
+  vfs.set_process_tag("pid:locker");
+  bool stale = false;
+  auto held = vfs.try_lock("store.lock", &stale);
+  ASSERT_NE(held, nullptr);
+  vfs.set_process_tag("pid:survivor");
+  // While the locker lives, the lock is contended.
+  EXPECT_EQ(vfs.try_lock("store.lock", &stale), nullptr);
+  vfs.mark_tag_dead("pid:locker");
+  // The "kernel" released the dead process's flock; the lock-file bytes
+  // it left behind prove the death, reported as a stale reclaim.
+  stale = false;
+  auto reclaimed = vfs.try_lock("store.lock", &stale);
+  ASSERT_NE(reclaimed, nullptr);
+  EXPECT_TRUE(stale);
+  held.reset();  // the dead holder's RAII guard must be a harmless no-op
+}
+
 TEST(PlanStore, CompactReclaimsStaleLockAndDrainsQuarantine) {
   MemVfs vfs;
   PlanStore store(vfs, "store");

@@ -1,0 +1,83 @@
+// artemis_client — thin client for the artemisd tuning daemon.
+//
+//   artemis_client --socket s.sock tune prog.dsl      tune (or fetch) a plan
+//   artemis_client --socket s.sock compile prog.dsl   keys + program facts
+//   artemis_client --socket s.sock run prog.dsl       functional checksums
+//   artemis_client --socket s.sock stats              daemon counters
+//   artemis_client --socket s.sock shutdown           stop the daemon
+//
+// Prints the response JSON (the `result` object on success) to stdout.
+// Exit code: 0 on an ok response, 1 on a structured error or transport
+// failure, 2 on usage errors.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "artemis/common/str.hpp"
+#include "artemis/service/socket_server.hpp"
+
+using namespace artemis;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket <path> "
+               "compile|tune|run <file.dsl>\n"
+               "       %s --socket <path> stats|shutdown\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path, method, path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (method.empty()) {
+      method = arg;
+    } else {
+      path = arg;
+    }
+  }
+  if (socket_path.empty() || method.empty()) return usage(argv[0]);
+  const bool needs_source =
+      method == "compile" || method == "tune" || method == "run";
+  if (needs_source && path.empty()) return usage(argv[0]);
+
+  try {
+    Json req = Json::object();
+    req.set("id", Json(1));
+    req.set("method", Json(method));
+    Json params = Json::object();
+    if (needs_source) {
+      std::ifstream in(path);
+      if (!in) throw Error(str_cat("cannot open '", path, "'"));
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      params.set("source", Json(buf.str()));
+    }
+    req.set("params", std::move(params));
+
+    service::UnixClient client(socket_path);
+    const Json resp = client.call(req);
+    if (resp["ok"].as_bool()) {
+      std::printf("%s\n", resp["result"].dump(2).c_str());
+      return 0;
+    }
+    std::fprintf(stderr, "artemis_client: %s: %s\n",
+                 resp["error"]["code"].as_string().c_str(),
+                 resp["error"]["message"].as_string().c_str());
+    return 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "artemis_client: error: %s\n", e.what());
+    return 1;
+  }
+}

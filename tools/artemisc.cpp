@@ -35,6 +35,7 @@
 #include "artemis/codegen/plan_builder.hpp"
 #include "artemis/common/parallel.hpp"
 #include "artemis/common/str.hpp"
+#include "artemis/driver/context.hpp"
 #include "artemis/driver/driver.hpp"
 #include "artemis/dsl/parser.hpp"
 #include "artemis/metrics/compare.hpp"
@@ -110,15 +111,6 @@ int usage(const char* argv0) {
                "unminimized\n",
                argv0);
   return 2;
-}
-
-driver::Strategy strategy_by_name(const std::string& name) {
-  if (name == "artemis") return driver::artemis_strategy();
-  if (name == "ppcg") return driver::ppcg_strategy();
-  if (name == "stencilgen") return driver::stencilgen_strategy();
-  if (name == "global") return driver::global_strategy(false);
-  if (name == "global-stream") return driver::global_strategy(true);
-  throw Error(str_cat("unknown strategy '", name, "'"));
 }
 
 /// Rebuild the plan a kernel name + config selects (for --emit-cuda,
@@ -391,25 +383,17 @@ int main(int argc, char** argv) {
     if (!in) throw Error(str_cat("cannot open '", path, "'"));
     std::ostringstream buf;
     buf << in.rdbuf();
-    ir::Program prog;
-    {
-      telemetry::Span span("parse", "pipeline");
-      span.arg("source", Json(path));
-      prog = dsl::parse(buf.str());
-    }
+    const std::string source = buf.str();
 
     const auto dev =
         device_name == "v100" ? gpumodel::v100() : gpumodel::p100();
     const gpumodel::ModelParams params;
-    auto strat = strategy_by_name(strategy_name);
+    auto strat = driver::strategy_by_name(strategy_name);
 
     // Tuning parallelism. 0 resolves to hardware concurrency; the chosen
     // plan is identical for every value (deterministic ordered commit),
     // so --jobs only changes wall-clock time.
     set_default_jobs(jobs);
-    strat.tune.jobs = jobs;
-    const int resolved_jobs = jobs > 0 ? jobs : default_jobs();
-    sinks.set_meta({path, strat.name, dev.name, resolved_jobs});
 
     // --metrics reranks the tuning leaderboard by measured traffic; keep
     // enough runners-up around for the rank correlation to mean
@@ -439,34 +423,24 @@ int main(int argc, char** argv) {
       std::printf("fs fault injection armed\n");
     }
 
-    // Crash-safe tuning journal, keyed like the tuning cache (source
-    // hash + strategy + device) so --resume never replays records from a
-    // different input.
-    robust::TuningJournal journal(*vfs);
-    if (!journal_path.empty()) {
-      const std::string run_key =
-          str_cat(std::hash<std::string>{}(buf.str()), "/", strat.name, "/",
-                  dev.name);
-      const auto jl = journal.open(journal_path, run_key, resume);
-      using JStatus = robust::JournalLoadResult::Status;
-      if (jl.status == JStatus::IoError) {
-        throw Error(str_cat("cannot open journal '", journal_path, "': ",
-                            jl.message));
-      }
-      if (jl.status == JStatus::Replayed) {
-        std::printf("journal: replaying %zu record(s) from %s%s%s\n",
-                    jl.replayed, journal_path.c_str(),
-                    jl.torn_tail ? ", healed a torn final line" : "",
-                    jl.skipped > 0 ? ", skipped malformed lines" : "");
-      } else if (!jl.message.empty()) {
-        std::printf("journal: %s; starting fresh\n", jl.message.c_str());
-      }
-      telemetry::counter_add("journal.replayed",
-                             static_cast<std::int64_t>(jl.replayed));
-      strat.tune.journal = &journal;
-    }
+    // The pipeline proper lives in the reentrant ArtemisContext library
+    // (docs/SERVICE.md): it owns the tuning cache, the plan store and
+    // the Vfs binding, and artemisd drives the very same API — so a
+    // daemon-served plan is byte-identical to this one-shot run.
+    driver::ContextOptions copts;
+    copts.device = dev;
+    copts.params = params;
+    copts.strategy = strat;
+    copts.jobs = jobs;
+    copts.vfs = vfs;
+    copts.store_root = store_path;
+    copts.cache_path = cache_path;
+    driver::ArtemisContext ctx(copts);
+    const int resolved_jobs = ctx.resolved_jobs();
+    sinks.set_meta({path, strat.name, dev.name, resolved_jobs});
 
     if (compare) {
+      const ir::Program prog = ctx.compile(source).program;
       const auto row =
           baselines::compare_generators(path, prog, dev, params);
       std::printf("%-16s %10s %10s\n", "generator", "TFLOPS", "time(ms)");
@@ -487,11 +461,10 @@ int main(int argc, char** argv) {
                 resolved_jobs);
 
     // Tuning cache: keyed by source hash + strategy + device so a cached
-    // schedule is only reused for the exact same input.
-    autotune::TuningCache cache;
-    std::string cache_key;
+    // schedule is only reused for the exact same input. The context
+    // loaded it at construction; report how that went.
     if (!cache_path.empty()) {
-      const auto cl = cache.load_file(cache_path, vfs);
+      const auto& cl = ctx.cache_load();
       if (cl.status == autotune::CacheLoadReport::Status::IoError) {
         std::fprintf(stderr,
                      "artemisc: warning: tuning cache '%s' is unreadable; "
@@ -506,68 +479,68 @@ int main(int argc, char** argv) {
                      cl.torn_tail, cl.version_skew, cl.malformed,
                      cl.loaded);
       }
-      cache_key = str_cat(std::hash<std::string>{}(buf.str()), "/",
-                          strat.name, "/", dev.name);
-      if (const auto hit = cache.get(cache_key)) {
-        std::printf("tuning cache hit (%s): reusing %s\n",
-                    cache_path.c_str(),
-                    autotune::serialize_config(hit->config).c_str());
-      }
     }
 
-    // Durable plan store: content-addressed by the canonical IR hash +
-    // device + tuner version, so a hit survives reformatting the source
-    // while any semantic change misses.
-    std::optional<storage::PlanStore> store;
-    std::string store_key;
-    if (!store_path.empty()) {
-      store.emplace(*vfs, store_path);
-      store_key =
-          storage::plan_store_key(prog, dev.name, autotune::kTunerVersion);
-      if (const auto hit = store->get(store_key)) {
-        std::printf("plan store hit (%s): %s @ %.4f TFLOPS\n",
-                    store_path.c_str(), hit->config.c_str(), hit->tflops);
-      } else {
-        std::printf("plan store miss (%s): key %s\n", store_path.c_str(),
-                    store_key.c_str());
-      }
-    }
-
-    const auto r = driver::optimize_program(prog, dev, params, strat);
+    // The full pipeline: parse, key, consult the store, tune (journaled
+    // when --journal was given), publish. The one-shot CLI reports store
+    // hits but still re-optimizes (reuse_stored_plan stays false).
+    driver::TuneRequest treq;
+    treq.journal_path = journal_path;
+    treq.resume = resume;
+    const driver::TuneOutcome outcome = ctx.tune(source, treq);
+    const ir::Program& prog = outcome.compile.program;
+    const driver::ProgramResult& r = outcome.result;
     sinks.set_result(r);
 
-    if (journal.active()) {
-      std::printf("journal: %zu record(s) appended, %zu replayed\n",
-                  journal.recorded(), journal.replay_size());
-    }
-
-    if (!cache_path.empty() && !r.kernels.empty()) {
-      cache.put(cache_key, {r.kernels[0].config, r.time_s, r.tflops});
-      if (cache.save_file(cache_path, vfs)) {
-        std::printf("tuning cache updated: %s (%zu entries)\n",
-                    cache_path.c_str(), cache.size());
+    if (!journal_path.empty()) {
+      const auto& jl = outcome.journal_load;
+      using JStatus = robust::JournalLoadResult::Status;
+      if (jl.status == JStatus::Replayed) {
+        std::printf("journal: replaying %zu record(s) from %s%s%s\n",
+                    jl.replayed, journal_path.c_str(),
+                    jl.torn_tail ? ", healed a torn final line" : "",
+                    jl.skipped > 0 ? ", skipped malformed lines" : "");
+      } else if (!jl.message.empty()) {
+        std::printf("journal: %s; starting fresh\n", jl.message.c_str());
       }
     }
 
-    if (store.has_value() && !r.kernels.empty()) {
-      storage::PlanRecord rec;
-      rec.key = store_key;
-      rec.config = autotune::serialize_config(r.kernels[0].config);
-      rec.time_s = r.time_s;
-      rec.tflops = r.tflops;
-      rec.meta["device"] = dev.name;
-      rec.meta["strategy"] = strat.name;
-      rec.meta["tuner_version"] = std::to_string(autotune::kTunerVersion);
-      if (store->put(rec)) {
-        std::printf("plan store updated: %s/objects/%s/%s.plan\n",
-                    store_path.c_str(),
-                    storage::PlanStore::shard_of(store_key).c_str(),
-                    store_key.c_str());
+    if (!cache_path.empty() && outcome.cache_hit.has_value()) {
+      std::printf(
+          "tuning cache hit (%s): reusing %s\n", cache_path.c_str(),
+          autotune::serialize_config(outcome.cache_hit->config).c_str());
+    }
+
+    if (!store_path.empty()) {
+      if (outcome.stored.has_value()) {
+        std::printf("plan store hit (%s): %s @ %.4f TFLOPS\n",
+                    store_path.c_str(), outcome.stored->config.c_str(),
+                    outcome.stored->tflops);
       } else {
-        std::fprintf(stderr,
-                     "artemisc: warning: plan store put failed; the "
-                     "previous plan (if any) is intact\n");
+        std::printf("plan store miss (%s): key %s\n", store_path.c_str(),
+                    outcome.compile.plan_key.c_str());
       }
+    }
+
+    if (outcome.journal_active) {
+      std::printf("journal: %zu record(s) appended, %zu replayed\n",
+                  outcome.journal_recorded, outcome.journal_replayed);
+    }
+
+    if (outcome.cache_saved) {
+      std::printf("tuning cache updated: %s (%zu entries)\n",
+                  cache_path.c_str(), ctx.cache().size());
+    }
+
+    if (outcome.store_put == driver::TuneOutcome::StorePut::Ok) {
+      std::printf(
+          "plan store updated: %s/objects/%s/%s.plan\n", store_path.c_str(),
+          storage::PlanStore::shard_of(outcome.compile.plan_key).c_str(),
+          outcome.compile.plan_key.c_str());
+    } else if (outcome.store_put == driver::TuneOutcome::StorePut::Failed) {
+      std::fprintf(stderr,
+                   "artemisc: warning: plan store put failed; the "
+                   "previous plan (if any) is intact\n");
     }
 
     std::printf("\nschedule: %d launch(es), %.4f ms, %.4f TFLOPS\n",
@@ -634,32 +607,14 @@ int main(int argc, char** argv) {
     }
 
     if (run) {
-      // Functional run of the best ARTEMIS-planned kernels, checked
-      // against the reference interpreter.
-      sim::GridSet ref = sim::GridSet::from_program(prog, 1);
-      sim::GridSet tiled = ref.clone();
-      sim::run_program_reference(prog, ref);
-      codegen::KernelConfig cfg;
-      cfg.block = {8, 8, 4};
-      codegen::BuildOptions opts;
-      opts.use_shared_memory = false;
-      for (const auto& step : ir::flatten_steps(prog)) {
-        if (step.kind == ir::ExecStep::Kind::Swap) {
-          tiled.swap(step.swap.a, step.swap.b);
-          continue;
-        }
-        const auto plan =
-            codegen::build_plan(prog, {step.stencil}, cfg, dev, opts);
-        sim::execute_plan(plan, tiled);
-      }
+      // Functional run of per-step plans against the reference
+      // interpreter, via the same library call artemisd serves.
+      const auto ro = ctx.run(source);
       std::printf("\nfunctional run:\n");
-      for (const auto& out : prog.copyout) {
-        const double diff =
-            Grid3D::max_abs_diff(ref.grid(out), tiled.grid(out));
-        double checksum = 0;
-        for (const double v : tiled.grid(out).raw()) checksum += v;
+      for (const auto& check : ro.checks) {
         std::printf("  %-10s checksum %.10g  max|diff vs reference| %g\n",
-                    out.c_str(), checksum, diff);
+                    check.array.c_str(), check.checksum,
+                    check.max_abs_diff);
       }
     }
 
