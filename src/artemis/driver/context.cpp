@@ -198,7 +198,9 @@ RunOutcome ArtemisContext::run(const std::string& source) {
     }
     const auto plan = codegen::build_plan(prog, {step.stencil}, cfg,
                                           opts_.device, opts);
-    sim::execute_plan(plan, tiled);
+    sim::ExecOptions eo;
+    eo.engine = opts_.engine;
+    sim::execute_plan(plan, tiled, eo);
   }
   for (const auto& name : prog.copyout) {
     RunCheck check;

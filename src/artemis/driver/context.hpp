@@ -10,6 +10,7 @@
 #include "artemis/driver/driver.hpp"
 #include "artemis/gpumodel/device.hpp"
 #include "artemis/robust/journal.hpp"
+#include "artemis/sim/executor.hpp"
 #include "artemis/storage/plan_store.hpp"
 #include "artemis/storage/vfs.hpp"
 
@@ -34,6 +35,9 @@ struct ContextOptions {
   /// Tuning-cache file loaded at construction and saved after tunes;
   /// "" = none.
   std::string cache_path;
+  /// Simulator engine run() executes plans with (artemisc --engine).
+  /// Every engine produces bit-identical grids in its default mode.
+  sim::SimEngine engine = sim::SimEngine::Bytecode;
 };
 
 /// Resolve "p100"/"v100" to a device spec; throws artemis::Error on an

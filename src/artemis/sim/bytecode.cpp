@@ -601,6 +601,54 @@ void run_compiled_region(const CompiledStencil& cs,
                           drop_outside_commit, st, c, c, nullptr);
 }
 
+struct RimRunner::Impl {
+  const CompiledStencil& cs;
+  const std::vector<ArrayView>& views;
+  const double* scalars;
+  BcRegion commit;
+  bool drop;
+  ExecScratch st;
+
+  Impl(const CompiledStencil& c, const std::vector<ArrayView>& v,
+       const double* s, const BcRegion& cb, bool d)
+      : cs(c), views(v), scalars(s), commit(cb), drop(d), st(c) {}
+};
+
+RimRunner::RimRunner(const CompiledStencil& cs,
+                     const std::vector<ArrayView>& views,
+                     const double* scalars, const BcRegion& commit,
+                     bool drop_outside_commit)
+    : impl_(std::make_unique<Impl>(cs, views, scalars, commit,
+                                   drop_outside_commit)) {}
+
+RimRunner::~RimRunner() = default;
+
+void RimRunner::run(std::int64_t z, std::int64_t y, std::int64_t x0,
+                    std::int64_t x1, BcCounters& c, StageTrace* trace) {
+  Impl& im = *impl_;
+  const ArrayView* vp = im.views.data();
+  if (trace != nullptr) {
+    for (std::int64_t x = x0; x < x1; ++x) {
+      if (exec_point<true, false, true>(im.cs, vp, im.scalars, im.st, z, y,
+                                        x, im.commit, im.drop, c, nullptr,
+                                        trace)) {
+        ++c.computed;
+      } else {
+        ++c.skipped;
+      }
+    }
+    return;
+  }
+  for (std::int64_t x = x0; x < x1; ++x) {
+    if (exec_point<true, false, false>(im.cs, vp, im.scalars, im.st, z, y, x,
+                                       im.commit, im.drop, c, nullptr)) {
+      ++c.computed;
+    } else {
+      ++c.skipped;
+    }
+  }
+}
+
 bool needs_snapshot(const ir::ArrayAccessInfo& ai, int dims, bool recompute) {
   if (!ai.read || !ai.written) return false;
   bool non_center = false;

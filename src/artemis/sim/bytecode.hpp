@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -255,6 +256,29 @@ void run_compiled_region(const CompiledStencil& cs,
                          BcCounters& counters,
                          const GlobalAccessHook* hook = nullptr,
                          StageTrace* trace = nullptr);
+
+/// Fully-checked per-point execution of x-spans, exported for the native
+/// tier's boundary rim: identical semantics (and, in counting mode,
+/// identical record stream) to the rim spans of run_compiled_region's
+/// split sweep. Holds the per-sweep scratch so rows don't reallocate;
+/// not thread-safe — one RimRunner per worker.
+class RimRunner {
+ public:
+  RimRunner(const CompiledStencil& cs, const std::vector<ArrayView>& views,
+            const double* scalars, const BcRegion& commit,
+            bool drop_outside_commit);
+  ~RimRunner();
+
+  /// Run [x0, x1) of row (z, y) with the checked engine, accumulating
+  /// computed/skipped and element counters into `c` (and records into
+  /// `trace` when counting).
+  void run(std::int64_t z, std::int64_t y, std::int64_t x0, std::int64_t x1,
+           BcCounters& c, StageTrace* trace);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Shared snapshot policy for kernel-style execution: must `ai` be copied
 /// before the sweep so every point observes pre-kernel values? True when

@@ -1,16 +1,42 @@
 #include "artemis/sim/executor.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <memory>
+#include <mutex>
 #include <set>
 
 #include "artemis/common/check.hpp"
+#include "artemis/common/hash.hpp"
 #include "artemis/common/parallel.hpp"
+#include "artemis/common/str.hpp"
 #include "artemis/ir/analysis.hpp"
 #include "artemis/robust/fault_injection.hpp"
 #include "artemis/sim/interp.hpp"
+#include "artemis/sim/native/native.hpp"
 #include "artemis/telemetry/telemetry.hpp"
 
 namespace artemis::sim {
+
+const char* engine_name(SimEngine engine) {
+  switch (engine) {
+    case SimEngine::Bytecode:
+      return "bytecode";
+    case SimEngine::TreeWalk:
+      return "treewalk";
+    case SimEngine::Native:
+      return "native";
+  }
+  return "bytecode";
+}
+
+SimEngine engine_by_name(const std::string& name) {
+  if (name == "bytecode") return SimEngine::Bytecode;
+  if (name == "tree" || name == "treewalk") return SimEngine::TreeWalk;
+  if (name == "native") return SimEngine::Native;
+  throw Error(str_cat("unknown sim engine '", name,
+                      "' (expected tree, bytecode, or native)"));
+}
 
 namespace {
 
@@ -19,6 +45,113 @@ using codegen::TilingScheme;
 
 std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
   return (a + b - 1) / b;
+}
+
+// --- stencil compilation dedup ---------------------------------------------
+//
+// Identical stages recur constantly: every block of every time step of a
+// tuning evaluation compiles the same (plan, stage) statement list, and
+// distinct plans over one program share stages verbatim. Content-hash the
+// compilation inputs — the statement list plus the slot tables it is
+// resolved against (slot numbering is plan-dependent) — and share one
+// immutable CompiledStencil per key.
+
+void hash_expr(ContentHasher& h, const ir::Expr& e) {
+  const auto tag = static_cast<std::uint8_t>(e.kind);
+  h.update(&tag, sizeof tag);
+  const auto str = [&h](const std::string& s) {
+    const auto n = static_cast<std::uint32_t>(s.size());
+    h.update(&n, sizeof n);
+    h.update(s);
+  };
+  switch (e.kind) {
+    case ir::ExprKind::Number: {
+      std::uint64_t bits;
+      std::memcpy(&bits, &e.number, sizeof bits);
+      h.update(&bits, sizeof bits);
+      break;
+    }
+    case ir::ExprKind::ScalarRef:
+      str(e.name);
+      break;
+    case ir::ExprKind::ArrayRef: {
+      str(e.name);
+      const auto n = static_cast<std::uint32_t>(e.indices.size());
+      h.update(&n, sizeof n);
+      for (const auto& ix : e.indices) {
+        h.update(&ix.iter, sizeof ix.iter);
+        h.update(&ix.offset, sizeof ix.offset);
+      }
+      break;
+    }
+    case ir::ExprKind::Binary: {
+      const auto b = static_cast<std::uint8_t>(e.bop);
+      h.update(&b, sizeof b);
+      break;
+    }
+    case ir::ExprKind::Call:
+      str(e.name);
+      break;
+    case ir::ExprKind::Unary:
+      break;
+  }
+  const auto nargs = static_cast<std::uint32_t>(e.args.size());
+  h.update(&nargs, sizeof nargs);
+  for (const auto& a : e.args) hash_expr(h, *a);
+}
+
+std::string stencil_key(const std::vector<ir::Stmt>& stmts, int dims,
+                        const SlotMap& arrays, const SlotMap& scalars) {
+  ContentHasher h;
+  const auto str = [&h](const std::string& s) {
+    const auto n = static_cast<std::uint32_t>(s.size());
+    h.update(&n, sizeof n);
+    h.update(s);
+  };
+  const auto i32 = [&h](std::int32_t v) { h.update(&v, sizeof v); };
+  i32(dims);
+  i32(arrays.size());
+  for (int s = 0; s < arrays.size(); ++s) str(arrays.name(s));
+  i32(scalars.size());
+  for (int s = 0; s < scalars.size(); ++s) str(scalars.name(s));
+  i32(static_cast<std::int32_t>(stmts.size()));
+  for (const auto& st : stmts) {
+    const std::uint8_t flags = (st.declares_local ? 1 : 0) |
+                               (st.accumulate ? 2 : 0);
+    h.update(&flags, sizeof flags);
+    str(st.lhs_name);
+    i32(static_cast<std::int32_t>(st.lhs_indices.size()));
+    for (const auto& ix : st.lhs_indices) {
+      h.update(&ix.iter, sizeof ix.iter);
+      h.update(&ix.offset, sizeof ix.offset);
+    }
+    hash_expr(h, *st.rhs);
+  }
+  return h.hex_digest();
+}
+
+std::shared_ptr<const CompiledStencil> compile_stmts_cached(
+    const std::vector<ir::Stmt>& stmts, int dims, const SlotMap& arrays,
+    const SlotMap& scalars) {
+  static std::mutex mu;
+  static std::map<std::string, std::shared_ptr<const CompiledStencil>> cache;
+  constexpr std::size_t kMaxEntries = 1024;  // runaway-program backstop
+
+  const std::string key = stencil_key(stmts, dims, arrays, scalars);
+  {
+    const std::lock_guard<std::mutex> lk(mu);
+    if (const auto it = cache.find(key); it != cache.end()) {
+      telemetry::counter_add("sim.compile_hits");
+      return it->second;
+    }
+  }
+  // Compile outside the lock; a throwing compilation caches nothing.
+  auto cs = std::make_shared<const CompiledStencil>(
+      compile_stmts(stmts, dims, arrays, scalars));
+  const std::lock_guard<std::mutex> lk(mu);
+  telemetry::counter_add("sim.compile_misses");
+  if (cache.size() >= kMaxEntries) cache.clear();
+  return cache.try_emplace(key, std::move(cs)).first->second;
 }
 
 /// A block-local scratch buffer standing in for the shared-memory (or
@@ -50,8 +183,7 @@ ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
                           const ExecOptions& opts) {
   telemetry::Span span("sim.execute_plan", "sim");
   span.arg("kernel", Json(plan.name));
-  span.arg("engine",
-           Json(opts.engine == SimEngine::Bytecode ? "bytecode" : "treewalk"));
+  span.arg("engine", Json(engine_name(opts.engine)));
   robust::fault_point("sim.execute", plan.name);
   const bool hooked = static_cast<bool>(opts.global_hook);
   const bool serial = opts.serial || hooked;
@@ -59,8 +191,8 @@ ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
   if (trace != nullptr) {
     ARTEMIS_CHECK_MSG(!hooked, "counting mode (ExecOptions::trace) and the "
                                "global-access hook are mutually exclusive");
-    ARTEMIS_CHECK_MSG(opts.engine == SimEngine::Bytecode,
-                      "counting mode requires the bytecode engine");
+    ARTEMIS_CHECK_MSG(opts.engine != SimEngine::TreeWalk,
+                      "counting mode requires the bytecode or native engine");
     *trace = PlanTrace{};
   }
   ExecCounters totals;
@@ -129,12 +261,36 @@ ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
     env[name] = gs.scalar(name);
   }
 
-  std::vector<CompiledStencil> compiled;
-  if (opts.engine == SimEngine::Bytecode) {
+  std::vector<std::shared_ptr<const CompiledStencil>> compiled;
+  if (opts.engine != SimEngine::TreeWalk) {
     compiled.reserve(plan.stages.size());
     for (const auto& stage : plan.stages) {
       compiled.push_back(
-          compile_stmts(stage.stmts, dims, arrays, scalar_slots));
+          compile_stmts_cached(stage.stmts, dims, arrays, scalar_slots));
+    }
+  }
+
+  // Native engine: lower each compiled stage once per plan execution
+  // (cheap next to compilation); stages the lowering refuses — and any
+  // hooked run — fall back to the bytecode engine, whose semantics the
+  // native tier reproduces bit-identically in strict mode.
+  const bool native = opts.engine == SimEngine::Native && !hooked;
+  std::vector<native::LowerResult> lowered;
+  const native::Tier tier = native ? native::active_tier()
+                                   : native::Tier::Scalar;
+  if (native) {
+    span.arg("native_tier", Json(native::tier_name(tier)));
+    std::vector<std::uint8_t> is_scratch(
+        static_cast<std::size_t>(arrays.size()), 0);
+    for (const auto& name : plan.internal_arrays) {
+      is_scratch[static_cast<std::size_t>(arrays.slot(name))] = 1;
+    }
+    lowered.reserve(compiled.size());
+    for (const auto& cs : compiled) {
+      lowered.push_back(
+          native::lower_stencil(*cs, is_scratch, opts.native_fast_math));
+      telemetry::counter_add(lowered.back().ok ? "sim.native_stages"
+                                               : "sim.native_fallbacks");
     }
   }
 
@@ -290,7 +446,7 @@ ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
     StageTrace writeback;
   };
 
-  const auto run_block_bytecode = [&](std::int64_t block_id, BcCounters& c,
+  const auto run_block_compiled = [&](std::int64_t block_id, BcCounters& c,
                                       BlockTrace* bt) {
     std::array<std::int64_t, 3> own_lo, own_hi;
     block_geometry(block_id, own_lo, own_hi);
@@ -317,10 +473,17 @@ ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
     const GlobalAccessHook* hook = hooked ? &opts.global_hook : nullptr;
     if (bt != nullptr) bt->stages.resize(plan.stages.size());
     for (std::size_t s = 0; s < plan.stages.size(); ++s) {
-      run_compiled_region(compiled[s], views, scalar_vals.data(),
-                          stage_region(s, own_lo, own_hi), own,
-                          /*drop_outside_commit=*/true, c, hook,
-                          bt != nullptr ? &bt->stages[s] : nullptr);
+      StageTrace* st = bt != nullptr ? &bt->stages[s] : nullptr;
+      if (native && lowered[s].ok) {
+        native::run_native_region(lowered[s].prog, *compiled[s], views,
+                                  scalar_vals.data(),
+                                  stage_region(s, own_lo, own_hi), own,
+                                  /*drop_outside_commit=*/true, c, st, tier);
+      } else {
+        run_compiled_region(*compiled[s], views, scalar_vals.data(),
+                            stage_region(s, own_lo, own_hi), own,
+                            /*drop_outside_commit=*/true, c, hook, st);
+      }
     }
     materialize(scratch, own, c, bt != nullptr ? &bt->writeback : nullptr);
   };
@@ -415,8 +578,8 @@ ExecCounters execute_plan(const KernelPlan& plan, GridSet& gs,
       trace != nullptr ? static_cast<std::size_t>(total_blocks) : 0);
   const auto run_block = [&](std::int64_t b) {
     BcCounters c;
-    if (opts.engine == SimEngine::Bytecode) {
-      run_block_bytecode(b, c,
+    if (opts.engine != SimEngine::TreeWalk) {
+      run_block_compiled(b, c,
                          trace != nullptr
                              ? &block_traces[static_cast<std::size_t>(b)]
                              : nullptr);

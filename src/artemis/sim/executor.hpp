@@ -1,5 +1,7 @@
 #pragma once
 
+#include <string>
+
 #include "artemis/codegen/plan.hpp"
 #include "artemis/sim/bytecode.hpp"
 #include "artemis/sim/gridset.hpp"
@@ -18,13 +20,24 @@ struct ExecCounters {
   std::int64_t blocks = 0;
 };
 
-/// Which interpreter executes the plan's statement lists. Both produce
-/// bit-identical grids, counters and hook traces; the tree walk survives
-/// as the differential-testing oracle.
+/// Which interpreter executes the plan's statement lists. All three
+/// produce bit-identical grids, counters and hook traces (the native
+/// engine in its default strict mode); the tree walk survives as the
+/// differential-testing oracle.
 enum class SimEngine {
   Bytecode,  ///< compiled slot-resolved bytecode (default, fast)
   TreeWalk,  ///< per-point recursive evaluation via apply_stmts_at_point
+  Native,    ///< SIMD interior tier over bytecode (sim/native/), rim + any
+             ///< refused stage fall back to the bytecode engine
 };
+
+/// Stable names for CLI flags, telemetry and reports: "bytecode",
+/// "treewalk", "native".
+const char* engine_name(SimEngine engine);
+
+/// Parse an engine name ("tree" and "treewalk" both accept the oracle).
+/// Throws artemis::Error on anything else.
+SimEngine engine_by_name(const std::string& name);
 
 /// Counting-mode output for one plan execution: per-stage interior/rim
 /// counters and coalesced line streams, plus the flat address map that
@@ -60,13 +73,19 @@ struct ExecOptions {
   /// Worker count for the block sweep; 0 resolves to default_jobs().
   int jobs = 0;
   SimEngine engine = SimEngine::Bytecode;
+  /// Native engine only: allow mul+add/sub fusion into correctly-rounded
+  /// FMAs. Deterministic across dispatch tiers and job counts, but only
+  /// ULP-bounded (not bit-identical) against the bytecode oracle; the
+  /// default strict mode is bit-identical.
+  bool native_fast_math = false;
   /// (array, z, y, x, is_write) for each global access.
   GlobalAccessHook global_hook;
   /// Counting mode: when non-null, per-stage measured counters and line
-  /// streams are collected here. Requires the bytecode engine; composes
-  /// with the parallel sweep (unlike the hook) and leaves grids, returned
-  /// counters and journal bytes bit-identical to a plain run. Mutually
-  /// exclusive with global_hook.
+  /// streams are collected here. Requires the bytecode or native engine
+  /// (identical output from both); composes with the parallel sweep
+  /// (unlike the hook) and leaves grids, returned counters and journal
+  /// bytes bit-identical to a plain run. Mutually exclusive with
+  /// global_hook.
   PlanTrace* trace = nullptr;
 };
 

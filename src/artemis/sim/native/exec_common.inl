@@ -1,0 +1,388 @@
+// Shared SIMD interior executor. Included inside
+//
+//   namespace artemis::sim::native { namespace { struct Backend {...};
+//   #include "artemis/sim/native/exec_common.inl"
+//   } }
+//
+// of each per-tier translation unit, AFTER that tier's Backend struct is
+// defined, so every definition here gets internal linkage: a TU compiled
+// with -mavx512f can never leak an AVX-512 symbol into another tier's
+// dispatch path through the linker's one-definition folding.
+//
+// A Backend provides: kWidth, Vec, broadcast/loadu/storeu, the lane
+// arithmetic (add/sub/mul/div/min_/max_/neg/fabs_/sqrt_ — IEEE-identical
+// to the scalar ops, including NaN and signed-zero behaviour), lane-wise
+// libm transcendentals (exp_/log_/pow_), and correctly-rounded FMA
+// variants (fmadd/fmsub/fnmadd — reached only by fast-math programs).
+//
+// Strict-mode bit-identity with the bytecode engine rests on: every body
+// op maps 1:1 to the bytecode op with the same operand order, loads read
+// pre-point memory (the bytecode buffers writes until end of point, and
+// cross-point memory dependences are excluded at lowering time), and
+// stores commit per point in statement order with the same last-writer
+// ordering along every axis.
+
+/// One load bound to a (y, x0) column: element offset of (z0, y, x0) in
+/// the view plus x-lane / z-step strides. The offset (not a pointer)
+/// advances by zs per z step so dropped stores never form out-of-window
+/// pointers.
+struct LoadBind {
+  const double* p = nullptr;
+  std::int64_t off = 0;
+  std::int64_t xs = 0;
+  std::int64_t zs = 0;
+};
+
+struct StoreBind {
+  double* p = nullptr;
+  std::uint8_t* wp = nullptr;  ///< scratch written-flags, null for external
+  std::int64_t off = 0;
+  std::int64_t xs = 0;
+  std::int64_t zs = 0;
+  bool scratch = false;
+  std::int64_t cz0 = 0, cz1 = 0;  ///< commit z interval (absolute z)
+  std::uint64_t mask = 0;         ///< per-lane commit mask
+};
+
+inline std::int64_t bind_coord(const NAccess& a, std::size_t d,
+                               std::int64_t z, std::int64_t y,
+                               std::int64_t x) {
+  const std::int64_t pt[4] = {z, y, x, 0};
+  return pt[a.sel[d]] + a.off[d];
+}
+
+inline LoadBind bind_load(const ArrayView* views, const NAccess& a,
+                          std::int64_t z, std::int64_t y, std::int64_t x) {
+  const ArrayView& v = views[a.view];
+  const std::int64_t c0 = bind_coord(a, 0, z, y, x);
+  const std::int64_t c1 = bind_coord(a, 1, z, y, x);
+  const std::int64_t c2 = bind_coord(a, 2, z, y, x);
+  const std::int64_t sz = v.wy * v.wx, sy = v.wx, sx = 1;
+  LoadBind b;
+  b.p = v.read;
+  b.off = ((c0 - v.lo_z) * v.wy + (c1 - v.lo_y)) * v.wx + (c2 - v.lo_x);
+  b.xs = (a.sel[0] == 2 ? sz : 0) + (a.sel[1] == 2 ? sy : 0) +
+         (a.sel[2] == 2 ? sx : 0);
+  b.zs = (a.sel[0] == 0 ? sz : 0) + (a.sel[1] == 0 ? sy : 0) +
+         (a.sel[2] == 0 ? sx : 0);
+  return b;
+}
+
+inline StoreBind bind_store(const ArrayView* views, const NAccess& a,
+                            std::int64_t z0, std::int64_t y, std::int64_t x0,
+                            std::int64_t lanes, const BcRegion& box,
+                            const BcRegion& commit, bool drop) {
+  const ArrayView& v = views[a.view];
+  const std::int64_t c0 = bind_coord(a, 0, z0, y, x0);
+  const std::int64_t c1 = bind_coord(a, 1, z0, y, x0);
+  const std::int64_t c2 = bind_coord(a, 2, z0, y, x0);
+  const std::int64_t sz = v.wy * v.wx, sy = v.wx, sx = 1;
+  StoreBind s;
+  s.p = v.write;
+  s.wp = v.written;
+  s.off = ((c0 - v.lo_z) * v.wy + (c1 - v.lo_y)) * v.wx + (c2 - v.lo_x);
+  s.xs = (a.sel[0] == 2 ? sz : 0) + (a.sel[1] == 2 ? sy : 0) +
+         (a.sel[2] == 2 ? sx : 0);
+  s.zs = (a.sel[0] == 0 ? sz : 0) + (a.sel[1] == 0 ? sy : 0) +
+         (a.sel[2] == 0 ? sx : 0);
+  s.scratch = a.scratch;
+  s.cz0 = box.lo[0];
+  s.cz1 = box.hi[0];
+  std::uint64_t mask = (1ull << lanes) - 1;
+  if (drop && !a.scratch) {
+    // Fold the commit-box test into a z interval plus a per-lane mask:
+    // each access dimension constrains the point coordinate driving it.
+    for (std::size_t d = 0; d < 3; ++d) {
+      const std::int64_t lo = commit.lo[d], hi = commit.hi[d];
+      switch (a.sel[d]) {
+        case 3:
+          if (a.off[d] < lo || a.off[d] >= hi) mask = 0;
+          break;
+        case 0:
+          s.cz0 = std::max(s.cz0, lo - a.off[d]);
+          s.cz1 = std::min(s.cz1, hi - a.off[d]);
+          break;
+        case 1:
+          if (y + a.off[d] < lo || y + a.off[d] >= hi) mask = 0;
+          break;
+        case 2:
+          for (std::int64_t l = 0; l < lanes; ++l) {
+            const std::int64_t cx = x0 + l + a.off[d];
+            if (cx < lo || cx >= hi) mask &= ~(1ull << l);
+          }
+          break;
+      }
+    }
+  }
+  s.mask = mask;
+  return s;
+}
+
+template <class B>
+inline typename B::Vec load_vec(const LoadBind& b) {
+  if (b.xs == 1) return B::loadu(b.p + b.off);
+  if (b.xs == 0) return B::broadcast(b.p[b.off]);
+  alignas(64) double buf[8] = {};
+  for (std::int64_t l = 0; l < B::kWidth; ++l) {
+    buf[l] = b.p[b.off + l * b.xs];
+  }
+  return B::loadu(buf);
+}
+
+template <class B>
+inline void exec_body(const LinearProgram& lp, typename B::Vec* regs,
+                      const std::int32_t* ring_base, const LoadBind* lbs) {
+  for (const NInstr& I : lp.body) {
+    switch (I.op) {
+      case NOp::Load: {
+        const NAccess& a = lp.loads[static_cast<std::size_t>(I.aux)];
+        if (a.chain >= 0) {
+          regs[I.dst] = regs[ring_base[a.chain] + a.chain_pos];
+        } else {
+          regs[I.dst] = load_vec<B>(lbs[I.aux]);
+        }
+        break;
+      }
+      case NOp::Neg:
+        regs[I.dst] = B::neg(regs[I.a]);
+        break;
+      case NOp::Fabs:
+        regs[I.dst] = B::fabs_(regs[I.a]);
+        break;
+      case NOp::Sqrt:
+        regs[I.dst] = B::sqrt_(regs[I.a]);
+        break;
+      case NOp::Exp:
+        regs[I.dst] = B::exp_(regs[I.a]);
+        break;
+      case NOp::Log:
+        regs[I.dst] = B::log_(regs[I.a]);
+        break;
+      case NOp::Add:
+        regs[I.dst] = B::add(regs[I.a], regs[I.b]);
+        break;
+      case NOp::Sub:
+        regs[I.dst] = B::sub(regs[I.a], regs[I.b]);
+        break;
+      case NOp::Mul:
+        regs[I.dst] = B::mul(regs[I.a], regs[I.b]);
+        break;
+      case NOp::Div:
+        regs[I.dst] = B::div(regs[I.a], regs[I.b]);
+        break;
+      case NOp::Min:
+        regs[I.dst] = B::min_(regs[I.a], regs[I.b]);
+        break;
+      case NOp::Max:
+        regs[I.dst] = B::max_(regs[I.a], regs[I.b]);
+        break;
+      case NOp::Pow:
+        regs[I.dst] = B::pow_(regs[I.a], regs[I.b]);
+        break;
+      case NOp::Fmadd:
+        regs[I.dst] = B::fmadd(regs[I.a], regs[I.b], regs[I.c]);
+        break;
+      case NOp::Fmsub:
+        regs[I.dst] = B::fmsub(regs[I.a], regs[I.b], regs[I.c]);
+        break;
+      case NOp::Fnmadd:
+        regs[I.dst] = B::fnmadd(regs[I.a], regs[I.b], regs[I.c]);
+        break;
+    }
+  }
+}
+
+template <class B>
+inline void commit_stores(const LinearProgram& lp,
+                          const typename B::Vec* regs, const StoreBind* sbs,
+                          std::int64_t z) {
+  constexpr std::uint64_t kFull = (1ull << B::kWidth) - 1;
+  for (std::size_t i = 0; i < lp.stores.size(); ++i) {
+    const StoreBind& s = sbs[i];
+    const typename B::Vec v = regs[lp.stores[i].src];
+    if (s.scratch) {
+      // Scratch writes always land (interior_region keeps them in-window)
+      // and mark their written flags; non-unit strides fall back to lane
+      // order, preserving the bytecode's last-lane-wins for xs == 0.
+      if (s.xs == 1) {
+        B::storeu(s.p + s.off, v);
+        std::memset(s.wp + s.off, 1, static_cast<std::size_t>(B::kWidth));
+      } else {
+        alignas(64) double buf[8];
+        B::storeu(buf, v);
+        for (std::int64_t l = 0; l < B::kWidth; ++l) {
+          const std::int64_t o = s.off + l * s.xs;
+          s.p[o] = buf[l];
+          s.wp[o] = 1;
+        }
+      }
+      continue;
+    }
+    if (z < s.cz0 || z >= s.cz1 || s.mask == 0) continue;
+    if (s.mask == kFull && s.xs == 1) {
+      B::storeu(s.p + s.off, v);
+      continue;
+    }
+    alignas(64) double buf[8];
+    B::storeu(buf, v);
+    for (std::int64_t l = 0; l < B::kWidth; ++l) {
+      if (s.mask >> l & 1) s.p[s.off + l * s.xs] = buf[l];
+    }
+  }
+}
+
+/// Partial x chunks (fewer than kWidth lanes) run a plain double register
+/// file with identical per-op semantics: strict ops are the scalar ops
+/// the bytecode engine runs, fast-math FMAs are std::fma (the same
+/// correctly-rounded operation the vector FMA performs).
+inline void run_tail(const LinearProgram& lp, const LoadBind* lbs,
+                     const StoreBind* sbs, double* regs, std::int64_t z0,
+                     std::int64_t z1, std::int64_t lanes) {
+  for (std::int64_t z = z0; z < z1; ++z) {
+    const std::int64_t dz = z - z0;
+    for (std::int64_t l = 0; l < lanes; ++l) {
+      for (const NInstr& I : lp.body) {
+        switch (I.op) {
+          case NOp::Load: {
+            const LoadBind& b = lbs[I.aux];
+            regs[I.dst] = b.p[b.off + dz * b.zs + l * b.xs];
+            break;
+          }
+          case NOp::Neg:
+            regs[I.dst] = -regs[I.a];
+            break;
+          case NOp::Fabs:
+            regs[I.dst] = std::fabs(regs[I.a]);
+            break;
+          case NOp::Sqrt:
+            regs[I.dst] = std::sqrt(regs[I.a]);
+            break;
+          case NOp::Exp:
+            regs[I.dst] = std::exp(regs[I.a]);
+            break;
+          case NOp::Log:
+            regs[I.dst] = std::log(regs[I.a]);
+            break;
+          case NOp::Add:
+            regs[I.dst] = regs[I.a] + regs[I.b];
+            break;
+          case NOp::Sub:
+            regs[I.dst] = regs[I.a] - regs[I.b];
+            break;
+          case NOp::Mul:
+            regs[I.dst] = regs[I.a] * regs[I.b];
+            break;
+          case NOp::Div:
+            regs[I.dst] = regs[I.a] / regs[I.b];
+            break;
+          case NOp::Min:
+            regs[I.dst] = std::min(regs[I.a], regs[I.b]);
+            break;
+          case NOp::Max:
+            regs[I.dst] = std::max(regs[I.a], regs[I.b]);
+            break;
+          case NOp::Pow:
+            regs[I.dst] = std::pow(regs[I.a], regs[I.b]);
+            break;
+          case NOp::Fmadd:
+            regs[I.dst] = std::fma(regs[I.a], regs[I.b], regs[I.c]);
+            break;
+          case NOp::Fmsub:
+            regs[I.dst] = std::fma(regs[I.a], regs[I.b], -regs[I.c]);
+            break;
+          case NOp::Fnmadd:
+            regs[I.dst] = std::fma(-regs[I.a], regs[I.b], regs[I.c]);
+            break;
+        }
+      }
+      for (std::size_t i = 0; i < lp.stores.size(); ++i) {
+        const StoreBind& s = sbs[i];
+        const double v = regs[lp.stores[i].src];
+        const std::int64_t o = s.off + dz * s.zs + l * s.xs;
+        if (s.scratch) {
+          s.p[o] = v;
+          s.wp[o] = 1;
+          continue;
+        }
+        if (z < s.cz0 || z >= s.cz1 || !(s.mask >> l & 1)) continue;
+        s.p[o] = v;
+      }
+    }
+  }
+}
+
+template <class B>
+void run_box_impl(const LinearProgram& lp, const ArrayView* views,
+                  const double* scalars, const BcRegion& box,
+                  const BcRegion& commit, bool drop) {
+  if (box.empty()) return;
+  constexpr std::int64_t W = B::kWidth;
+  using V = typename B::Vec;
+
+  // Rotating-window rings live after the program's own registers.
+  std::int32_t total = lp.n_regs;
+  std::vector<std::int32_t> ring_base(lp.chains.size());
+  for (std::size_t c = 0; c < lp.chains.size(); ++c) {
+    ring_base[c] = total;
+    total += static_cast<std::int32_t>(lp.chains[c].members.size());
+  }
+
+  std::vector<V> regs(static_cast<std::size_t>(total));
+  std::vector<double> sregs(static_cast<std::size_t>(total));
+  for (std::size_t i = 0; i < lp.setup_consts.size(); ++i) {
+    regs[lp.const_reg[i]] = B::broadcast(lp.setup_consts[i]);
+    sregs[lp.const_reg[i]] = lp.setup_consts[i];
+  }
+  for (std::size_t i = 0; i < lp.setup_scalars.size(); ++i) {
+    const double v = scalars[lp.setup_scalars[i]];
+    regs[lp.scalar_reg[i]] = B::broadcast(v);
+    sregs[lp.scalar_reg[i]] = v;
+  }
+
+  std::vector<LoadBind> lbs(lp.loads.size());
+  std::vector<StoreBind> sbs(lp.stores.size());
+
+  const std::int64_t z0 = box.lo[0], z1 = box.hi[0];
+  for (std::int64_t y = box.lo[1]; y < box.hi[1]; ++y) {
+    for (std::int64_t x0 = box.lo[2]; x0 < box.hi[2]; x0 += W) {
+      const std::int64_t lanes = std::min(W, box.hi[2] - x0);
+      for (std::size_t i = 0; i < lp.loads.size(); ++i) {
+        lbs[i] = bind_load(views, lp.loads[i], z0, y, x0);
+      }
+      for (std::size_t i = 0; i < lp.stores.size(); ++i) {
+        sbs[i] = bind_store(views, lp.stores[i].acc, z0, y, x0, lanes, box,
+                            commit, drop);
+      }
+      if (lanes < W) {
+        run_tail(lp, lbs.data(), sbs.data(), sregs.data(), z0, z1, lanes);
+        continue;
+      }
+      // Prime the rotating windows with the full star at z0; each later z
+      // shifts the ring down one slot and loads only the leading plane.
+      for (std::size_t c = 0; c < lp.chains.size(); ++c) {
+        const auto& m = lp.chains[c].members;
+        for (std::size_t p = 0; p < m.size(); ++p) {
+          regs[static_cast<std::size_t>(ring_base[c]) + p] =
+              load_vec<B>(lbs[static_cast<std::size_t>(m[p])]);
+        }
+      }
+      for (std::int64_t z = z0; z < z1; ++z) {
+        if (z > z0) {
+          for (auto& b : lbs) b.off += b.zs;
+          for (auto& s : sbs) s.off += s.zs;
+          for (std::size_t c = 0; c < lp.chains.size(); ++c) {
+            const auto& m = lp.chains[c].members;
+            const auto rb = static_cast<std::size_t>(ring_base[c]);
+            for (std::size_t p = 0; p + 1 < m.size(); ++p) {
+              regs[rb + p] = regs[rb + p + 1];
+            }
+            regs[rb + m.size() - 1] =
+                load_vec<B>(lbs[static_cast<std::size_t>(m.back())]);
+          }
+        }
+        exec_body<B>(lp, regs.data(), ring_base.data(), lbs.data());
+        commit_stores<B>(lp, regs.data(), sbs.data(), z);
+      }
+    }
+  }
+}

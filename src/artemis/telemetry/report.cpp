@@ -214,6 +214,18 @@ Json build_run_report(const ReportMeta& meta,
   parallel.set("steals", counter("parallel.steals"));
   report.set("parallel", std::move(parallel));
 
+  // Simulator engine accounting: which engine executed plans, how the
+  // stencil-compilation dedup cache behaved, and — under the native
+  // engine — how many stages ran on the SIMD tier vs fell back to
+  // bytecode. Makes benchmark and verify runs self-describing.
+  Json sim = Json::object();
+  sim.set("engine", meta.engine.empty() ? "bytecode" : meta.engine);
+  sim.set("compile_hits", counter("sim.compile_hits"));
+  sim.set("compile_misses", counter("sim.compile_misses"));
+  sim.set("native_stages", counter("sim.native_stages"));
+  sim.set("native_fallbacks", counter("sim.native_fallbacks"));
+  report.set("sim", std::move(sim));
+
   report.set("profile", events_named(events, "profile.verdict"));
 
   // Pipeline phase durations (top-level spans), for trajectory tracking.

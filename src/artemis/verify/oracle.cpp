@@ -1,6 +1,9 @@
 #include "artemis/verify/oracle.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "artemis/codegen/plan_builder.hpp"
 #include "artemis/common/str.hpp"
@@ -27,12 +30,13 @@ void add_counters(sim::ExecCounters& a, const sim::ExecCounters& b) {
 RunResult run_program_plans(const ir::Program& prog, const KernelConfig& cfg,
                             bool fuse, std::uint64_t seed,
                             sim::SimEngine engine, int jobs,
-                            bool record_trace) {
+                            bool record_trace, bool native_fast_math) {
   const auto dev = gpumodel::p100();
   RunResult r{sim::GridSet::from_program(prog, seed), {}, {}};
   sim::ExecOptions opts;
   opts.engine = engine;
   opts.jobs = jobs;
+  opts.native_fast_math = native_fast_math;
   if (record_trace) {
     opts.global_hook = [&r](const std::string& a, std::int64_t z,
                             std::int64_t y, std::int64_t x, bool w) {
@@ -118,6 +122,74 @@ std::string counters_diff(const sim::ExecCounters& a,
                  b.blocks);
 }
 
+namespace {
+
+/// Map a double onto a monotonically ordered integer line so that the
+/// distance between two mapped values is their ULP separation. Negative
+/// values fold below zero; -0.0 and +0.0 both land on 0.
+std::int64_t ulp_order(double v) {
+  std::int64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits >= 0 ? bits
+                   : std::numeric_limits<std::int64_t>::min() - bits;
+}
+
+std::uint64_t ulp_distance(double a, double b) {
+  const std::int64_t ua = ulp_order(a), ub = ulp_order(b);
+  return static_cast<std::uint64_t>(std::max(ua, ub)) -
+         static_cast<std::uint64_t>(std::min(ua, ub));
+}
+
+}  // namespace
+
+std::string grids_ulp_diff(const sim::GridSet& a, const sim::GridSet& b,
+                           std::uint64_t max_ulps) {
+  for (const auto& [name, ga] : a.grids()) {
+    if (!b.has_grid(name)) {
+      return str_cat("grid '", name, "' missing from second set");
+    }
+    const Grid3D& gb = b.grid(name);
+    if (!(ga->extents() == gb.extents())) {
+      return str_cat("grid '", name, "' extents differ");
+    }
+    // Near an exact cancellation the fused and unfused products round to
+    // values whose ULP distance is unbounded even though the absolute
+    // difference is one rounding error of the *operands* — so an
+    // eps-sized absolute escape accompanies the ULP bound. A relative
+    // escape covers the dual amplification: exp/pow map a one-ULP input
+    // difference to arbitrarily many output ULPs, and iterative programs
+    // compound per-step rounding, so a per-FMA error can legitimately
+    // surface as ~1e-12 relative on a 1e+40-magnitude result. Both
+    // escapes are orders of magnitude below any structural miscompile
+    // (wrong offset, wrong operand), which shows up at O(1) relative.
+    constexpr double kAbsEscape = 1e-9;
+    constexpr double kRelEscape = 1e-9;
+    const auto& e = ga->extents();
+    for (std::int64_t z = 0; z < e.z; ++z) {
+      for (std::int64_t y = 0; y < e.y; ++y) {
+        for (std::int64_t x = 0; x < e.x; ++x) {
+          const double va = ga->at(z, y, x);
+          const double vb = gb.at(z, y, x);
+          if (std::isnan(va) && std::isnan(vb)) continue;
+          if (std::abs(va - vb) <= kAbsEscape) continue;
+          if (std::abs(va - vb) <=
+              kRelEscape * std::max(std::abs(va), std::abs(vb))) {
+            continue;
+          }
+          if (std::isnan(va) != std::isnan(vb) ||
+              ulp_distance(va, vb) > max_ulps) {
+            return str_cat("grid '", name, "' differs at (", z, ",", y, ",",
+                           x, ") beyond ", max_ulps, " ulps: ",
+                           format_double(va, 17), " vs ",
+                           format_double(vb, 17));
+          }
+        }
+      }
+    }
+  }
+  return {};
+}
+
 std::string engines_diff(const ir::Program& prog, const KernelConfig& cfg,
                          bool fuse, std::uint64_t seed) {
   const RunResult oracle = run_program_plans(prog, cfg, fuse, seed,
@@ -143,6 +215,42 @@ std::string engines_diff(const ir::Program& prog, const KernelConfig& cfg,
         !d.empty()) {
       return str_cat("tree-walk vs bytecode jobs=", jobs, ": ", d);
     }
+  }
+  // Native engine, strict mode: same source evaluation order, no FMA —
+  // the SIMD interior and the bytecode rim must land bit-for-bit on the
+  // oracle's grids and counters at every job count.
+  for (const int jobs : {1, 2, 4}) {
+    const RunResult got = run_program_plans(prog, cfg, fuse, seed,
+                                            sim::SimEngine::Native, jobs,
+                                            false);
+    if (std::string d = grids_diff(oracle.gs, got.gs); !d.empty()) {
+      return str_cat("tree-walk vs native jobs=", jobs, ": ", d);
+    }
+    if (std::string d = counters_diff(oracle.totals, got.totals);
+        !d.empty()) {
+      return str_cat("tree-walk vs native jobs=", jobs, ": ", d);
+    }
+  }
+  // Native fast-math: FMA contraction is a declared rounding change, so
+  // grids are held to a ULP bound instead of bit identity — but counters
+  // never depend on values, and the mode must stay deterministic across
+  // job counts (bit-identical to itself).
+  constexpr std::uint64_t kFastMathUlps = 64;
+  const RunResult fm1 = run_program_plans(prog, cfg, fuse, seed,
+                                          sim::SimEngine::Native, 1, false,
+                                          /*native_fast_math=*/true);
+  if (std::string d = grids_ulp_diff(oracle.gs, fm1.gs, kFastMathUlps);
+      !d.empty()) {
+    return str_cat("tree-walk vs native fast-math: ", d);
+  }
+  if (std::string d = counters_diff(oracle.totals, fm1.totals); !d.empty()) {
+    return str_cat("tree-walk vs native fast-math: ", d);
+  }
+  const RunResult fm2 = run_program_plans(prog, cfg, fuse, seed,
+                                          sim::SimEngine::Native, 2, false,
+                                          /*native_fast_math=*/true);
+  if (std::string d = grids_diff(fm1.gs, fm2.gs); !d.empty()) {
+    return str_cat("native fast-math jobs=1 vs jobs=2: ", d);
   }
   // The hook-trace comparison materializes every global access as a
   // TraceEntry; on a production-sized domain that is gigabytes of trace

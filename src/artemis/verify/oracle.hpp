@@ -39,7 +39,8 @@ void add_counters(sim::ExecCounters& a, const sim::ExecCounters& b);
 RunResult run_program_plans(const ir::Program& prog,
                             const codegen::KernelConfig& cfg, bool fuse,
                             std::uint64_t seed, sim::SimEngine engine,
-                            int jobs, bool record_trace);
+                            int jobs, bool record_trace,
+                            bool native_fast_math = false);
 
 /// Bitwise grid comparison: stricter than max_abs_diff == 0
 /// (distinguishes -0.0 and NaN payloads). Returns "" when identical,
@@ -50,11 +51,22 @@ std::string grids_diff(const sim::GridSet& a, const sim::GridSet& b);
 std::string counters_diff(const sim::ExecCounters& a,
                           const sim::ExecCounters& b);
 
-/// The three-way differential check: the reference interpreter (the
-/// semantics oracle) against the tree-walk engine, and the tree-walk
-/// engine against the compiled bytecode engine at jobs 1, 2 and 4 —
-/// grids bit-identical, counters identical (the per-block reduction makes
-/// them job-count independent) and jobs=1 hook traces identical. With
+/// ULP-bounded grid comparison for the native engine's declared
+/// fast-math mode: every element of `b` must be within `max_ulps` units
+/// in the last place of the matching element of `a` (two NaNs compare
+/// equal regardless of payload; a NaN against a number fails). Returns
+/// "" on success, otherwise the first out-of-bound element.
+std::string grids_ulp_diff(const sim::GridSet& a, const sim::GridSet& b,
+                           std::uint64_t max_ulps);
+
+/// The differential check across every engine: the reference interpreter
+/// (the semantics oracle) against the tree-walk engine, the tree-walk
+/// engine against the compiled bytecode engine at jobs 1, 2 and 4, and
+/// the native SIMD engine — strict mode bit-identical to the oracle at
+/// jobs 1, 2 and 4, declared fast-math mode ULP-bounded against it and
+/// bit-identical across job counts — grids bit-identical, counters
+/// identical (the per-block reduction makes them job-count independent)
+/// and jobs=1 hook traces identical. With
 /// `fuse` the calls execute as one fused plan; the reference comparison
 /// is skipped then because fused boundary geometry legitimately differs
 /// (the engines must still agree with each other bit-for-bit).

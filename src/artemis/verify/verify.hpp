@@ -15,7 +15,9 @@ namespace artemis::verify {
 enum class Property {
   RoundTrip,             ///< print -> parse -> print is a fixpoint
   TransformEquivalence,  ///< fusion/fission/fold/retime preserve semantics
-  EngineEquivalence,     ///< reference vs tree-walk vs bytecode, jobs 1/2/4
+  EngineEquivalence,     ///< reference vs tree-walk vs bytecode vs native
+                         ///< (strict bit-identical, fast-math ULP-bounded),
+                         ///< jobs 1/2/4
   TunerDeterminism,      ///< same seed + jobs => byte-identical plan/journal
   VariantEquivalence,    ///< profiler code-differencing variants agree
 };

@@ -130,21 +130,24 @@ RunResult run_program(const ir::Program& prog, const KernelConfig& cfg,
 }
 
 /// The core differential check: the tree-walking oracle (serial) against
-/// the compiled engine at jobs 1, 2 and 4 — grids bit-identical, counters
-/// identical (the per-block reduction makes them job-count independent),
-/// and hook traces identical.
+/// the compiled engine and the native SIMD engine (strict mode) at jobs
+/// 1, 2 and 4 — grids bit-identical, counters identical (the per-block
+/// reduction makes them job-count independent), and hook traces
+/// identical.
 void expect_engines_match(const ir::Program& prog, const KernelConfig& cfg,
                           bool fuse, std::uint64_t seed,
                           const std::string& label) {
   const RunResult oracle = run_program(prog, cfg, fuse, seed,
                                        SimEngine::TreeWalk, 1, false);
-  for (const int jobs : {1, 2, 4}) {
-    const RunResult got = run_program(prog, cfg, fuse, seed,
-                                      SimEngine::Bytecode, jobs, false);
-    EXPECT_TRUE(grids_bit_identical(oracle.gs, got.gs))
-        << label << " jobs=" << jobs;
-    EXPECT_TRUE(counters_equal(oracle.totals, got.totals))
-        << label << " jobs=" << jobs;
+  for (const auto engine : {SimEngine::Bytecode, SimEngine::Native}) {
+    for (const int jobs : {1, 2, 4}) {
+      const RunResult got = run_program(prog, cfg, fuse, seed, engine, jobs,
+                                        false);
+      EXPECT_TRUE(grids_bit_identical(oracle.gs, got.gs))
+          << label << " " << engine_name(engine) << " jobs=" << jobs;
+      EXPECT_TRUE(counters_equal(oracle.totals, got.totals))
+          << label << " " << engine_name(engine) << " jobs=" << jobs;
+    }
   }
   const RunResult ta = run_program(prog, cfg, fuse, seed,
                                    SimEngine::TreeWalk, 1, true);

@@ -283,6 +283,61 @@ TEST(Executor, CountingModeDegenerateAxis) {
   }
 }
 
+TEST(Executor, NativeCountingMatchesBytecodeCounting) {
+  // The native engine computes interior counters analytically (O(1) per
+  // segment) and replays the exact bytecode interleaving for trace
+  // records; a counted native run must reproduce the counted bytecode
+  // run bit-for-bit — grids, counters, per-stage class split, and the
+  // derived line streams — at any worker count.
+  const ir::Program prog = dsl::parse(artemis::testing::kJacobiDsl);
+  const auto dev = gpumodel::p100();
+  KernelConfig cfg;
+  cfg.block = {8, 4, 2};
+  const auto plan =
+      codegen::build_plan_for_call(prog, prog.steps[0].call, cfg, dev);
+
+  for (const int jobs : {1, 4}) {
+    GridSet bc = GridSet::from_program(prog, 21);
+    GridSet nat = bc.clone();
+    PlanTrace tb, tn;
+    ExecOptions ob;
+    ob.jobs = jobs;
+    ob.trace = &tb;
+    const ExecCounters cb = execute_plan(plan, bc, ob);
+    ExecOptions on;
+    on.jobs = jobs;
+    on.engine = SimEngine::Native;
+    on.trace = &tn;
+    const ExecCounters cn = execute_plan(plan, nat, on);
+
+    expect_counters_equal(cb, cn);
+    for (const auto& [name, grid] : bc.grids()) {
+      EXPECT_EQ(grid->raw(), nat.grid(name).raw())
+          << "jobs=" << jobs << " array " << name;
+    }
+    ASSERT_EQ(tb.stages.size(), tn.stages.size());
+    for (std::size_t s = 0; s < tb.stages.size(); ++s) {
+      const StageTrace& a = tb.stages[s];
+      const StageTrace& b = tn.stages[s];
+      EXPECT_EQ(a.lines, b.lines) << "jobs=" << jobs << " stage " << s;
+      EXPECT_EQ(a.flops_per_point, b.flops_per_point);
+      EXPECT_EQ(a.interior.computed, b.interior.computed);
+      EXPECT_EQ(a.interior.skipped, b.interior.skipped);
+      EXPECT_EQ(a.interior.greads, b.interior.greads);
+      EXPECT_EQ(a.interior.gwrites, b.interior.gwrites);
+      EXPECT_EQ(a.interior.sreads, b.interior.sreads);
+      EXPECT_EQ(a.interior.swrites, b.interior.swrites);
+      EXPECT_EQ(a.rim.computed, b.rim.computed);
+      EXPECT_EQ(a.rim.skipped, b.rim.skipped);
+      EXPECT_EQ(a.rim.greads, b.rim.greads);
+      EXPECT_EQ(a.rim.gwrites, b.rim.gwrites);
+      EXPECT_EQ(a.rim.sreads, b.rim.sreads);
+      EXPECT_EQ(a.rim.swrites, b.rim.swrites);
+    }
+    EXPECT_EQ(tb.writeback.lines, tn.writeback.lines) << "jobs=" << jobs;
+  }
+}
+
 // ---- property tests: random programs x random configs ----------------------
 
 struct PropertyCase {

@@ -205,7 +205,7 @@ TEST_F(TelemetryTest, RunReportRoundTripsAndCountersSumConsistently) {
   const auto dev = gpumodel::p100();
   const auto result = driver::optimize_program(prog, dev);
 
-  const ReportMeta meta{"jacobi-iterative.dsl", "artemis", dev.name};
+  const ReportMeta meta{"jacobi-iterative.dsl", "artemis", dev.name, 1, "bytecode"};
   const Json report =
       build_run_report(meta, result, Collector::global().snapshot(),
                        Collector::global().counters());
@@ -216,7 +216,7 @@ TEST_F(TelemetryTest, RunReportRoundTripsAndCountersSumConsistently) {
       "report_version", "source",          "strategy", "device",
       "schedule",       "fusion_schedule", "hints",    "deep_tuning",
       "tuner",          "resilience",      "storage",  "parallel",
-      "profile",        "phases"};
+      "sim",            "profile",         "phases"};
   ASSERT_EQ(back.members().size(), expected_keys.size());
   for (std::size_t i = 0; i < expected_keys.size(); ++i) {
     EXPECT_EQ(back.members()[i].first, expected_keys[i]) << i;
@@ -331,7 +331,7 @@ TEST_F(RunSinksTest, ThrownRunStillLeavesParseableJson) {
     RunSinks sinks({trace_, report_, metrics_, /*summary=*/false});
     EXPECT_TRUE(sinks.active());
     EXPECT_TRUE(enabled());
-    sinks.set_meta({"boom.dsl", "artemis", "P100", 2});
+    sinks.set_meta({"boom.dsl", "artemis", "P100", 2, "bytecode"});
     counter_add("tuner.enumerated", 3);
     instant("tuner.leaderboard", "tune");
     throw Error("pipeline exploded");
@@ -364,7 +364,7 @@ TEST_F(RunSinksTest, ThrownRunStillLeavesParseableJson) {
 TEST_F(RunSinksTest, FinalizeMarksCompletedAndEmbedsMetrics) {
   {
     RunSinks sinks({"", report_, metrics_, /*summary=*/false});
-    sinks.set_meta({"ok.dsl", "artemis", "P100", 1});
+    sinks.set_meta({"ok.dsl", "artemis", "P100", 1, "bytecode"});
     driver::ProgramResult r;
     r.strategy = "artemis";
     sinks.set_result(std::move(r));
@@ -384,7 +384,7 @@ TEST_F(RunSinksTest, FinalizeMarksCompletedAndEmbedsMetrics) {
 TEST_F(RunSinksTest, DestructorIsIdempotentAfterFinalize) {
   {
     RunSinks sinks({"", report_, "", false});
-    sinks.set_meta({"once.dsl", "artemis", "P100", 1});
+    sinks.set_meta({"once.dsl", "artemis", "P100", 1, "bytecode"});
     EXPECT_TRUE(sinks.finalize());
     // Overwrite the file; the destructor must not clobber it again.
     ASSERT_TRUE(write_file(report_, "{\"sentinel\": true}\n"));
