@@ -1,6 +1,8 @@
 #include "artemis/autotune/search.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <numeric>
 #include <optional>
 #include <set>
 
@@ -9,6 +11,7 @@
 #include "artemis/common/parallel.hpp"
 #include "artemis/common/rng.hpp"
 #include "artemis/common/str.hpp"
+#include "artemis/metrics/compare.hpp"
 #include "artemis/robust/fault_injection.hpp"
 #include "artemis/telemetry/telemetry.hpp"
 
@@ -70,6 +73,12 @@ struct EvalContext {
   const TuneOptions& opts;
   robust::CandidateRunner runner;
   TuneResult* result;
+
+  // Model-vs-simulation agreement accumulated across this search's
+  // model-filtered sweeps (model_prune_k): one (model score, committed
+  // simulated time) pair per evaluated survivor.
+  std::vector<double> model_scores;
+  std::vector<double> sim_times;
 
   EvalContext(const PlanFactory& f, const gpumodel::DeviceSpec& d,
               const gpumodel::ModelParams& p, const TuneOptions& o,
@@ -176,6 +185,10 @@ std::optional<Candidate> commit_candidate(EvalContext& ctx,
   if (eo.replayed) {
     ++ctx.result->journal_hits;
     telemetry::counter_add("tuner.journal_hits");
+    // Replays are counted separately from the sweep's enumeration so the
+    // report's space-coverage fraction cannot double-count a resumed
+    // run's candidates (coverage stays <= 1 across --resume).
+    telemetry::counter_add("tuner.space_replayed");
     if (eo.candidate) {
       telemetry::counter_add("tuner.evaluated");
       record_candidate(stage, cfg, spill_pruned, &*eo.candidate, "",
@@ -294,7 +307,22 @@ void insert_leaderboard(std::vector<Candidate>& board, Candidate c,
   const std::string prev_best_cfg =
       had_best && telemetry::enabled() ? serialize_config(board.front().config)
                                        : std::string();
-  board.push_back(std::move(c));
+  // A config never holds two slots: the random sweep and stage-2 variant
+  // generation can enumerate the same config twice, and under timing
+  // trials the two measurements may differ. The better one keeps the one
+  // slot; the rest of the board stays available for distinct configs
+  // instead of a duplicate pushing them past the top_k cut.
+  const std::string key = serialize_config(c.config);
+  const auto dup =
+      std::find_if(board.begin(), board.end(), [&](const Candidate& e) {
+        return serialize_config(e.config) == key;
+      });
+  if (dup != board.end()) {
+    if (c.time_s >= dup->time_s) return;  // existing entry at least as good
+    *dup = std::move(c);
+  } else {
+    board.push_back(std::move(c));
+  }
   // Ties on time are broken by the canonical config serialization: a
   // total order, so the board never depends on insertion history and the
   // parallel tuner's plan matches the serial one even among equal-cost
@@ -349,6 +377,107 @@ std::optional<int> spill_free_budget(const PlanFactory& factory,
 }
 
 
+/// Silent twin of spill_free_budget for the pre-filter's scoring pass:
+/// identical settling logic, but no telemetry and no skip accounting, so
+/// a surviving candidate's later (counted) escalation stays the first
+/// and only one observed.
+int settled_budget(const PlanFactory& factory, KernelConfig cfg,
+                   const TuneOptions& opts) {
+  for (const int budget : opts.register_budgets) {
+    cfg.max_registers = budget;
+    try {
+      if (gpumodel::estimate_registers(factory(cfg)).total <= budget) {
+        return budget;
+      }
+    } catch (const PlanError&) {
+      break;
+    }
+  }
+  return opts.register_budgets.back();
+}
+
+/// Analytical pre-filter (TuneOptions::model_prune_k, after Ernst et
+/// al.): score every enumerated configuration with the pure model and
+/// keep only the best k for simulation. Scoring is a pure function of
+/// (config, device, params) — evaluated across the pool when one is
+/// available — and selection uses the total order (score, canonical
+/// config key), so the surviving set and its enumeration order are
+/// identical for any `jobs`. Infeasible plans and invalid launches score
+/// +inf and are pruned first. `scores_out` receives the survivors'
+/// model scores (aligned with the returned list) when the filter ran,
+/// and is left empty when it did not.
+std::vector<KernelConfig> model_prefilter(EvalContext& ctx, TaskPool* pool,
+                                          const char* stage,
+                                          std::vector<KernelConfig> raw,
+                                          bool escalate_budget,
+                                          std::vector<double>* scores_out) {
+  scores_out->clear();
+  const std::int64_t n = static_cast<std::int64_t>(raw.size());
+  const int k = ctx.opts.model_prune_k;
+  if (k <= 0 || n <= k) return raw;
+
+  std::vector<double> scores(raw.size(), 0.0);
+  const auto score_one = [&](std::int64_t i) {
+    KernelConfig cfg = raw[static_cast<std::size_t>(i)];
+    if (escalate_budget) {
+      cfg.max_registers = settled_budget(ctx.factory, cfg, ctx.opts);
+    }
+    double s = std::numeric_limits<double>::infinity();
+    try {
+      const gpumodel::KernelEval ev =
+          gpumodel::evaluate(ctx.factory(cfg), ctx.dev, ctx.params);
+      if (ev.valid) s = ev.time_s;
+    } catch (const PlanError&) {
+    }
+    scores[static_cast<std::size_t>(i)] = s;
+  };
+  if (pool != nullptr && pool->parallelism() >= 2) {
+    pool->for_each(n, score_one);
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) score_one(i);
+  }
+
+  std::vector<std::string> keys(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    keys[i] = serialize_config(raw[i]);
+  }
+  std::vector<std::int64_t> order(raw.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::int64_t a, std::int64_t b) {
+              const double sa = scores[static_cast<std::size_t>(a)];
+              const double sb = scores[static_cast<std::size_t>(b)];
+              if (sa != sb) return sa < sb;
+              return keys[static_cast<std::size_t>(a)] <
+                     keys[static_cast<std::size_t>(b)];
+            });
+  order.resize(static_cast<std::size_t>(k));
+  // Survivors keep their enumeration order, so everything downstream
+  // (journal bytes, telemetry, leaderboard commits) sees the same
+  // schedule a hand-pruned enumeration would produce.
+  std::sort(order.begin(), order.end());
+
+  std::vector<KernelConfig> kept;
+  kept.reserve(static_cast<std::size_t>(k));
+  scores_out->reserve(static_cast<std::size_t>(k));
+  for (const std::int64_t i : order) {
+    kept.push_back(std::move(raw[static_cast<std::size_t>(i)]));
+    scores_out->push_back(scores[static_cast<std::size_t>(i)]);
+  }
+
+  const std::int64_t pruned = n - k;
+  ctx.result->model_pruned += static_cast<int>(pruned);
+  telemetry::counter_add("tuner.model_pruned", pruned);
+  if (telemetry::enabled()) {
+    telemetry::instant("tuner.model_filter", "tune",
+                       {{"stage", Json(std::string(stage))},
+                        {"considered", Json(n)},
+                        {"kept", Json(static_cast<std::int64_t>(k))},
+                        {"pruned", Json(pruned)}});
+  }
+  return kept;
+}
+
 /// Drive one sweep: evaluate `raw` configurations (optionally settling
 /// each one's register budget first) and fold them into the board and
 /// the counters with results identical to the serial loop for any pool.
@@ -368,6 +497,13 @@ std::optional<int> spill_free_budget(const PlanFactory& factory,
 void run_candidates(EvalContext& ctx, TaskPool* pool, const char* stage,
                     std::vector<KernelConfig> raw, bool escalate_budget,
                     int& evaluated_counter, std::vector<Candidate>& board) {
+  // Model-guided pruning happens before anything else sees the sweep:
+  // the survivors flow through the unchanged evaluate/commit machinery,
+  // so a pruned sweep is bit-indistinguishable from enumerating only the
+  // survivors in the first place.
+  std::vector<double> model_scores;
+  raw = model_prefilter(ctx, pool, stage, std::move(raw), escalate_budget,
+                        &model_scores);
   const std::int64_t n = static_cast<std::int64_t>(raw.size());
   if (n == 0) return;
 
@@ -388,13 +524,25 @@ void run_candidates(EvalContext& ctx, TaskPool* pool, const char* stage,
     p.cfg = std::move(cfg);
   };
 
+  // (model score, simulated time) pairs for this sweep's evaluated
+  // survivors; collected on the serial commit path, in enumeration
+  // order, so the rank-correlation stream is jobs-invariant too.
+  std::int64_t committed = 0;
+  std::vector<double> sweep_model;
+  std::vector<double> sweep_sim;
+
   const auto commit = [&](Prepared& p) {
+    const std::int64_t slot = committed++;
     ctx.result->skipped_spilling += p.spill_pruned;
     ++evaluated_counter;
     auto cand = commit_candidate(ctx, p.cfg, p.eo, stage, p.spill_pruned);
     if (!cand) {
       ++ctx.result->infeasible;
       return;
+    }
+    if (!model_scores.empty()) {
+      sweep_model.push_back(model_scores[static_cast<std::size_t>(slot)]);
+      sweep_sim.push_back(cand->time_s);
     }
     insert_leaderboard(board, std::move(*cand), ctx.opts.top_k);
   };
@@ -405,45 +553,68 @@ void run_candidates(EvalContext& ctx, TaskPool* pool, const char* stage,
       prepare(std::move(cfg), p);
       commit(p);
     }
-    return;
-  }
-
-  // Mark key repeats for deferred (in-order) evaluation. Budget
-  // escalation never produces repeats — the pre-budget knobs already
-  // differ — and keys only exist when the resilience machinery needs
-  // them, so this pass is free on the default path.
-  std::vector<bool> deferred(static_cast<std::size_t>(n), false);
-  if (!escalate_budget && ctx.needs_key()) {
-    std::set<std::string> seen;
-    for (std::int64_t i = 0; i < n; ++i) {
-      const auto idx = static_cast<std::size_t>(i);
-      deferred[idx] = !seen.insert(ctx.candidate_key(raw[idx])).second;
-    }
-  }
-
-  const std::int64_t chunk = std::max<std::int64_t>(
-      1, static_cast<std::int64_t>(pool->parallelism()) * 8);
-  std::vector<Prepared> prepared;
-  for (std::int64_t lo = 0; lo < n; lo += chunk) {
-    const std::int64_t count = std::min(chunk, n - lo);
-    prepared.assign(static_cast<std::size_t>(count), Prepared{});
-    for (std::int64_t i = 0; i < count; ++i) {
-      prepared[static_cast<std::size_t>(i)].deferred =
-          deferred[static_cast<std::size_t>(lo + i)];
-    }
-    pool->for_each(count, [&](std::int64_t i) {
-      Prepared& p = prepared[static_cast<std::size_t>(i)];
-      if (p.deferred) return;
-      prepare(std::move(raw[static_cast<std::size_t>(lo + i)]), p);
-    });
-    for (std::int64_t i = 0; i < count; ++i) {
-      Prepared& p = prepared[static_cast<std::size_t>(i)];
-      if (p.deferred) {
-        prepare(std::move(raw[static_cast<std::size_t>(lo + i)]), p);
+  } else {
+    // Mark key repeats for deferred (in-order) evaluation. Budget
+    // escalation never produces repeats — the pre-budget knobs already
+    // differ — and keys only exist when the resilience machinery needs
+    // them, so this pass is free on the default path.
+    std::vector<bool> deferred(static_cast<std::size_t>(n), false);
+    if (!escalate_budget && ctx.needs_key()) {
+      std::set<std::string> seen;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        deferred[idx] = !seen.insert(ctx.candidate_key(raw[idx])).second;
       }
-      commit(p);
+    }
+
+    const std::int64_t chunk = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(pool->parallelism()) * 8);
+    std::vector<Prepared> prepared;
+    for (std::int64_t lo = 0; lo < n; lo += chunk) {
+      const std::int64_t count = std::min(chunk, n - lo);
+      prepared.assign(static_cast<std::size_t>(count), Prepared{});
+      for (std::int64_t i = 0; i < count; ++i) {
+        prepared[static_cast<std::size_t>(i)].deferred =
+            deferred[static_cast<std::size_t>(lo + i)];
+      }
+      pool->for_each(count, [&](std::int64_t i) {
+        Prepared& p = prepared[static_cast<std::size_t>(i)];
+        if (p.deferred) return;
+        prepare(std::move(raw[static_cast<std::size_t>(lo + i)]), p);
+      });
+      for (std::int64_t i = 0; i < count; ++i) {
+        Prepared& p = prepared[static_cast<std::size_t>(i)];
+        if (p.deferred) {
+          prepare(std::move(raw[static_cast<std::size_t>(lo + i)]), p);
+        }
+        commit(p);
+      }
     }
   }
+
+  if (!model_scores.empty() && !sweep_model.empty()) {
+    ctx.model_scores.insert(ctx.model_scores.end(), sweep_model.begin(),
+                            sweep_model.end());
+    ctx.sim_times.insert(ctx.sim_times.end(), sweep_sim.begin(),
+                         sweep_sim.end());
+    if (telemetry::enabled() && sweep_model.size() >= 2) {
+      telemetry::instant(
+          "tuner.model_rank", "tune",
+          {{"stage", Json(std::string(stage))},
+           {"spearman", Json(metrics::spearman(sweep_model, sweep_sim))},
+           {"candidates",
+            Json(static_cast<std::int64_t>(sweep_model.size()))}});
+    }
+  }
+}
+
+/// Fold the accumulated model-vs-sim pairs into the result's run-level
+/// Spearman (meaningful only when the pre-filter ran for some sweep).
+void settle_model_rank(EvalContext& ctx) {
+  if (ctx.model_scores.size() < 2) return;
+  ctx.result->model_sim_spearman =
+      metrics::spearman(ctx.model_scores, ctx.sim_times);
+  ctx.result->has_model_sim_spearman = true;
 }
 
 /// Count the powers of two in [lo, hi] — the side length of one axis of
@@ -650,6 +821,7 @@ TuneResult hierarchical_tune(const PlanFactory& factory,
   if (board.empty() && !degrade_to_seed(ctx, seed, board)) {
     throw PlanError("autotuner found no feasible configuration");
   }
+  settle_model_rank(ctx);
   result.quarantined = ctx.runner.quarantined_count();
   result.best = board.front();
   result.leaderboard = std::move(board);
@@ -735,6 +907,7 @@ TuneResult exhaustive_tune(const PlanFactory& factory,
   if (board.empty() && !degrade_to_seed(ctx, seed, board)) {
     throw PlanError("exhaustive tuner found no feasible configuration");
   }
+  settle_model_rank(ctx);
   result.quarantined = ctx.runner.quarantined_count();
   result.best = board.front();
   result.leaderboard = std::move(board);
@@ -799,6 +972,7 @@ TuneResult random_tune(const PlanFactory& factory,
   if (board.empty() && !degrade_to_seed(ctx, seed, board)) {
     throw PlanError("random tuner found no feasible configuration");
   }
+  settle_model_rank(ctx);
   result.quarantined = ctx.runner.quarantined_count();
   result.best = board.front();
   result.leaderboard = std::move(board);

@@ -16,9 +16,13 @@
 namespace artemis::driver {
 
 gpumodel::DeviceSpec device_by_name(const std::string& name) {
+  if (name == "k40") return gpumodel::k40();
   if (name == "p100") return gpumodel::p100();
   if (name == "v100") return gpumodel::v100();
-  throw Error(str_cat("unknown device '", name, "'"));
+  if (name == "a100") return gpumodel::a100();
+  if (name == "h100") return gpumodel::h100();
+  throw Error(str_cat(
+      "unknown device '", name, "' (expected k40|p100|v100|a100|h100)"));
 }
 
 Strategy strategy_by_name(const std::string& name) {
@@ -129,6 +133,7 @@ TuneOutcome ArtemisContext::tune(const std::string& source,
   // request-local, so concurrent tunes never share mutable state.
   Strategy strat = opts_.strategy;
   strat.tune.jobs = opts_.jobs;
+  if (req.model_prune_k >= 0) strat.tune.model_prune_k = req.model_prune_k;
 
   // Crash-safe evaluation journal, scoped to this request.
   robust::TuningJournal journal(*vfs_);

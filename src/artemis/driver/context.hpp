@@ -40,8 +40,8 @@ struct ContextOptions {
   sim::SimEngine engine = sim::SimEngine::Bytecode;
 };
 
-/// Resolve "p100"/"v100" to a device spec; throws artemis::Error on an
-/// unknown name.
+/// Resolve a device-family name ("k40", "p100", "v100", "a100", "h100")
+/// to its spec; throws artemis::Error on an unknown name.
 gpumodel::DeviceSpec device_by_name(const std::string& name);
 
 /// Resolve a strategy preset name ("artemis", "ppcg", "stencilgen",
@@ -68,6 +68,11 @@ struct TuneRequest {
   /// reports the hit but still re-optimizes, preserving artemisc
   /// behavior.
   bool reuse_stored_plan = false;
+  /// Override the strategy's model-guided pruning strength
+  /// (TuneOptions::model_prune_k) for this request. < 0 keeps the
+  /// context strategy's value; 0 disables the pre-filter; > 0 caps each
+  /// sweep at that many simulation evaluations.
+  int model_prune_k = -1;
 };
 
 /// Everything one tune produced. `record`/`plan_bytes` are the canonical

@@ -33,4 +33,36 @@ DeviceSpec k40() {
   return d;
 }
 
+DeviceSpec a100() {
+  DeviceSpec d;
+  d.name = "A100";
+  d.num_sms = 108;
+  d.shmem_per_sm = 164 * 1024;
+  d.shmem_per_block = 163 * 1024;  // 164 KiB carve-out minus 1 KiB reserved
+  d.l2_bytes = 40 * 1024 * 1024;
+  d.peak_dp_flops = 9.7e12;
+  d.dram_bytes_per_s = 1555e9;
+  d.tex_bytes_per_s = 4.8e12;
+  d.shm_bytes_per_s = 19.5e12;
+  return d;
+}
+
+DeviceSpec h100() {
+  DeviceSpec d;
+  d.name = "H100";
+  d.num_sms = 132;
+  d.shmem_per_sm = 228 * 1024;
+  d.shmem_per_block = 227 * 1024;  // 228 KiB carve-out minus 1 KiB reserved
+  d.l2_bytes = 50 * 1024 * 1024;
+  d.peak_dp_flops = 33.5e12;
+  d.dram_bytes_per_s = 3350e9;
+  d.tex_bytes_per_s = 8.0e12;
+  d.shm_bytes_per_s = 33.0e12;
+  return d;
+}
+
+std::vector<DeviceSpec> device_family() {
+  return {k40(), p100(), v100(), a100(), h100()};
+}
+
 }  // namespace artemis::gpumodel

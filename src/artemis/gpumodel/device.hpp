@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace artemis::gpumodel {
 
@@ -52,5 +53,21 @@ DeviceSpec v100();
 /// and a much lower DP peak -- the balance point the older frameworks
 /// (Overtile, early PPCG) were tuned for.
 DeviceSpec k40();
+
+/// An Ampere-class device (A100 SXM 80GB): HBM2e doubles DRAM bandwidth
+/// over Volta while the DP vector peak grows more slowly, so the DRAM
+/// balance point drops back toward Pascal's.
+DeviceSpec a100();
+
+/// A Hopper-class device (H100 SXM): HBM3 plus a large jump in DP vector
+/// peak; the most compute-rich balance in the family.
+DeviceSpec h100();
+
+/// The whole modeled family, oldest to newest generation
+/// (K40, P100, V100, A100, H100). Peaks and per-level bandwidths increase
+/// strictly along this order; machine balances do not (they wobble with
+/// each memory-technology jump), which is exactly why plans must be
+/// re-tuned per device.
+std::vector<DeviceSpec> device_family();
 
 }  // namespace artemis::gpumodel

@@ -20,10 +20,18 @@ const char* limiter_name(Occupancy::Limiter l) {
 
 Occupancy compute_occupancy(const DeviceSpec& dev, const KernelResources& r) {
   Occupancy occ;
+  // Reject malformed or over-budget requests up front: negative resource
+  // counts, more registers than a thread may address, or a shared-memory
+  // request exceeding either the per-block cap or the physical per-SM
+  // carve-out (the family's newer parts have per-block caps within 1 KiB
+  // of the SM, so both bounds matter). Anything rejected here yields zero
+  // occupancy with Limiter::Invalid -- never a division by zero or a
+  // negative block count below.
   if (r.threads_per_block < 1 ||
       r.threads_per_block > dev.max_threads_per_block ||
-      r.regs_per_thread > dev.max_regs_per_thread ||
-      r.shmem_per_block > dev.shmem_per_block) {
+      r.regs_per_thread < 0 || r.regs_per_thread > dev.max_regs_per_thread ||
+      r.shmem_per_block < 0 || r.shmem_per_block > dev.shmem_per_block ||
+      r.shmem_per_block > dev.shmem_per_sm) {
     return occ;  // zero occupancy, Limiter::Invalid
   }
 

@@ -115,10 +115,12 @@ Json build_run_report(const ReportMeta& meta,
   }
 
   // Tuner counters + per-candidate records, straight from telemetry. The
-  // invariant downstream tooling may rely on: enumerated == evaluated +
+  // invariants downstream tooling may rely on: enumerated == evaluated +
   // infeasible (every enumerated configuration is either evaluated on the
   // model or rejected as infeasible), with pruned_spill_budgets counting
-  // the register-budget escalation steps skipped on top.
+  // the register-budget escalation steps skipped on top, and
+  // space.enumerated == enumerated + model_pruned (the analytical
+  // pre-filter skims candidates between enumeration and evaluation).
   Json tuner = Json::object();
   const auto counter = [&](const char* name) -> std::int64_t {
     const auto it = counters.find(name);
@@ -131,6 +133,12 @@ Json build_run_report(const ReportMeta& meta,
   tuner.set("cache_hits", counter("tuning_cache.hits"));
   tuner.set("cache_misses", counter("tuning_cache.misses"));
   tuner.set("journal_hits", counter("tuner.journal_hits"));
+  // Model-guided pruning (--model-prune-k): candidates the analytical
+  // pre-filter kept from simulation, plus the per-sweep filter summaries
+  // and the per-sweep model-vs-sim Spearman rank correlations.
+  tuner.set("model_pruned", counter("tuner.model_pruned"));
+  tuner.set("model_filter", events_named(events, "tuner.model_filter"));
+  tuner.set("model_rank", events_named(events, "tuner.model_rank"));
   tuner.set("candidates", events_named(events, "tuner.candidate"));
   // Search observability: leaderboard-front changes (serial commit order,
   // so identical at any jobs value) and search-space coverage — what each
@@ -142,6 +150,9 @@ Json build_run_report(const ReportMeta& meta,
   const std::int64_t space_unpruned = counter("tuner.space_unpruned");
   space.set("enumerated", space_enumerated);
   space.set("unpruned", space_unpruned);
+  // Journal replays are accounted separately from enumeration, so a
+  // resumed run's coverage fraction cannot exceed 1.
+  space.set("replayed", counter("tuner.space_replayed"));
   space.set("coverage",
             space_unpruned > 0 ? static_cast<double>(space_enumerated) /
                                      static_cast<double>(space_unpruned)

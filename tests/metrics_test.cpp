@@ -55,6 +55,52 @@ TEST(Spearman, TiesGetAverageRanks) {
   EXPECT_LT(r, 1.0);
 }
 
+TEST(Spearman, PermutationInvariant) {
+  // rho is a function of the *pairing*, not the presentation order:
+  // applying the same permutation to both vectors must not change it.
+  Rng rng(0x5EA3);
+  std::vector<double> xs(16), ys(16);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<double>(rng.uniform_int(0, 9));  // ties included
+    ys[i] = static_cast<double>(rng.uniform_int(0, 99));
+  }
+  const double base = spearman(xs, ys);
+  std::vector<std::size_t> perm(xs.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  for (int trial = 0; trial < 8; ++trial) {
+    // Fisher-Yates with the deterministic rng.
+    for (std::size_t i = perm.size() - 1; i > 0; --i) {
+      std::swap(perm[i],
+                perm[static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<std::int64_t>(i)))]);
+    }
+    std::vector<double> px(xs.size()), py(ys.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      px[i] = xs[perm[i]];
+      py[i] = ys[perm[i]];
+    }
+    EXPECT_NEAR(spearman(px, py), base, 1e-12);
+  }
+}
+
+TEST(Spearman, NegationFlipsSign) {
+  // Negating one side reverses every pairwise order, so rho changes sign
+  // exactly; negating both sides restores it.
+  Rng rng(0xF11B);
+  std::vector<double> xs(12), ys(12);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<double>(rng.uniform_int(0, 1000));
+    ys[i] = static_cast<double>(rng.uniform_int(0, 1000));
+  }
+  const double base = spearman(xs, ys);
+  std::vector<double> neg_y(ys);
+  for (auto& v : neg_y) v = -v;
+  EXPECT_NEAR(spearman(xs, neg_y), -base, 1e-12);
+  std::vector<double> neg_x(xs);
+  for (auto& v : neg_x) v = -v;
+  EXPECT_NEAR(spearman(neg_x, neg_y), base, 1e-12);
+}
+
 TEST(Spearman, DegenerateInputs) {
   EXPECT_DOUBLE_EQ(spearman({}, {}), 1.0);
   EXPECT_DOUBLE_EQ(spearman({1}, {2}), 1.0);

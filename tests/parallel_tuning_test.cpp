@@ -26,6 +26,7 @@
 #include "artemis/robust/journal.hpp"
 #include "artemis/stencils/benchmarks.hpp"
 #include "artemis/stencils/random_stencil.hpp"
+#include "artemis/telemetry/telemetry.hpp"
 
 namespace artemis::autotune {
 namespace {
@@ -51,7 +52,7 @@ std::string snapshot(const TuneResult& r) {
      << " crashed=" << r.crashed << " timed_out=" << r.timed_out
      << " unstable=" << r.unstable << " quarantined=" << r.quarantined
      << " journal_hits=" << r.journal_hits << " degraded=" << r.degraded
-     << "\n";
+     << " model_pruned=" << r.model_pruned << "\n";
   return os.str();
 }
 
@@ -150,6 +151,95 @@ TEST_F(ParallelTuningTest, FaultInjectedPlansAreJobsInvariant) {
   }
 }
 
+// ---- equivalence with every model time deliberately tied -----------------
+
+TEST_F(ParallelTuningTest, TiedModelTimesAreJobsInvariant) {
+  // Regression for the leaderboard tie-break: a factory that ignores the
+  // requested configuration and always builds the same plan makes every
+  // candidate's modelled time identical, so the board order is decided
+  // entirely by the canonical-serialization tie-break. Neither insertion
+  // history nor jobs may leak into the result.
+  const ir::Program prog = random_stencil(9);
+  const KernelConfig fixed;
+  const PlanFactory factory = [&prog, this, fixed](const KernelConfig&) {
+    return codegen::build_plan_for_call(prog, prog.steps[0].call, fixed,
+                                        dev_);
+  };
+  const KernelConfig seed_cfg;
+
+  const TuneResult serial =
+      hierarchical_tune(factory, seed_cfg, dev_, params_, small_space(1));
+  ASSERT_TRUE(serial.best.eval.valid);
+  ASSERT_GE(serial.leaderboard.size(), 2u);
+  for (std::size_t i = 0; i + 1 < serial.leaderboard.size(); ++i) {
+    const auto& a = serial.leaderboard[i];
+    const auto& b = serial.leaderboard[i + 1];
+    EXPECT_LE(a.time_s, b.time_s);
+    if (a.time_s == b.time_s) {
+      EXPECT_LT(serialize_config(a.config), serialize_config(b.config))
+          << "ties must be ordered by the canonical key, slot " << i;
+    }
+  }
+
+  const std::string want = snapshot(serial);
+  for (const int jobs : {4, 8}) {
+    const TuneResult parallel = hierarchical_tune(factory, seed_cfg, dev_,
+                                                  params_, small_space(jobs));
+    EXPECT_EQ(snapshot(parallel), want) << "jobs=" << jobs;
+  }
+}
+
+// ---- model pre-filter keeps the plan and stays jobs-invariant ------------
+
+TEST_F(ParallelTuningTest, ModelPrefilterKeepsPlanAndIsJobsInvariant) {
+  // With model_prune_k = top_k the analytical pre-filter keeps exactly
+  // the candidates that would have won the unpruned stage anyway (the
+  // simulated time of a clean run *is* the model time), so the final
+  // plan, its cost and the whole leaderboard are unchanged while most of
+  // the space is never evaluated. The filter selects by a total order,
+  // so the pruned tuner must stay jobs-invariant too.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const ir::Program prog = random_stencil(seed);
+    const auto factory = factory_for(prog);
+    const KernelConfig seed_cfg;
+
+    const TuneResult full =
+        hierarchical_tune(factory, seed_cfg, dev_, params_, small_space(1));
+    TuneOptions pruned_opts = small_space(1);
+    pruned_opts.model_prune_k = pruned_opts.top_k;
+    const TuneResult pruned =
+        hierarchical_tune(factory, seed_cfg, dev_, params_, pruned_opts);
+
+    ASSERT_TRUE(pruned.best.eval.valid) << "seed " << seed;
+    EXPECT_GT(pruned.model_pruned, 0) << "seed " << seed;
+    EXPECT_LT(pruned.evaluated_stage1, full.evaluated_stage1)
+        << "seed " << seed;
+    EXPECT_EQ(serialize_config(pruned.best.config),
+              serialize_config(full.best.config))
+        << "seed " << seed;
+    EXPECT_EQ(pruned.best.time_s, full.best.time_s) << "seed " << seed;
+    ASSERT_EQ(pruned.leaderboard.size(), full.leaderboard.size())
+        << "seed " << seed;
+    for (std::size_t i = 0; i < full.leaderboard.size(); ++i) {
+      EXPECT_EQ(serialize_config(pruned.leaderboard[i].config),
+                serialize_config(full.leaderboard[i].config))
+          << "seed " << seed << ", slot " << i;
+      EXPECT_EQ(pruned.leaderboard[i].time_s, full.leaderboard[i].time_s)
+          << "seed " << seed << ", slot " << i;
+    }
+
+    const std::string want = snapshot(pruned);
+    for (const int jobs : {4, 8}) {
+      TuneOptions opts = small_space(jobs);
+      opts.model_prune_k = opts.top_k;
+      const TuneResult parallel =
+          hierarchical_tune(factory, seed_cfg, dev_, params_, opts);
+      EXPECT_EQ(snapshot(parallel), want)
+          << "seed " << seed << ", jobs=" << jobs;
+    }
+  }
+}
+
 // ---- journal byte-identity -----------------------------------------------
 
 class ParallelJournalTest : public ParallelTuningTest {
@@ -233,12 +323,33 @@ TEST_F(ParallelJournalTest, ParallelRunResumesFromJournal) {
     EXPECT_GT(load.replayed, 0u);
     TuneOptions opts = small_space(4);
     opts.journal = &journal;
+    auto& collector = telemetry::Collector::global();
+    collector.clear();
+    collector.enable();
     const TuneResult again =
         hierarchical_tune(factory, seed_cfg, dev_, params_, opts);
+    const auto counters = collector.counters();
+    collector.disable();
     EXPECT_GT(again.journal_hits, 0);
     EXPECT_EQ(serialize_config(again.best.config),
               serialize_config(first.best.config));
     EXPECT_EQ(again.best.time_s, first.best.time_s);
+
+    // Replay accounting: journal hits are counted in their own
+    // `tuner.space_replayed` counter, never folded into the sweep's
+    // enumeration, so a resumed run's space-coverage fraction stays <= 1
+    // instead of double-counting every replayed candidate.
+    const auto counter = [&](const char* name) -> std::int64_t {
+      const auto it = counters.find(name);
+      return it == counters.end() ? 0 : it->second;
+    };
+    EXPECT_EQ(counter("tuner.space_replayed"), again.journal_hits);
+    EXPECT_GT(counter("tuner.space_unpruned"), 0);
+    EXPECT_LE(counter("tuner.space_enumerated"),
+              counter("tuner.space_unpruned"));
+    // The enumerated partition holds on the replay path, too.
+    EXPECT_EQ(counter("tuner.enumerated"),
+              counter("tuner.evaluated") + counter("tuner.infeasible"));
   }
 }
 
